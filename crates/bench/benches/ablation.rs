@@ -1,0 +1,81 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * branch-and-bound vs. exhaustive scan over the leading-row space
+//!   (§4.2's claim that B&B keeps solution times small as the coefficient
+//!   bound grows);
+//! * how much exact re-simulation the candidate-ranking heuristic saves
+//!   (`simulate_top` sensitivity of the compound search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loopmem_core::optimize::{minimize_mws, SearchMode};
+use loopmem_core::{branch_and_bound, two_level_objective};
+use loopmem_dep::legality::row_tileable;
+use loopmem_dep::{analyze, DependenceSet};
+use loopmem_ir::parse;
+use loopmem_linalg::gcd::gcd_i64;
+use loopmem_linalg::Rational;
+use std::hint::black_box;
+
+fn example8_deps() -> DependenceSet {
+    analyze(
+        &parse(
+            "array X[200]\nfor i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }",
+        )
+        .expect("kernel parses"),
+    )
+}
+
+fn exhaustive(alpha: (i64, i64), deps: &DependenceSet, bound: i64) -> Option<Rational> {
+    let mut best: Option<Rational> = None;
+    for a in -bound..=bound {
+        for b in -bound..=bound {
+            if (a, b) == (0, 0) || gcd_i64(a, b) != 1 || !row_tileable(&[a, b], deps) {
+                continue;
+            }
+            let obj = two_level_objective(alpha, (a, b), (25, 10));
+            if best.as_ref().is_none_or(|c| obj < *c) {
+                best = Some(obj);
+            }
+        }
+    }
+    best
+}
+
+fn bench_bnb_vs_exhaustive(c: &mut Criterion) {
+    let deps = example8_deps();
+    let mut g = c.benchmark_group("leading_row_search");
+    for bound in [4i64, 8, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("branch_and_bound", bound), &bound, |b, &n| {
+            b.iter(|| black_box(branch_and_bound((2, 5), &deps, (25, 10), n)))
+        });
+        g.bench_with_input(BenchmarkId::new("exhaustive", bound), &bound, |b, &n| {
+            b.iter(|| black_box(exhaustive((2, 5), &deps, n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulate_top(c: &mut Criterion) {
+    let nest = loopmem_bench::kernel_by_name("full_search")
+        .expect("kernel exists")
+        .nest();
+    let mut g = c.benchmark_group("compound_simulate_top");
+    g.sample_size(10);
+    for top in [1usize, 4, 12, 24] {
+        g.bench_with_input(BenchmarkId::from_parameter(top), &top, |b, &top| {
+            b.iter(|| {
+                black_box(minimize_mws(
+                    black_box(&nest),
+                    SearchMode::Compound {
+                        max_coeff: 6,
+                        simulate_top: top,
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bnb_vs_exhaustive, bench_simulate_top);
+criterion_main!(benches);

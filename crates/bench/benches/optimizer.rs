@@ -1,0 +1,39 @@
+//! Cost of the §4 transformation search, per kernel and per mode.
+//!
+//! The paper argues the search is cheap because "the number of variables
+//! is linear in the number of nested loops which is usually very small in
+//! practice (≤ 4)". This bench measures the full search — candidate
+//! generation, legality filtering, ranking, and exact re-simulation — for
+//! the compound mode and the interchange+reversal baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loopmem_bench::all_kernels;
+use loopmem_core::optimize::{minimize_mws, SearchMode};
+use std::hint::black_box;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minimize_mws");
+    g.sample_size(10);
+    for k in all_kernels() {
+        let nest = k.nest();
+        g.bench_with_input(BenchmarkId::new("compound", k.name), &nest, |b, nest| {
+            b.iter(|| black_box(minimize_mws(black_box(nest), SearchMode::default())))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("interchange_reversal", k.name),
+            &nest,
+            |b, nest| {
+                b.iter(|| {
+                    black_box(minimize_mws(
+                        black_box(nest),
+                        SearchMode::InterchangeReversal,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Throughput of the exact-window simulator (the reproduction's ground
+//! truth), per kernel and against nest size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loopmem_bench::all_kernels;
+use loopmem_ir::parse;
+use loopmem_sim::{count_iterations, simulate};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    for k in all_kernels() {
+        let nest = k.nest();
+        g.throughput(Throughput::Elements(count_iterations(&nest)));
+        g.bench_with_input(BenchmarkId::from_parameter(k.name), &nest, |b, nest| {
+            b.iter(|| black_box(simulate(black_box(nest))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_scaling");
+    g.sample_size(10);
+    for n in [32i64, 64, 128, 256] {
+        let src = format!(
+            "array A[{n}][{n}]\nfor i = 2 to {n} {{ for j = 1 to {n} {{ A[i][j] = A[i-1][j] + A[i][j]; }} }}"
+        );
+        let nest = parse(&src).expect("scaling kernel parses");
+        g.throughput(Throughput::Elements(count_iterations(&nest)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &nest, |b, nest| {
+            b.iter(|| black_box(simulate(black_box(nest))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_scaling);
+criterion_main!(benches);

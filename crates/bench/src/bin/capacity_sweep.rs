@@ -1,0 +1,9 @@
+//! Extension experiment: operational validation of the MWS as the needed
+//! buffer capacity (miss behaviour under OPT and LRU replacement).
+fn main() {
+    let rows = loopmem_bench::experiments::capacity_sweep();
+    println!("Buffer capacity needed for cold-misses-only, vs. the analytical MWS");
+    print!("{}", loopmem_bench::experiments::format_capacity(&rows));
+    println!("\n'perfect' capacities near the MWS confirm the window is the working set;");
+    println!("misses at MWS/2 show the cliff below it.");
+}

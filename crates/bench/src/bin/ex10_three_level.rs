@@ -1,0 +1,5 @@
+//! Example 10 / §4.3: 3-deep window estimate (540) and collapse to 1.
+fn main() {
+    println!("Example 10 — A[3i+k][j+k], 10x20x30");
+    println!("{}", loopmem_bench::experiments::example10_study());
+}

@@ -1,0 +1,7 @@
+//! Example 7: MWS under interchange/reversal vs. the compound transformation.
+fn main() {
+    let rows = loopmem_bench::experiments::example7_comparison();
+    println!("Example 7 — X[2i-3j], 20x30");
+    print!("{}", loopmem_bench::experiments::format_ex7(&rows));
+    println!("\npaper costs use the Eisenbeis window metric; our 'exact' column is simulated.");
+}

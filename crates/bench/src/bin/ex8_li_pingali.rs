@@ -1,0 +1,5 @@
+//! Example 8 / §4.2: branch-and-bound optimum, Li–Pingali failure.
+fn main() {
+    println!("Example 8 — X[2i+5j+1] = X[2i+5j+5], 25x10");
+    println!("{}", loopmem_bench::experiments::example8_study());
+}

@@ -1,0 +1,10 @@
+//! Extension experiment (§7 future work): storage-order effects at cache-
+//! line granularity, per kernel (8-word lines; LRU buffer of a quarter of
+//! the row-major line footprint).
+fn main() {
+    let rows = loopmem_bench::experiments::layout_study();
+    println!("Array layout effects (8-word lines)");
+    print!("{}", loopmem_bench::experiments::format_layout(&rows));
+    println!("\nrow-major suits the row-streaming kernels; the line-window and miss");
+    println!("columns quantify the spatial-locality effect element counting misses.");
+}

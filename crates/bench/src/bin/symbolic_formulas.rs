@@ -1,0 +1,28 @@
+//! Parametric distinct-access formulas per kernel — the symbolic view the
+//! paper presents its §3 results in, derived automatically.
+use loopmem_core::distinct_formulas;
+
+fn main() {
+    println!("Symbolic distinct-access formulas (over loop extents N1..Nn)\n");
+    for k in loopmem_bench::all_kernels()
+        .into_iter()
+        .chain(loopmem_bench::extended_kernels())
+    {
+        let nest = k.nest();
+        let fs = distinct_formulas(&nest);
+        if fs.is_empty() {
+            println!("{:<12} (no closed form: bounds/enumeration case)", k.name);
+            continue;
+        }
+        let mut ids: Vec<_> = fs.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            println!(
+                "{:<12} A_d({}) = {}",
+                k.name,
+                nest.array(id).name,
+                fs[&id].formula
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Benchmark kernels and experiment harness.
+//!
+//! This crate reproduces every table and figure of the paper's evaluation:
+//!
+//! * [`kernels`] — the seven image/video-processing codes of §5
+//!   (`2_point`, `3_point`, `sor`, `matmult`, `3step_log`, `full_search`,
+//!   `rasta_flt`) written in the `loopmem-ir` DSL;
+//! * [`experiments`] — one function per table/figure, each returning a
+//!   structured result with a `Display` that prints the paper-formatted
+//!   table; the `src/bin/*` binaries are thin wrappers:
+//!
+//! | experiment | binary |
+//! |---|---|
+//! | Figure 1 (reuse region) | `fig1_reuse_region` |
+//! | Figure 2 (results table) | `fig2_table` |
+//! | Examples 1–6 (distinct-access estimates) | `examples_table` |
+//! | Example 7 (transformation comparison) | `ex7_transform_comparison` |
+//! | Example 8 / §4.2 (Li–Pingali comparison, branch and bound) | `ex8_li_pingali` |
+//! | Example 10 / §4.3 (3-deep window collapse) | `ex10_three_level` |
+//! | Example 9 / eq. (2) (estimate vs. exact sweep) | `ex9_eq2_sweep` |
+//! | §5 accuracy claim (estimate vs. exact) | `accuracy_table` |
+//! | §6 speed claim (estimate vs. enumeration) | `cargo bench` |
+//! | MWS capacity validation (extension) | `capacity_sweep` |
+//! | window profiles (extension) | `window_profiles` |
+//! | layout effects (§7 future work) | `layout_effects` |
+//! | LRU miss curves (extension) | `miss_curves` |
+//! | extended kernel suite | `fig2_extended` |
+//! | symbolic formulas | `symbolic_formulas` |
+
+pub mod experiments;
+pub mod extended;
+pub mod kernels;
+
+pub use extended::extended_kernels;
+pub use kernels::{all_kernels, kernel_by_name, Kernel};

@@ -1,0 +1,462 @@
+//! Distinct-access estimation (§3 of the paper).
+//!
+//! The number of distinct elements a nest references is the quantity that
+//! actually has to fit in memory, and it is usually far below both the
+//! declared array sizes and the iteration count because of reuse. The
+//! paper's estimators read the reuse straight off the dependence structure:
+//!
+//! * `d = n`, `r` uniformly generated references (§3.1): one dependence per
+//!   reference pair; the reuse claimed by the designated sink reference is
+//!   `Σ Π_k (N_k − |δ_k|)` and `A_d = r·Π N_k − reuse`;
+//! * `d = n − 1`, single reference (§3.2): reuse flows along the access
+//!   matrix's null-space vector `v` and `A_d = Π N_k − Π (N_k − |v_k|)`;
+//! * non-uniformly generated references (§3.2): exact distances do not
+//!   exist; value-range bounds with coefficient-gap corrections give a
+//!   close interval (module [`crate::nonuniform`]).
+//!
+//! Anything outside these shapes (the paper's "multiple references" case it
+//! omits for space, kernels of dimension ≥ 2 with several references,
+//! non-rectangular nests) falls back to exact enumeration via
+//! `loopmem-poly`, flagged as [`Method::Enumerated`].
+
+use crate::nonuniform;
+use loopmem_dep::uniform::{uniform_groups, UniformGroup};
+use loopmem_dep::vectors::lex_positive;
+use loopmem_ir::{ArrayId, LoopNest};
+use loopmem_linalg::hnf::solve_diophantine;
+use loopmem_linalg::integer_nullspace;
+use std::collections::HashMap;
+
+/// How an estimate was obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// §3.1 closed form (`d = n`, uniformly generated).
+    FullRankFormula,
+    /// §3.2 null-space closed form (`d < n`, single reference).
+    NullspaceFormula,
+    /// Product of per-dimension counts for accesses whose subscript rows
+    /// read disjoint loop variables (our documented extension; exact).
+    SeparableProduct,
+    /// Exact union of shifted boxes by inclusion–exclusion (our
+    /// documented extension; fixes the §3.1 formula's overlap blindness).
+    InclusionExclusion,
+    /// §3.2 non-uniform value-range bounds.
+    NonUniformBounds,
+    /// Exact enumeration fallback (Clauss/Pugh-style, `loopmem-poly`).
+    Enumerated,
+}
+
+/// A distinct-access estimate: an interval `[lower, upper]` plus the method
+/// that produced it. Exact results have `lower == upper`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistinctEstimate {
+    /// Lower bound on the distinct-access count.
+    pub lower: i64,
+    /// Upper bound on the distinct-access count.
+    pub upper: i64,
+    /// Provenance of the numbers.
+    pub method: Method,
+}
+
+impl DistinctEstimate {
+    fn exact(value: i64, method: Method) -> Self {
+        DistinctEstimate {
+            lower: value,
+            upper: value,
+            method,
+        }
+    }
+
+    /// `true` when the interval is a single point.
+    pub fn is_exact(&self) -> bool {
+        self.lower == self.upper
+    }
+
+    /// The exact value, when there is one.
+    pub fn value(&self) -> Option<i64> {
+        self.is_exact().then_some(self.lower)
+    }
+}
+
+/// Reuse volume of one dependence distance over extents `N_k`:
+/// `Π_k max(0, N_k − |δ_k|)` — the shaded overlap region of Figure 1.
+///
+/// ```
+/// // Example 1: dependence (3,2) on a 10×10 nest reuses 56 elements.
+/// assert_eq!(loopmem_core::distinct::reuse_volume(&[10, 10], &[3, 2]), 56);
+/// ```
+pub fn reuse_volume(extents: &[i64], delta: &[i64]) -> i64 {
+    assert_eq!(extents.len(), delta.len(), "arity mismatch");
+    extents
+        .iter()
+        .zip(delta)
+        .map(|(&n, &d)| (n - d.abs()).max(0))
+        .product()
+}
+
+/// Estimates the distinct-access count of every array in the nest.
+///
+/// Applies the §3 formulas where their hypotheses hold and falls back to
+/// exact enumeration elsewhere; the per-array [`Method`] records which path
+/// ran. Non-rectangular (transformed) nests always enumerate.
+pub fn estimate_distinct(nest: &LoopNest) -> HashMap<ArrayId, DistinctEstimate> {
+    estimate_impl(nest, false)
+}
+
+/// Like [`estimate_distinct`], but replaces the §3.1 multi-reference
+/// formula with the exact inclusion–exclusion union count
+/// ([`crate::union_count`]) wherever it applies — our improvement over
+/// the paper, exact for any number of full-rank uniformly generated
+/// references.
+pub fn estimate_distinct_exact(nest: &LoopNest) -> HashMap<ArrayId, DistinctEstimate> {
+    estimate_impl(nest, true)
+}
+
+fn estimate_impl(nest: &LoopNest, exact_multiref: bool) -> HashMap<ArrayId, DistinctEstimate> {
+    let mut out = HashMap::new();
+    let rect = nest.rectangular_ranges();
+    let groups = uniform_groups(nest);
+    for (a, _) in nest.arrays().iter().enumerate() {
+        let id = ArrayId(a);
+        let my_groups: Vec<&UniformGroup> = groups.iter().filter(|g| g.array == id).collect();
+        if my_groups.is_empty() {
+            continue; // declared but never referenced
+        }
+        let est = match (&rect, my_groups.as_slice()) {
+            (Some(ranges), [g]) => {
+                let ie = (exact_multiref && g.len() > 1)
+                    .then(|| crate::union_count::exact_union_count(g, ranges))
+                    .flatten();
+                ie.unwrap_or_else(|| estimate_single_group(nest, g, ranges))
+            }
+            (Some(ranges), gs) => nonuniform::estimate_groups(gs, ranges)
+                .unwrap_or_else(|| enumerate(nest, id)),
+            (None, _) => enumerate(nest, id),
+        };
+        out.insert(id, est);
+    }
+    out
+}
+
+/// Estimate for one array that the nest references (panics otherwise).
+pub fn estimate_distinct_for(nest: &LoopNest, array: ArrayId) -> DistinctEstimate {
+    *estimate_distinct(nest)
+        .get(&array)
+        .expect("array is not referenced by the nest")
+}
+
+fn enumerate(nest: &LoopNest, id: ArrayId) -> DistinctEstimate {
+    let exact = loopmem_poly::count::distinct_accesses_for(nest, id) as i64;
+    DistinctEstimate::exact(exact, Method::Enumerated)
+}
+
+fn estimate_single_group(
+    nest: &LoopNest,
+    g: &UniformGroup,
+    ranges: &[(i64, i64)],
+) -> DistinctEstimate {
+    let extents: Vec<i64> = ranges.iter().map(|&(lo, hi)| hi - lo + 1).collect();
+    let iter_count: i64 = extents.iter().product();
+    let n = nest.depth();
+    let r = g.len() as i64;
+    let full_rank = g.matrix.rank() == n;
+
+    if full_rank {
+        if r == 1 {
+            // Injective access: every iteration touches a fresh element.
+            return DistinctEstimate::exact(iter_count, Method::FullRankFormula);
+        }
+        // §3.1: designate the sink reference (the one every other
+        // reference's dependence points to) and sum the pairwise reuse.
+        match full_rank_reuse(g, &extents) {
+            Some(reuse) => {
+                DistinctEstimate::exact(r * iter_count - reuse, Method::FullRankFormula)
+            }
+            None => enumerate_group(nest, g),
+        }
+    } else {
+        let kernel = integer_nullspace(&g.matrix);
+        // References with identical offsets touch identical elements, so
+        // only the distinct offsets matter (this covers accumulation
+        // statements like `C[i][j] = C[i][j] + ...`).
+        let mut offsets: Vec<&Vec<i64>> = g.members.iter().map(|(_, o, _)| o).collect();
+        offsets.sort();
+        offsets.dedup();
+        if offsets.len() == 1 && kernel.len() == 1 {
+            // §3.2: reuse along the null-space vector.
+            let reuse = reuse_volume(&extents, &kernel[0]);
+            DistinctEstimate::exact(iter_count - reuse, Method::NullspaceFormula)
+        } else if offsets.len() == 1 {
+            // Kernels of dimension ≥ 2: try the separable product
+            // extension, else enumerate.
+            let _ = r;
+            separable_product(g, ranges).unwrap_or_else(|| enumerate_group(nest, g))
+        } else {
+            // Multiple distinct offsets to a rank-deficient access — the
+            // paper omits these ("multiple references ... not discussed
+            // for lack of space"); we enumerate exactly.
+            enumerate_group(nest, g)
+        }
+    }
+}
+
+fn enumerate_group(nest: &LoopNest, g: &UniformGroup) -> DistinctEstimate {
+    enumerate(nest, g.array)
+}
+
+/// Exact distinct count when the subscript rows read pairwise-disjoint
+/// loop variables: the image is then a Cartesian product, so the count is
+/// the product of per-row distinct-value counts (each a 1-D closed form
+/// from [`crate::nonuniform`]). Motion-estimation accesses like
+/// `R[8cy + py][8cx + px]` are the canonical instance. Returns `None`
+/// when rows share variables or a per-row closed form is unavailable.
+fn separable_product(g: &UniformGroup, ranges: &[(i64, i64)]) -> Option<DistinctEstimate> {
+    let d = g.matrix.nrows();
+    let n = g.matrix.ncols();
+    // Disjointness check.
+    for col in 0..n {
+        let users = (0..d).filter(|&row| g.matrix[(row, col)] != 0).count();
+        if users > 1 {
+            return None;
+        }
+    }
+    let mut product: i64 = 1;
+    for row in 0..d {
+        let count = crate::nonuniform::single_function_count(g.matrix.row(row), ranges)?;
+        product = product.checked_mul(count)?;
+    }
+    Some(DistinctEstimate::exact(product, Method::SeparableProduct))
+}
+
+/// §3.1 reuse: solve `A·δ = c_sink − c_other` for each non-sink reference
+/// and sum the overlap volumes. The sink is the member whose incoming
+/// distances are all lexicographically non-negative (it exists for
+/// uniformly generated groups; ties collapse to equal offsets).
+fn full_rank_reuse(g: &UniformGroup, extents: &[i64]) -> Option<i64> {
+    let offsets: Vec<&Vec<i64>> = g.members.iter().map(|(_, o, _)| o).collect();
+    let r = offsets.len();
+    // Distance from member `a` toward member `b`: A·δ = c_a − c_b.
+    let dist = |a: usize, b: usize| -> Option<Vec<i64>> {
+        let rhs: Vec<i64> = offsets[a]
+            .iter()
+            .zip(offsets[b])
+            .map(|(&x, &y)| x - y)
+            .collect();
+        solve_diophantine(&g.matrix, &rhs).map(|s| s.particular)
+    };
+    // Pick the sink: all incoming distances lex-positive or zero.
+    let sink = (0..r).find(|&s| {
+        (0..r).filter(|&o| o != s).all(|o| {
+            dist(o, s)
+                .map(|d| lex_positive(&d) || d.iter().all(|&x| x == 0))
+                .unwrap_or(true) // no integer distance = no constraint
+        })
+    })?;
+    let mut reuse = 0i64;
+    for o in 0..r {
+        if o == sink {
+            continue;
+        }
+        if let Some(d) = dist(o, sink) {
+            reuse += reuse_volume(extents, &d);
+        }
+    }
+    Some(reuse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopmem_ir::parse;
+
+    #[test]
+    fn reuse_volume_examples() {
+        // Example 1(a)/(b): (10−3)(10−2) = 56 for dependence (3, 2).
+        assert_eq!(reuse_volume(&[10, 10], &[3, 2]), 56);
+        assert_eq!(reuse_volume(&[10, 10], &[-3, 2]), 56); // signs ignored
+        assert_eq!(reuse_volume(&[10, 10], &[11, 0]), 0); // out of range
+    }
+
+    #[test]
+    fn example2_exact() {
+        // A_d = 2·N1·N2 − (N1−1)(N2−2).
+        let nest = parse(
+            "array A[30][30]\nfor i = 1 to 25 { for j = 1 to 20 { A[i][j] = A[i-1][j+2]; } }",
+        )
+        .unwrap();
+        let e = estimate_distinct_for(&nest, ArrayId(0));
+        assert_eq!(e.method, Method::FullRankFormula);
+        assert_eq!(e.value(), Some(2 * 500 - 24 * 18));
+        // Cross-check against enumeration (r = 2 is exact).
+        assert_eq!(
+            e.value().unwrap() as u64,
+            loopmem_poly::count::distinct_accesses_for(&nest, ArrayId(0))
+        );
+    }
+
+    #[test]
+    fn example3_reproduces_papers_139() {
+        let nest = parse(
+            "array A[11][11]\n\
+             for i = 1 to 10 { for j = 1 to 10 {\n\
+               A[i][j] = A[i-1][j] + A[i][j-1] + A[i-1][j-1];\n\
+             } }",
+        )
+        .unwrap();
+        let e = estimate_distinct_for(&nest, ArrayId(0));
+        assert_eq!(e.method, Method::FullRankFormula);
+        // reuse = 90 + 90 + 81 = 261; A_d = 400 − 261 = 139 (the paper's
+        // number; the true union is 121 — see DESIGN.md).
+        assert_eq!(e.value(), Some(139));
+    }
+
+    #[test]
+    fn example4_exact_80() {
+        let nest = parse(
+            "array A[111]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }",
+        )
+        .unwrap();
+        let e = estimate_distinct_for(&nest, ArrayId(0));
+        assert_eq!(e.method, Method::NullspaceFormula);
+        assert_eq!(e.value(), Some(80));
+    }
+
+    #[test]
+    fn example5_exact_1869() {
+        let nest = parse(
+            "array A[61][51]\n\
+             for i = 1 to 10 { for j = 1 to 20 { for k = 1 to 30 { A[3i + k][j + k]; } } }",
+        )
+        .unwrap();
+        let e = estimate_distinct_for(&nest, ArrayId(0));
+        assert_eq!(e.method, Method::NullspaceFormula);
+        assert_eq!(e.value(), Some(1869));
+    }
+
+    #[test]
+    fn example6_bounds() {
+        let nest = parse(
+            "array A[200]\n\
+             for i = 1 to 20 { for j = 1 to 20 { A[3i + 7j - 10] = A[4i - 3j + 60]; } }",
+        )
+        .unwrap();
+        let e = estimate_distinct_for(&nest, ArrayId(0));
+        assert_eq!(e.method, Method::NonUniformBounds);
+        assert_eq!(e.lower, 179); // the paper's lower bound
+        assert_eq!(e.upper, 191); // the paper's upper bound
+        // Exact count (182) sits inside.
+        let exact = loopmem_poly::count::distinct_accesses_for(&nest, ArrayId(0)) as i64;
+        assert!(e.lower <= exact && exact <= e.upper);
+    }
+
+    #[test]
+    fn single_full_rank_reference_counts_iterations() {
+        let nest =
+            parse("array A[10][20]\nfor i = 1 to 10 { for j = 1 to 20 { A[i][j]; } }").unwrap();
+        let e = estimate_distinct_for(&nest, ArrayId(0));
+        assert_eq!(e.value(), Some(200));
+        assert_eq!(e.method, Method::FullRankFormula);
+    }
+
+    #[test]
+    fn pairs_without_integer_distance_contribute_no_reuse() {
+        // A[2i][j] and A[2i+1][j]: disjoint parity classes, distinct
+        // accesses are simply 2·N1·N2.
+        let nest = parse(
+            "array A[25][12]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i][j] = A[2i+1][j]; } }",
+        )
+        .unwrap();
+        let e = estimate_distinct_for(&nest, ArrayId(0));
+        assert_eq!(e.value(), Some(200));
+        assert_eq!(
+            loopmem_poly::count::distinct_accesses_for(&nest, ArrayId(0)),
+            200
+        );
+    }
+
+    #[test]
+    fn transformed_nest_falls_back_to_enumeration() {
+        let nest = parse(
+            "array A[10][10]\nfor i = 1 to 10 { for j = i to 10 { A[i][j]; } }",
+        )
+        .unwrap();
+        let e = estimate_distinct_for(&nest, ArrayId(0));
+        assert_eq!(e.method, Method::Enumerated);
+        assert_eq!(e.value(), Some(55));
+    }
+
+    #[test]
+    fn rank_deficient_multi_ref_enumerates() {
+        // Example 8's X: two refs, rank-deficient — the paper's omitted
+        // case; we enumerate exactly.
+        let nest = parse(
+            "array X[200]\n\
+             for i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }",
+        )
+        .unwrap();
+        let e = estimate_distinct_for(&nest, ArrayId(0));
+        assert_eq!(e.method, Method::Enumerated);
+        assert!(e.is_exact());
+    }
+
+    #[test]
+    fn separable_product_on_motion_estimation_reference() {
+        // R[8cy + py][8cx + px]: rows over disjoint variable pairs.
+        let nest = parse(
+            "array R[40][40]\n\
+             for cy = 1 to 3 { for cx = 1 to 3 { for py = 1 to 16 { for px = 1 to 16 {\n\
+               R[8*cy + py][8*cx + px];\n\
+             } } } }",
+        )
+        .unwrap();
+        let e = estimate_distinct_for(&nest, ArrayId(0));
+        assert_eq!(e.method, Method::SeparableProduct);
+        assert_eq!(e.value(), Some(32 * 32));
+        assert_eq!(
+            loopmem_poly::count::distinct_accesses_for(&nest, ArrayId(0)),
+            1024
+        );
+    }
+
+    #[test]
+    fn separable_product_rejected_when_rows_share_variables() {
+        // A[3i + k][j + k]: both rows read k — not separable, and the
+        // kernel is 1-dimensional so the §3.2 formula applies instead.
+        let nest = parse(
+            "array A[61][51]\n\
+             for i = 1 to 10 { for j = 1 to 20 { for k = 1 to 30 { A[3i + k][j + k]; } } }",
+        )
+        .unwrap();
+        assert_eq!(
+            estimate_distinct_for(&nest, ArrayId(0)).method,
+            Method::NullspaceFormula
+        );
+    }
+
+    #[test]
+    fn accumulator_array_uses_separable_product() {
+        // S[cy][cx] written and read with identical subscripts in a 4-deep
+        // nest: offsets dedup, kernel dimension 2, rows separable.
+        let nest = parse(
+            "array S[3][3]\n\
+             for cy = 1 to 3 { for cx = 1 to 3 { for py = 1 to 4 { for px = 1 to 4 {\n\
+               S[cy][cx] = S[cy][cx] + 1;\n\
+             } } } }",
+        )
+        .unwrap();
+        let e = estimate_distinct_for(&nest, ArrayId(0));
+        assert_eq!(e.method, Method::SeparableProduct);
+        assert_eq!(e.value(), Some(9));
+    }
+
+    #[test]
+    fn unreferenced_arrays_are_skipped() {
+        let nest = parse(
+            "array A[10]\narray B[10]\nfor i = 1 to 10 { A[i]; }",
+        )
+        .unwrap();
+        let all = estimate_distinct(&nest);
+        assert!(all.contains_key(&ArrayId(0)));
+        assert!(!all.contains_key(&ArrayId(1)));
+    }
+}

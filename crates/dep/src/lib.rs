@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! Data-dependence and reuse analysis for affine loop nests.
+//!
+//! This crate computes the paper's central abstraction (§2.1): *dependence
+//! distance vectors* between uniformly generated references, *reuse vectors*
+//! from rank-deficient access matrices, and the legality predicates that
+//! gate loop transformations:
+//!
+//! * [`analyze`] — the full dependence set of a nest (flow / anti / output /
+//!   input, with distances and levels);
+//! * [`reuse_vectors`] — primitive null-space reuse directions (§3.2);
+//! * [`legality`] — lexicographic legality `T·δ ≻ 0` and the stricter
+//!   tiling legality `T·δ ≥ 0` of §4 (full permutability, Irigoin–Triolet);
+//! * [`gcd_test`] — the classic may-alias test for non-uniformly generated
+//!   pairs, where exact distances do not exist (§3.2, Example 6).
+//!
+//! # Example
+//!
+//! Example 8's dependence set:
+//!
+//! ```
+//! let nest = loopmem_ir::parse(r#"
+//!     array X[200]
+//!     for i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }
+//! "#).unwrap();
+//! let deps = loopmem_dep::analyze(&nest);
+//! let mut distances: Vec<Vec<i64>> =
+//!     deps.iter().map(|d| d.distance.clone()).collect();
+//! distances.sort();
+//! distances.dedup();
+//! // The paper's three direct dependences (§4): flow (3,-2),
+//! // anti (2,0), output (5,-2).
+//! assert!(distances.contains(&vec![3, -2]));
+//! assert!(distances.contains(&vec![2, 0]));
+//! assert!(distances.contains(&vec![5, -2]));
+//! ```
+
+pub mod analysis;
+pub mod direction;
+pub mod gcd_test;
+pub mod legality;
+pub mod uniform;
+pub mod vectors;
+
+pub use analysis::{analyze, DepKind, Dependence, DependenceSet, RefIdx};
+pub use direction::{direction_vector, Direction, DirectionVector};
+pub use legality::{is_legal, is_tileable};
+pub use uniform::{uniform_groups, UniformGroup};
+pub use vectors::{level, lex_positive, reuse_vectors};

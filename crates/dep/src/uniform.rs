@@ -1,0 +1,132 @@
+//! Grouping references into uniformly generated classes (§2.3).
+
+use loopmem_ir::{AccessKind, ArrayId, LoopNest};
+use loopmem_linalg::IMat;
+
+/// Position of a reference inside a nest: `(statement index, ref index)`.
+pub type RefPos = (usize, usize);
+
+/// A maximal set of references to one array sharing an access matrix —
+/// the paper's *uniformly generated* class. All exact estimation formulas
+/// operate per group.
+#[derive(Clone, Debug)]
+pub struct UniformGroup {
+    /// The referenced array.
+    pub array: ArrayId,
+    /// The shared access matrix.
+    pub matrix: IMat,
+    /// Members: position, offset vector, and access kind.
+    pub members: Vec<(RefPos, Vec<i64>, AccessKind)>,
+}
+
+impl UniformGroup {
+    /// Number of references `r` in the group.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the group has no members (never produced by
+    /// [`uniform_groups`]).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Distinct offset vectors of the group.
+    pub fn offsets(&self) -> Vec<&[i64]> {
+        self.members.iter().map(|(_, o, _)| o.as_slice()).collect()
+    }
+
+    /// `true` when any member writes.
+    pub fn has_write(&self) -> bool {
+        self.members.iter().any(|(_, _, k)| *k == AccessKind::Write)
+    }
+}
+
+/// Partitions every reference of the nest into uniformly generated groups,
+/// in first-appearance order.
+pub fn uniform_groups(nest: &LoopNest) -> Vec<UniformGroup> {
+    let mut groups: Vec<UniformGroup> = Vec::new();
+    for (si, stmt) in nest.statements().iter().enumerate() {
+        for (ri, r) in stmt.refs().iter().enumerate() {
+            let member = ((si, ri), r.offset.clone(), r.kind);
+            match groups
+                .iter_mut()
+                .find(|g| g.array == r.array && g.matrix == r.matrix)
+            {
+                Some(g) => g.members.push(member),
+                None => groups.push(UniformGroup {
+                    array: r.array,
+                    matrix: r.matrix.clone(),
+                    members: vec![member],
+                }),
+            }
+        }
+    }
+    groups
+}
+
+/// `true` when every pair of references to the same array shares one access
+/// matrix — the hypothesis of the paper's exact formulas. Example 6
+/// (`A[3i+7j-10]` vs `A[4i-3j+60]`) returns `false`.
+pub fn is_uniformly_generated(nest: &LoopNest) -> bool {
+    let groups = uniform_groups(nest);
+    for (i, a) in groups.iter().enumerate() {
+        for b in &groups[i + 1..] {
+            if a.array == b.array {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopmem_ir::parse;
+
+    #[test]
+    fn example3_single_group_of_four() {
+        let nest = parse(
+            "array A[11][11]\n\
+             for i = 1 to 10 { for j = 1 to 10 {\n\
+               A[i][j] = A[i-1][j] + A[i][j-1] + A[i-1][j-1];\n\
+             } }",
+        )
+        .unwrap();
+        let gs = uniform_groups(&nest);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].len(), 4);
+        assert!(gs[0].has_write());
+        assert!(is_uniformly_generated(&nest));
+    }
+
+    #[test]
+    fn example6_two_groups_same_array() {
+        let nest = parse(
+            "array A[200]\n\
+             for i = 1 to 20 { for j = 1 to 20 { A[3i + 7j - 10] = A[4i - 3j + 60]; } }",
+        )
+        .unwrap();
+        let gs = uniform_groups(&nest);
+        assert_eq!(gs.len(), 2);
+        assert!(!is_uniformly_generated(&nest));
+    }
+
+    #[test]
+    fn different_arrays_do_not_collide() {
+        let nest = parse(
+            "array X[100]\narray Y[100]\n\
+             for i = 1 to 10 { for j = 1 to 10 {\n\
+               X[2i + 3j + 2] = Y[i + j];\n\
+               Y[i + j + 1] = X[2i + 3j + 3];\n\
+             } }",
+        )
+        .unwrap();
+        // §2.3's example loop: X's two refs form one group, Y's two another.
+        let gs = uniform_groups(&nest);
+        assert_eq!(gs.len(), 2);
+        assert!(gs.iter().all(|g| g.len() == 2));
+        assert!(is_uniformly_generated(&nest));
+    }
+}

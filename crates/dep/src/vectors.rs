@@ -1,0 +1,128 @@
+//! Distance/reuse vector utilities.
+
+use loopmem_ir::{ArrayId, LoopNest};
+use loopmem_linalg::integer_nullspace;
+
+/// `true` when the vector is lexicographically positive: its first non-zero
+/// component is positive (§2.1). The zero vector is *not* positive.
+///
+/// ```
+/// use loopmem_dep::lex_positive;
+/// assert!(lex_positive(&[0, 3, -1]));
+/// assert!(!lex_positive(&[-1, 5]));
+/// assert!(!lex_positive(&[0, 0]));
+/// ```
+pub fn lex_positive(v: &[i64]) -> bool {
+    match v.iter().find(|&&x| x != 0) {
+        Some(&x) => x > 0,
+        None => false,
+    }
+}
+
+/// The *level* of a dependence/reuse vector: the 1-based index of its first
+/// non-zero component (§2.1); `None` for the zero vector.
+///
+/// ```
+/// use loopmem_dep::level;
+/// assert_eq!(level(&[0, 0, 1]), Some(3));
+/// assert_eq!(level(&[1, 3, 3]), Some(1));
+/// assert_eq!(level(&[0, 0]), None);
+/// ```
+pub fn level(v: &[i64]) -> Option<usize> {
+    v.iter().position(|&x| x != 0).map(|p| p + 1)
+}
+
+/// Negates into lexicographic positivity; the zero vector stays zero.
+pub fn make_lex_positive(v: &[i64]) -> Vec<i64> {
+    if lex_positive(v) || v.iter().all(|&x| x == 0) {
+        v.to_vec()
+    } else {
+        v.iter().map(|&x| -x).collect()
+    }
+}
+
+/// Reuse vectors of every array in the nest (§3.2): the primitive,
+/// lexicographically positive generators of each reference's access-matrix
+/// kernel. An array with full-rank accesses contributes nothing (its reuse
+/// comes only from offset differences between multiple references).
+///
+/// Distinct references with different access matrices each contribute their
+/// own kernels; duplicates are removed.
+pub fn reuse_vectors(nest: &LoopNest) -> Vec<(ArrayId, Vec<i64>)> {
+    let mut out: Vec<(ArrayId, Vec<i64>)> = Vec::new();
+    for r in nest.refs() {
+        for v in integer_nullspace(&r.matrix) {
+            let v = make_lex_positive(&v);
+            if !out.iter().any(|(id, w)| *id == r.array && *w == v) {
+                out.push((r.array, v));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopmem_ir::parse;
+
+    #[test]
+    fn lex_positive_cases() {
+        assert!(lex_positive(&[1]));
+        assert!(lex_positive(&[0, 0, 2, -9]));
+        assert!(!lex_positive(&[0, -1, 5]));
+        assert!(!lex_positive(&[]));
+    }
+
+    #[test]
+    fn make_positive() {
+        assert_eq!(make_lex_positive(&[-3, 2]), vec![3, -2]);
+        assert_eq!(make_lex_positive(&[3, -2]), vec![3, -2]);
+        assert_eq!(make_lex_positive(&[0, 0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn example4_reuse() {
+        let nest =
+            parse("array A[200]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }")
+                .unwrap();
+        let rv = reuse_vectors(&nest);
+        assert_eq!(rv.len(), 1);
+        assert_eq!(rv[0].1, vec![5, -2]);
+    }
+
+    #[test]
+    fn example5_reuse() {
+        let nest = parse(
+            "array A[61][51]\n\
+             for i = 1 to 10 { for j = 1 to 20 { for k = 1 to 30 { A[3i + k][j + k]; } } }",
+        )
+        .unwrap();
+        let rv = reuse_vectors(&nest);
+        assert_eq!(rv.len(), 1);
+        // Paper's reuse vector (1, 3, 3) up to component signs: the kernel
+        // of [[3,0,1],[0,1,1]] is spanned by (1, 3, -3).
+        assert_eq!(rv[0].1, vec![1, 3, -3]);
+    }
+
+    #[test]
+    fn full_rank_access_has_no_kernel_reuse() {
+        let nest = parse(
+            "array A[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j]; } }",
+        )
+        .unwrap();
+        assert!(reuse_vectors(&nest).is_empty());
+    }
+
+    #[test]
+    fn duplicate_kernels_deduplicated() {
+        let nest = parse(
+            "array X[200]\n\
+             for i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }",
+        )
+        .unwrap();
+        let rv = reuse_vectors(&nest);
+        assert_eq!(rv.len(), 1);
+        assert_eq!(rv[0].1, vec![5, -2]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Loop bounds: max-of-affine lower bounds and min-of-affine upper bounds.
+
+use crate::expr::Affine;
+
+/// One bound of a loop.
+///
+/// A *lower* bound is the maximum of its affine pieces; an *upper* bound is
+/// the minimum. Source nests have single-piece constant bounds; unimodular
+/// transformations and Fourier–Motzkin-based bound regeneration produce
+/// multi-piece bounds (e.g. `max(ceil((u-30)/2), 1)` after skewing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bound {
+    pieces: Vec<BoundPiece>,
+}
+
+/// One affine piece of a bound, with an optional rational division:
+/// the value is `ceil(expr / div)` in a lower bound and `floor(expr / div)`
+/// in an upper bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundPiece {
+    /// The affine numerator.
+    pub expr: Affine,
+    /// Positive divisor (1 for ordinary bounds).
+    pub div: i64,
+}
+
+impl BoundPiece {
+    /// A piece with divisor 1.
+    pub fn simple(expr: Affine) -> Self {
+        BoundPiece { expr, div: 1 }
+    }
+}
+
+impl Bound {
+    /// A single-piece bound.
+    pub fn single(expr: Affine) -> Self {
+        Bound {
+            pieces: vec![BoundPiece::simple(expr)],
+        }
+    }
+
+    /// A bound with explicit pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pieces` is empty or any divisor is non-positive.
+    pub fn from_pieces(pieces: Vec<BoundPiece>) -> Self {
+        assert!(!pieces.is_empty(), "bound needs at least one piece");
+        assert!(pieces.iter().all(|p| p.div > 0), "divisors must be positive");
+        Bound { pieces }
+    }
+
+    /// A constant single-piece bound over `n` variables.
+    pub fn constant(n: usize, c: i64) -> Self {
+        Bound::single(Affine::constant(n, c))
+    }
+
+    /// The pieces of this bound.
+    pub fn pieces(&self) -> &[BoundPiece] {
+        &self.pieces
+    }
+
+    /// `true` when the bound is one constant piece.
+    pub fn as_constant(&self) -> Option<i64> {
+        match &self.pieces[..] {
+            [p] if p.expr.is_constant() && p.div == 1 => Some(p.expr.constant_term()),
+            _ => None,
+        }
+    }
+
+    /// Evaluates as a lower bound: `max` over pieces of `ceil(expr/div)`.
+    pub fn eval_lower(&self, iter: &[i64]) -> i64 {
+        self.pieces
+            .iter()
+            .map(|p| loopmem_linalg::gcd::div_ceil(p.expr.eval(iter), p.div))
+            .max()
+            .expect("bounds are non-empty")
+    }
+
+    /// Evaluates as an upper bound: `min` over pieces of `floor(expr/div)`.
+    pub fn eval_upper(&self, iter: &[i64]) -> i64 {
+        self.pieces
+            .iter()
+            .map(|p| loopmem_linalg::gcd::div_floor(p.expr.eval(iter), p.div))
+            .min()
+            .expect("bounds are non-empty")
+    }
+}
+
+/// One loop of a perfect nest: a variable name and its two bounds.
+///
+/// The iteration range at a given outer iteration is
+/// `eval_lower(..) ..= eval_upper(..)`; an empty range simply executes zero
+/// iterations (possible after transformation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Loop {
+    /// Loop-variable name (for printing and parsing only).
+    pub var: String,
+    /// Lower bound (max-of-pieces).
+    pub lower: Bound,
+    /// Upper bound (min-of-pieces).
+    pub upper: Bound,
+}
+
+impl Loop {
+    /// A loop `for var = lo to hi` with constant bounds over an `n`-deep
+    /// nest.
+    pub fn rectangular(var: impl Into<String>, n: usize, lo: i64, hi: i64) -> Self {
+        Loop {
+            var: var.into(),
+            lower: Bound::constant(n, lo),
+            upper: Bound::constant(n, hi),
+        }
+    }
+
+    /// `Some((lo, hi))` when both bounds are constants.
+    pub fn constant_range(&self) -> Option<(i64, i64)> {
+        Some((self.lower.as_constant()?, self.upper.as_constant()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_bounds() {
+        let l = Loop::rectangular("i", 2, 1, 10);
+        assert_eq!(l.constant_range(), Some((1, 10)));
+        assert_eq!(l.lower.eval_lower(&[0, 0]), 1);
+        assert_eq!(l.upper.eval_upper(&[0, 0]), 10);
+    }
+
+    #[test]
+    fn max_of_pieces_lower() {
+        // max(1, i - 3) over a 2-deep nest.
+        let b = Bound::from_pieces(vec![
+            BoundPiece::simple(Affine::constant(2, 1)),
+            BoundPiece::simple(Affine::new(vec![1, 0], -3)),
+        ]);
+        assert_eq!(b.eval_lower(&[2, 0]), 1);
+        assert_eq!(b.eval_lower(&[9, 0]), 6);
+        assert_eq!(b.as_constant(), None);
+    }
+
+    #[test]
+    fn divisor_rounding() {
+        // Lower bound ceil((u - 30) / 2), upper bound floor(u / 2).
+        let lo = Bound::from_pieces(vec![BoundPiece {
+            expr: Affine::new(vec![1, 0], -30),
+            div: 2,
+        }]);
+        let hi = Bound::from_pieces(vec![BoundPiece {
+            expr: Affine::new(vec![1, 0], 0),
+            div: 2,
+        }]);
+        assert_eq!(lo.eval_lower(&[33, 0]), 2); // ceil(3/2)
+        assert_eq!(hi.eval_upper(&[33, 0]), 16); // floor(33/2)
+        assert_eq!(lo.eval_lower(&[27, 0]), -1); // ceil(-3/2) = -1
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one piece")]
+    fn empty_bound_panics() {
+        let _ = Bound::from_pieces(vec![]);
+    }
+}

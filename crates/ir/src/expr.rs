@@ -1,0 +1,249 @@
+//! Affine expressions over the loop variables of a nest.
+
+use std::fmt;
+
+/// An affine expression `c₀·i₀ + c₁·i₁ + … + constant` over the loop
+/// variables of a nest (outermost first).
+///
+/// All subscripts, loop bounds, and transformed bounds in the workspace are
+/// `Affine`s. The coefficient vector always has the nest's full depth;
+/// variables that do not appear have coefficient zero.
+///
+/// ```
+/// use loopmem_ir::Affine;
+/// // 2i - 3j over a 2-deep nest (Example 7's access function).
+/// let f = Affine::new(vec![2, -3], 0);
+/// assert_eq!(f.eval(&[4, 1]), 5);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Affine {
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+impl Affine {
+    /// Creates an affine expression from per-variable coefficients and a
+    /// constant term.
+    pub fn new(coeffs: Vec<i64>, constant: i64) -> Self {
+        Affine { coeffs, constant }
+    }
+
+    /// The constant expression `c` over `n` variables.
+    pub fn constant(n: usize, c: i64) -> Self {
+        Affine {
+            coeffs: vec![0; n],
+            constant: c,
+        }
+    }
+
+    /// The single variable `i_k` over `n` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n`.
+    pub fn var(n: usize, k: usize) -> Self {
+        assert!(k < n, "variable index out of range");
+        let mut coeffs = vec![0; n];
+        coeffs[k] = 1;
+        Affine { coeffs, constant: 0 }
+    }
+
+    /// Per-variable coefficients (outermost loop first).
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Number of variables in scope.
+    pub fn nvars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// `true` when no variable has a non-zero coefficient.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Evaluates at the iteration vector `iter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iter.len() != self.nvars()` or on overflow.
+    pub fn eval(&self, iter: &[i64]) -> i64 {
+        assert_eq!(iter.len(), self.coeffs.len(), "iteration vector length");
+        let acc: i128 = self
+            .coeffs
+            .iter()
+            .zip(iter)
+            .map(|(&c, &x)| (c as i128) * (x as i128))
+            .sum::<i128>()
+            + self.constant as i128;
+        acc.try_into().expect("affine eval overflow")
+    }
+
+    /// Sum of two expressions over the same variables.
+    pub fn add(&self, other: &Affine) -> Affine {
+        assert_eq!(self.nvars(), other.nvars(), "variable-count mismatch");
+        Affine {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(&a, &b)| a.checked_add(b).expect("affine add overflow"))
+                .collect(),
+            constant: self
+                .constant
+                .checked_add(other.constant)
+                .expect("affine add overflow"),
+        }
+    }
+
+    /// Scales every coefficient and the constant by `k`.
+    pub fn scale(&self, k: i64) -> Affine {
+        Affine {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&c| c.checked_mul(k).expect("affine scale overflow"))
+                .collect(),
+            constant: self.constant.checked_mul(k).expect("affine scale overflow"),
+        }
+    }
+
+    /// Substitutes each variable `i_k` by the affine expression `subs[k]`
+    /// (all over a common new variable set).
+    ///
+    /// This is how references are rewritten under a unimodular
+    /// transformation: with `y = T·x`, each old variable `x_k` equals row
+    /// `k` of `T⁻¹` applied to `y`.
+    pub fn substitute(&self, subs: &[Affine]) -> Affine {
+        assert_eq!(subs.len(), self.nvars(), "substitution arity mismatch");
+        let nvars = subs.first().map_or(0, Affine::nvars);
+        let mut out = Affine::constant(nvars, self.constant);
+        for (k, sub) in subs.iter().enumerate() {
+            if self.coeffs[k] != 0 {
+                out = out.add(&sub.scale(self.coeffs[k]));
+            }
+        }
+        out
+    }
+
+    /// Renders with the given variable names (used by the printer).
+    pub fn display_with<'a>(&'a self, names: &'a [String]) -> AffineDisplay<'a> {
+        AffineDisplay { expr: self, names }
+    }
+}
+
+/// Helper returned by [`Affine::display_with`].
+pub struct AffineDisplay<'a> {
+    expr: &'a Affine,
+    names: &'a [String],
+}
+
+impl fmt::Display for AffineDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        for (k, &c) in self.expr.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let name = self
+                .names
+                .get(k)
+                .map(String::as_str)
+                .unwrap_or("?");
+            if wrote {
+                write!(f, " {} ", if c < 0 { "-" } else { "+" })?;
+            } else if c < 0 {
+                write!(f, "-")?;
+            }
+            if c.abs() != 1 {
+                write!(f, "{}*", c.abs())?;
+            }
+            write!(f, "{name}")?;
+            wrote = true;
+        }
+        let c = self.expr.constant;
+        if c != 0 || !wrote {
+            if wrote {
+                write!(f, " {} {}", if c < 0 { "-" } else { "+" }, c.abs())?;
+            } else {
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Affine({:?} + {})", self.coeffs, self.constant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: &[&str]) -> Vec<String> {
+        n.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn eval_basic() {
+        let f = Affine::new(vec![2, -3], 4);
+        assert_eq!(f.eval(&[1, 1]), 3);
+        assert_eq!(f.eval(&[0, 0]), 4);
+        assert_eq!(f.eval(&[10, 7]), 2 * 10 - 3 * 7 + 4);
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(Affine::constant(3, 7).is_constant());
+        let v = Affine::var(3, 1);
+        assert_eq!(v.coeffs(), &[0, 1, 0]);
+        assert_eq!(v.eval(&[9, 5, 2]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range_panics() {
+        let _ = Affine::var(2, 2);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Affine::new(vec![1, 2], 3);
+        let b = Affine::new(vec![-1, 5], 1);
+        assert_eq!(a.add(&b), Affine::new(vec![0, 7], 4));
+        assert_eq!(a.scale(-2), Affine::new(vec![-2, -4], -6));
+    }
+
+    #[test]
+    fn substitution_composes_with_matrix_inverse() {
+        // f(i, j) = 2i + 5j; substitute i = 2u - 3v, j = -u + 2v
+        // (the inverse of T = [[2,3],[1,2]]).
+        let f = Affine::new(vec![2, 5], 1);
+        let subs = [Affine::new(vec![2, -3], 0), Affine::new(vec![-1, 2], 0)];
+        let g = f.substitute(&subs);
+        assert_eq!(g, Affine::new(vec![-1, 4], 1));
+        // Sanity: evaluating g at (u,v) = T*(i,j) equals f at (i,j).
+        let (i, j) = (3, 4);
+        let (u, v) = (2 * i + 3 * j, i + 2 * j);
+        assert_eq!(g.eval(&[u, v]), f.eval(&[i, j]));
+    }
+
+    #[test]
+    fn display_formats() {
+        let ns = names(&["i", "j"]);
+        assert_eq!(Affine::new(vec![2, -3], 0).display_with(&ns).to_string(), "2*i - 3*j");
+        assert_eq!(Affine::new(vec![1, 0], -1).display_with(&ns).to_string(), "i - 1");
+        assert_eq!(Affine::new(vec![0, 0], 5).display_with(&ns).to_string(), "5");
+        assert_eq!(Affine::new(vec![0, 0], 0).display_with(&ns).to_string(), "0");
+        assert_eq!(Affine::new(vec![-1, 1], 2).display_with(&ns).to_string(), "-i + j + 2");
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! Loop-nest intermediate representation for the `loopmem` workspace.
+//!
+//! The paper analyzes *perfectly nested affine loops*: every statement sits
+//! in the innermost loop, loop bounds are affine functions of enclosing loop
+//! indices and constants, and every array subscript is an affine function
+//! `A·I + b` of the iteration vector `I` (§2). This crate provides exactly
+//! that program class:
+//!
+//! * [`Affine`] — affine expressions over the loop variables;
+//! * [`Loop`] / [`Bound`] — loops with max-of-affine lower and
+//!   min-of-affine upper bounds (what unimodular transformations produce);
+//! * [`ArrayDecl`] / [`ArrayRef`] — array declarations and affine references
+//!   (access matrix + offset vector);
+//! * [`Statement`] / [`LoopNest`] — a validated perfect nest;
+//! * [`parse`] — a small textual front end so kernels read like source code;
+//! * [`printer`] — the inverse pretty-printer.
+//!
+//! # Example
+//!
+//! Example 2 of the paper as DSL text:
+//!
+//! ```
+//! let nest = loopmem_ir::parse(r#"
+//!     array A[100][100]
+//!     for i = 1 to 100 {
+//!       for j = 1 to 100 {
+//!         A[i][j] = A[i-1][j+2];
+//!       }
+//!     }
+//! "#).unwrap();
+//! assert_eq!(nest.depth(), 2);
+//! assert_eq!(nest.statements()[0].refs().len(), 2);
+//! ```
+
+pub mod access;
+pub mod bounds;
+pub mod expr;
+pub mod nest;
+pub mod parser;
+pub mod printer;
+pub mod program;
+
+pub use access::{AccessKind, ArrayDecl, ArrayId, ArrayRef};
+pub use bounds::{Bound, Loop};
+pub use expr::Affine;
+pub use nest::{LoopNest, NestError, Statement};
+pub use parser::{parse, ParseError};
+pub use program::{parse_program, Program, ProgramError};
+pub use printer::{print_nest, print_program};

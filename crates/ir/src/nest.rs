@@ -1,0 +1,391 @@
+//! Perfect loop nests: the validated program unit everything analyzes.
+
+use crate::access::{ArrayDecl, ArrayId, ArrayRef};
+use crate::bounds::Loop;
+use std::error::Error;
+use std::fmt;
+
+/// One statement of the innermost loop body: an optional write reference
+/// followed by zero or more reads (or a bare read for expression
+/// statements such as the paper's `X[2i − 3j]`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Statement {
+    refs: Vec<ArrayRef>,
+}
+
+impl Statement {
+    /// Creates a statement from references (sources first is conventional
+    /// but not required).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refs` is empty.
+    pub fn new(refs: Vec<ArrayRef>) -> Self {
+        assert!(!refs.is_empty(), "statement needs at least one reference");
+        Statement { refs }
+    }
+
+    /// All references of the statement.
+    pub fn refs(&self) -> &[ArrayRef] {
+        &self.refs
+    }
+}
+
+/// Validation failures raised by [`LoopNest::new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NestError {
+    /// The nest has no loops.
+    Empty,
+    /// A bound of loop `loop_index` references that loop or an inner one.
+    BoundUsesInnerVariable {
+        /// Which loop the offending bound belongs to.
+        loop_index: usize,
+    },
+    /// A reference names an array id that is not declared.
+    UnknownArray(ArrayId),
+    /// A reference's subscript count differs from the declared rank.
+    RankMismatch {
+        /// The offending array.
+        array: ArrayId,
+        /// Declared rank.
+        declared: usize,
+        /// Rank used by the reference.
+        used: usize,
+    },
+    /// A reference's access matrix has a different depth than the nest.
+    DepthMismatch {
+        /// Depth used by the reference.
+        used: usize,
+        /// The nest's depth.
+        nest: usize,
+    },
+    /// The nest has no statements.
+    NoStatements,
+}
+
+impl fmt::Display for NestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NestError::Empty => write!(f, "loop nest has no loops"),
+            NestError::BoundUsesInnerVariable { loop_index } => write!(
+                f,
+                "bound of loop {loop_index} references a non-outer loop variable"
+            ),
+            NestError::UnknownArray(id) => write!(f, "reference to undeclared {id}"),
+            NestError::RankMismatch { array, declared, used } => write!(
+                f,
+                "{array} declared with rank {declared} but referenced with {used} subscripts"
+            ),
+            NestError::DepthMismatch { used, nest } => write!(
+                f,
+                "reference subscripts range over {used} variables in a {nest}-deep nest"
+            ),
+            NestError::NoStatements => write!(f, "loop nest has no statements"),
+        }
+    }
+}
+
+impl Error for NestError {}
+
+/// A validated perfect loop nest: loops (outermost first), array
+/// declarations, and the innermost body's statements.
+///
+/// ```
+/// use loopmem_ir::{ArrayDecl, ArrayRef, AccessKind, ArrayId, Loop, LoopNest, Statement};
+/// use loopmem_linalg::IMat;
+///
+/// // Example 4: for i = 1 to 20, for j = 1 to 10 { A[2i + 5j + 1]; }
+/// let nest = LoopNest::new(
+///     vec![
+///         Loop::rectangular("i", 2, 1, 20),
+///         Loop::rectangular("j", 2, 1, 10),
+///     ],
+///     vec![ArrayDecl::new("A", vec![71])],
+///     vec![Statement::new(vec![ArrayRef::new(
+///         ArrayId(0),
+///         IMat::from_rows(&[vec![2, 5]]),
+///         vec![1],
+///         AccessKind::Read,
+///     )])],
+/// ).unwrap();
+/// assert_eq!(nest.depth(), 2);
+/// assert_eq!(nest.iteration_count(), Some(200));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopNest {
+    loops: Vec<Loop>,
+    arrays: Vec<ArrayDecl>,
+    statements: Vec<Statement>,
+}
+
+impl LoopNest {
+    /// Validates and creates a nest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NestError`] when the nest is empty, a bound looks at an
+    /// inner variable, or a reference disagrees with the declarations.
+    pub fn new(
+        loops: Vec<Loop>,
+        arrays: Vec<ArrayDecl>,
+        statements: Vec<Statement>,
+    ) -> Result<Self, NestError> {
+        if loops.is_empty() {
+            return Err(NestError::Empty);
+        }
+        if statements.is_empty() {
+            return Err(NestError::NoStatements);
+        }
+        let n = loops.len();
+        for (k, l) in loops.iter().enumerate() {
+            for piece in l.lower.pieces().iter().chain(l.upper.pieces()) {
+                if piece.expr.nvars() != n {
+                    return Err(NestError::DepthMismatch {
+                        used: piece.expr.nvars(),
+                        nest: n,
+                    });
+                }
+                if piece.expr.coeffs()[k..].iter().any(|&c| c != 0) {
+                    return Err(NestError::BoundUsesInnerVariable { loop_index: k });
+                }
+            }
+        }
+        for s in &statements {
+            for r in s.refs() {
+                let Some(decl) = arrays.get(r.array.0) else {
+                    return Err(NestError::UnknownArray(r.array));
+                };
+                if decl.rank() != r.rank() {
+                    return Err(NestError::RankMismatch {
+                        array: r.array,
+                        declared: decl.rank(),
+                        used: r.rank(),
+                    });
+                }
+                if r.depth() != n {
+                    return Err(NestError::DepthMismatch {
+                        used: r.depth(),
+                        nest: n,
+                    });
+                }
+            }
+        }
+        Ok(LoopNest {
+            loops,
+            arrays,
+            statements,
+        })
+    }
+
+    /// The loops, outermost first.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// The innermost body's statements.
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    /// Nest depth `n`.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Iterator over every reference of every statement.
+    pub fn refs(&self) -> impl Iterator<Item = &ArrayRef> {
+        self.statements.iter().flat_map(|s| s.refs().iter())
+    }
+
+    /// All references to a given array.
+    pub fn refs_to(&self, array: ArrayId) -> Vec<&ArrayRef> {
+        self.refs().filter(|r| r.array == array).collect()
+    }
+
+    /// The declaration behind an [`ArrayId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (impossible for ids taken from a
+    /// validated nest).
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+
+    /// Looks an array up by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.iter().position(|a| a.name == name).map(ArrayId)
+    }
+
+    /// Total declared elements over all arrays — the *default* memory
+    /// requirement of Figure 2.
+    pub fn default_memory(&self) -> i64 {
+        self.arrays.iter().map(ArrayDecl::size).sum()
+    }
+
+    /// `true` when every bound is a constant (no transformation applied).
+    pub fn is_rectangular(&self) -> bool {
+        self.loops.iter().all(|l| l.constant_range().is_some())
+    }
+
+    /// `(lo, hi)` per loop for rectangular nests.
+    pub fn rectangular_ranges(&self) -> Option<Vec<(i64, i64)>> {
+        self.loops.iter().map(Loop::constant_range).collect()
+    }
+
+    /// Exact iteration count for rectangular nests (`None` otherwise);
+    /// empty ranges count as zero.
+    pub fn iteration_count(&self) -> Option<i64> {
+        let ranges = self.rectangular_ranges()?;
+        Some(
+            ranges
+                .iter()
+                .map(|&(lo, hi)| (hi - lo + 1).max(0))
+                .product(),
+        )
+    }
+
+    /// Loop-variable names, outermost first.
+    pub fn var_names(&self) -> Vec<String> {
+        self.loops.iter().map(|l| l.var.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessKind;
+    use crate::expr::Affine;
+    use crate::bounds::Bound;
+    use loopmem_linalg::IMat;
+
+    fn simple_ref(kind: AccessKind) -> ArrayRef {
+        ArrayRef::new(ArrayId(0), IMat::identity(2), vec![0, 0], kind)
+    }
+
+    fn simple_nest() -> LoopNest {
+        LoopNest::new(
+            vec![
+                Loop::rectangular("i", 2, 1, 10),
+                Loop::rectangular("j", 2, 1, 10),
+            ],
+            vec![ArrayDecl::new("A", vec![10, 10])],
+            vec![Statement::new(vec![simple_ref(AccessKind::Write)])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_nest_accessors() {
+        let n = simple_nest();
+        assert_eq!(n.depth(), 2);
+        assert_eq!(n.iteration_count(), Some(100));
+        assert_eq!(n.default_memory(), 100);
+        assert!(n.is_rectangular());
+        assert_eq!(n.array_by_name("A"), Some(ArrayId(0)));
+        assert_eq!(n.array_by_name("B"), None);
+        assert_eq!(n.refs_to(ArrayId(0)).len(), 1);
+        assert_eq!(n.var_names(), vec!["i", "j"]);
+    }
+
+    #[test]
+    fn empty_nest_rejected() {
+        assert_eq!(
+            LoopNest::new(vec![], vec![], vec![]).unwrap_err(),
+            NestError::Empty
+        );
+    }
+
+    #[test]
+    fn no_statements_rejected() {
+        let err = LoopNest::new(
+            vec![Loop::rectangular("i", 1, 1, 10)],
+            vec![],
+            vec![],
+        )
+        .unwrap_err();
+        assert_eq!(err, NestError::NoStatements);
+    }
+
+    #[test]
+    fn unknown_array_rejected() {
+        let err = LoopNest::new(
+            vec![
+                Loop::rectangular("i", 2, 1, 10),
+                Loop::rectangular("j", 2, 1, 10),
+            ],
+            vec![],
+            vec![Statement::new(vec![simple_ref(AccessKind::Read)])],
+        )
+        .unwrap_err();
+        assert_eq!(err, NestError::UnknownArray(ArrayId(0)));
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let err = LoopNest::new(
+            vec![
+                Loop::rectangular("i", 2, 1, 10),
+                Loop::rectangular("j", 2, 1, 10),
+            ],
+            vec![ArrayDecl::new("A", vec![10])],
+            vec![Statement::new(vec![simple_ref(AccessKind::Read)])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NestError::RankMismatch { .. }));
+    }
+
+    #[test]
+    fn bound_using_inner_variable_rejected() {
+        // Outer loop bound referencing the inner variable j.
+        let bad = Loop {
+            var: "i".into(),
+            lower: Bound::single(Affine::new(vec![0, 1], 0)),
+            upper: Bound::constant(2, 10),
+        };
+        let err = LoopNest::new(
+            vec![bad, Loop::rectangular("j", 2, 1, 10)],
+            vec![ArrayDecl::new("A", vec![10, 10])],
+            vec![Statement::new(vec![simple_ref(AccessKind::Read)])],
+        )
+        .unwrap_err();
+        assert_eq!(err, NestError::BoundUsesInnerVariable { loop_index: 0 });
+    }
+
+    #[test]
+    fn triangular_bound_accepted() {
+        // for i = 1 to 10, for j = i to 10 — legal (outer var only).
+        let inner = Loop {
+            var: "j".into(),
+            lower: Bound::single(Affine::new(vec![1, 0], 0)),
+            upper: Bound::constant(2, 10),
+        };
+        let nest = LoopNest::new(
+            vec![Loop::rectangular("i", 2, 1, 10), inner],
+            vec![ArrayDecl::new("A", vec![10, 10])],
+            vec![Statement::new(vec![simple_ref(AccessKind::Read)])],
+        )
+        .unwrap();
+        assert!(!nest.is_rectangular());
+        assert_eq!(nest.iteration_count(), None);
+    }
+
+    #[test]
+    fn empty_range_counts_zero() {
+        let nest = LoopNest::new(
+            vec![
+                Loop::rectangular("i", 2, 5, 4),
+                Loop::rectangular("j", 2, 1, 10),
+            ],
+            vec![ArrayDecl::new("A", vec![10, 10])],
+            vec![Statement::new(vec![simple_ref(AccessKind::Read)])],
+        )
+        .unwrap();
+        assert_eq!(nest.iteration_count(), Some(0));
+    }
+}

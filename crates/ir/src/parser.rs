@@ -1,0 +1,713 @@
+//! A small textual front end for perfect affine loop nests.
+//!
+//! The grammar mirrors the paper's presentation of kernels:
+//!
+//! ```text
+//! program   := array_decl* for_loop
+//! array_decl:= "array" IDENT ("[" INT "]")+
+//! for_loop  := "for" IDENT "=" expr "to" expr "{" body "}"
+//! body      := for_loop | statement+
+//! statement := access ("=" rhs)? ";"
+//! access    := IDENT ("[" expr "]")+
+//! expr      := affine combination of integers and loop variables,
+//!              e.g. "2*i + 5*j + 1" (the shorthand "2i" also parses)
+//! ```
+//!
+//! The right-hand side of a statement may be an arbitrary arithmetic
+//! expression; the parser extracts every array access from it (each becomes
+//! a [`AccessKind::Read`] reference) and ignores scalar arithmetic such as
+//! `0.2 * (...)`, matching how the paper's analysis only consumes the
+//! reference set.
+//!
+//! ```
+//! let nest = loopmem_ir::parse(r#"
+//!     array X[100]
+//!     for i = 1 to 25 {
+//!       for j = 1 to 10 {
+//!         X[2i + 5j + 1] = X[2i + 5j + 5];
+//!       }
+//!     }
+//! "#).unwrap();
+//! assert_eq!(nest.depth(), 2);
+//! ```
+
+use crate::access::{AccessKind, ArrayDecl, ArrayId, ArrayRef};
+use crate::bounds::{Bound, Loop};
+use crate::expr::Affine;
+use crate::nest::{LoopNest, NestError, Statement};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse or validation failure, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses DSL text into a validated [`LoopNest`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on lexical/syntactic problems, imperfect
+/// nesting, non-affine subscripts, or any [`NestError`] raised by
+/// validation.
+pub fn parse(src: &str) -> Result<LoopNest, ParseError> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).parse_program()
+}
+
+/// Parses a *sequence* of nests sharing the leading array declarations
+/// (used by [`crate::parse_program`]).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on any syntactic or validation failure.
+pub(crate) fn parse_many(src: &str) -> Result<Vec<LoopNest>, ParseError> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).parse_nest_sequence()
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float, // kept only so RHS arithmetic like 0.2 lexes; value discarded
+    Sym(char),
+}
+
+#[derive(Clone, Debug)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Line comment.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Sym('/'),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                let mut is_float = false;
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add((d as u8 - b'0') as i64))
+                            .ok_or_else(|| ParseError::new(line, "integer literal overflow"))?;
+                        chars.next();
+                    } else if d == '.' {
+                        is_float = true;
+                        chars.next();
+                        while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                            chars.next();
+                        }
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: if is_float { Tok::Float } else { Tok::Int(n) },
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(s),
+                    line,
+                });
+            }
+            '=' | '[' | ']' | '{' | '}' | '(' | ')' | ';' | '+' | '-' | '*' | ',' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::Sym(c),
+                    line,
+                });
+            }
+            other => {
+                return Err(ParseError::new(line, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------ symbolic affine --
+
+/// Affine expression over named variables, resolved to positional
+/// coefficients once the whole nest (and thus the variable order) is known.
+#[derive(Clone, Debug, Default)]
+struct SymExpr {
+    terms: HashMap<String, i64>,
+    constant: i64,
+}
+
+impl SymExpr {
+    fn constant(c: i64) -> Self {
+        SymExpr {
+            terms: HashMap::new(),
+            constant: c,
+        }
+    }
+
+    fn var(name: &str, coeff: i64) -> Self {
+        let mut terms = HashMap::new();
+        terms.insert(name.to_string(), coeff);
+        SymExpr { terms, constant: 0 }
+    }
+
+    fn add(&mut self, other: SymExpr, sign: i64) {
+        for (k, v) in other.terms {
+            *self.terms.entry(k).or_insert(0) += sign * v;
+        }
+        self.constant += sign * other.constant;
+    }
+
+    fn resolve(&self, vars: &[String], line: usize) -> Result<Affine, ParseError> {
+        let mut coeffs = vec![0i64; vars.len()];
+        for (name, &c) in &self.terms {
+            match vars.iter().position(|v| v == name) {
+                Some(k) => coeffs[k] += c,
+                None => {
+                    return Err(ParseError::new(
+                        line,
+                        format!("unknown variable '{name}' in affine expression"),
+                    ))
+                }
+            }
+        }
+        Ok(Affine::new(coeffs, self.constant))
+    }
+}
+
+// --------------------------------------------------------------- parser --
+
+struct PendingRef {
+    array: String,
+    subs: Vec<SymExpr>,
+    kind: AccessKind,
+    line: usize,
+}
+
+struct PendingStatement {
+    refs: Vec<PendingRef>,
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(toks: Vec<SpannedTok>) -> Self {
+        Parser { toks, pos: 0 }
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(1, |t| t.line)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next_tok(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
+        let line = self.line();
+        match self.next_tok() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(ParseError::new(line, format!("expected '{c}', found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        let line = self.line();
+        match self.next_tok() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError::new(line, format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let line = self.line();
+        match self.next_tok() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => Err(ParseError::new(line, format!("expected '{kw}', found {other:?}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<LoopNest, ParseError> {
+        let arrays = self.parse_array_decls()?;
+        let nest = self.parse_one_nest(&arrays)?;
+        if self.pos != self.toks.len() {
+            return Err(ParseError::new(self.line(), "trailing input after loop nest"));
+        }
+        Ok(nest)
+    }
+
+    fn parse_nest_sequence(&mut self) -> Result<Vec<LoopNest>, ParseError> {
+        let arrays = self.parse_array_decls()?;
+        let mut nests = vec![self.parse_one_nest(&arrays)?];
+        while self.pos != self.toks.len() {
+            nests.push(self.parse_one_nest(&arrays)?);
+        }
+        Ok(nests)
+    }
+
+    fn parse_array_decls(&mut self) -> Result<Vec<ArrayDecl>, ParseError> {
+        let mut arrays: Vec<ArrayDecl> = Vec::new();
+        while self.peek() == Some(&Tok::Ident("array".to_string())) {
+            self.pos += 1;
+            let name = self.expect_ident()?;
+            let mut dims = Vec::new();
+            while self.eat_sym('[') {
+                let line = self.line();
+                match self.next_tok() {
+                    Some(Tok::Int(n)) if n > 0 => dims.push(n),
+                    other => {
+                        return Err(ParseError::new(
+                            line,
+                            format!("expected positive array extent, found {other:?}"),
+                        ))
+                    }
+                }
+                self.expect_sym(']')?;
+            }
+            if dims.is_empty() {
+                return Err(ParseError::new(self.line(), "array declaration needs extents"));
+            }
+            if arrays.iter().any(|a| a.name == name) {
+                return Err(ParseError::new(self.line(), format!("array '{name}' redeclared")));
+            }
+            arrays.push(ArrayDecl::new(name, dims));
+        }
+        Ok(arrays)
+    }
+
+    fn parse_one_nest(&mut self, arrays: &[ArrayDecl]) -> Result<LoopNest, ParseError> {
+        let line = self.line();
+        let (loops_sym, statements_sym) = self.parse_for()?;
+
+        // Resolve symbolic expressions against the final variable order.
+        let vars: Vec<String> = loops_sym.iter().map(|l| l.0.clone()).collect();
+        let mut loops = Vec::new();
+        for (var, lo, hi, l) in &loops_sym {
+            loops.push(Loop {
+                var: var.clone(),
+                lower: Bound::single(lo.resolve(&vars, *l)?),
+                upper: Bound::single(hi.resolve(&vars, *l)?),
+            });
+        }
+        let mut statements = Vec::new();
+        for s in statements_sym {
+            let mut refs = Vec::new();
+            for p in s.refs {
+                let id = arrays
+                    .iter()
+                    .position(|a| a.name == p.array)
+                    .map(ArrayId)
+                    .ok_or_else(|| {
+                        ParseError::new(p.line, format!("undeclared array '{}'", p.array))
+                    })?;
+                let subs: Result<Vec<Affine>, ParseError> =
+                    p.subs.iter().map(|e| e.resolve(&vars, p.line)).collect();
+                refs.push(ArrayRef::from_subscripts(id, &subs?, p.kind));
+            }
+            statements.push(Statement::new(refs));
+        }
+
+        LoopNest::new(loops, arrays.to_vec(), statements)
+            .map_err(|e: NestError| ParseError::new(line, e.to_string()))
+    }
+
+    /// Parses a `for` and its body; returns the chain of loops (var, lo,
+    /// hi, line) plus the innermost statements.
+    #[allow(clippy::type_complexity)]
+    fn parse_for(
+        &mut self,
+    ) -> Result<(Vec<(String, SymExpr, SymExpr, usize)>, Vec<PendingStatement>), ParseError> {
+        let line = self.line();
+        self.expect_keyword("for")?;
+        let var = self.expect_ident()?;
+        self.expect_sym('=')?;
+        let lo = self.parse_affine()?;
+        self.expect_keyword("to")?;
+        let hi = self.parse_affine()?;
+        self.expect_sym('{')?;
+
+        let mut loops = vec![(var, lo, hi, line)];
+        let mut statements = Vec::new();
+        if self.peek() == Some(&Tok::Ident("for".to_string())) {
+            let (inner_loops, inner_stmts) = self.parse_for()?;
+            loops.extend(inner_loops);
+            statements = inner_stmts;
+            if !matches!(self.peek(), Some(Tok::Sym('}'))) {
+                return Err(ParseError::new(
+                    self.line(),
+                    "imperfect nest: statement alongside an inner loop",
+                ));
+            }
+        } else {
+            while !matches!(self.peek(), Some(Tok::Sym('}')) | None) {
+                if self.peek() == Some(&Tok::Ident("for".to_string())) {
+                    return Err(ParseError::new(
+                        self.line(),
+                        "imperfect nest: loop after statements",
+                    ));
+                }
+                statements.push(self.parse_statement()?);
+            }
+        }
+        self.expect_sym('}')?;
+        Ok((loops, statements))
+    }
+
+    fn parse_statement(&mut self) -> Result<PendingStatement, ParseError> {
+        let first = self.parse_access(AccessKind::Read)?;
+        let mut refs = Vec::new();
+        if self.eat_sym('=') {
+            // The first access is the write destination.
+            refs.push(PendingRef {
+                kind: AccessKind::Write,
+                ..first
+            });
+            // Scan the RHS up to ';', collecting array accesses and
+            // skipping scalar arithmetic.
+            loop {
+                match self.peek() {
+                    None => return Err(ParseError::new(self.line(), "missing ';'")),
+                    Some(Tok::Sym(';')) => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(Tok::Ident(_)) => {
+                        // Array access iff followed by '['.
+                        if matches!(self.toks.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Sym('['))) {
+                            refs.push(self.parse_access(AccessKind::Read)?);
+                        } else {
+                            self.pos += 1; // scalar variable: ignore
+                        }
+                    }
+                    Some(_) => {
+                        self.pos += 1; // operators, literals, parens: ignore
+                    }
+                }
+            }
+        } else {
+            // Bare access statement, e.g. the paper's `X[2i - 3j];`.
+            refs.push(first);
+            self.expect_sym(';')?;
+        }
+        Ok(PendingStatement { refs })
+    }
+
+    fn parse_access(&mut self, kind: AccessKind) -> Result<PendingRef, ParseError> {
+        let line = self.line();
+        let array = self.expect_ident()?;
+        let mut subs = Vec::new();
+        while self.eat_sym('[') {
+            subs.push(self.parse_affine()?);
+            self.expect_sym(']')?;
+        }
+        if subs.is_empty() {
+            return Err(ParseError::new(line, format!("'{array}' used without subscripts")));
+        }
+        Ok(PendingRef {
+            array,
+            subs,
+            kind,
+            line,
+        })
+    }
+
+    /// Parses a (strictly) affine expression: `±term (± term)*` where
+    /// `term := INT | INT '*'? IDENT | IDENT '*' INT | IDENT`.
+    fn parse_affine(&mut self) -> Result<SymExpr, ParseError> {
+        let mut out = SymExpr::default();
+        let mut sign = 1i64;
+        // Optional leading sign.
+        if self.eat_sym('-') {
+            sign = -1;
+        } else {
+            let _ = self.eat_sym('+');
+        }
+        loop {
+            let term = self.parse_affine_term()?;
+            out.add(term, sign);
+            if self.eat_sym('+') {
+                sign = 1;
+            } else if self.eat_sym('-') {
+                sign = -1;
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_affine_term(&mut self) -> Result<SymExpr, ParseError> {
+        let line = self.line();
+        match self.next_tok() {
+            Some(Tok::Int(n)) => {
+                // "2*i", "2i", or plain "2".
+                let explicit_star = self.eat_sym('*');
+                if let Some(Tok::Ident(v)) = self.peek().cloned() {
+                    // "to" is the bound keyword, never an implicit factor.
+                    if v == "to" && !explicit_star {
+                        return Ok(SymExpr::constant(n));
+                    }
+                    self.pos += 1;
+                    Ok(SymExpr::var(&v, n))
+                } else if explicit_star {
+                    Err(ParseError::new(line, "expected variable after '*'"))
+                } else {
+                    Ok(SymExpr::constant(n))
+                }
+            }
+            Some(Tok::Ident(v)) => {
+                if self.eat_sym('*') {
+                    let line2 = self.line();
+                    match self.next_tok() {
+                        Some(Tok::Int(n)) => Ok(SymExpr::var(&v, n)),
+                        other => Err(ParseError::new(
+                            line2,
+                            format!("non-affine term: expected integer after '{v} *', found {other:?}"),
+                        )),
+                    }
+                } else {
+                    Ok(SymExpr::var(&v, 1))
+                }
+            }
+            other => Err(ParseError::new(
+                line,
+                format!("expected affine term, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example2() {
+        let nest = parse(
+            "array A[100][100]\n\
+             for i = 1 to 100 {\n\
+               for j = 1 to 100 {\n\
+                 A[i][j] = A[i-1][j+2];\n\
+               }\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(nest.depth(), 2);
+        let refs: Vec<_> = nest.refs().collect();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].kind, AccessKind::Write);
+        assert_eq!(refs[0].offset, vec![0, 0]);
+        assert_eq!(refs[1].kind, AccessKind::Read);
+        assert_eq!(refs[1].offset, vec![-1, 2]);
+        assert!(refs[0].uniformly_generated_with(refs[1]));
+    }
+
+    #[test]
+    fn parses_implicit_multiplication() {
+        let nest = parse(
+            "array X[200]\n\
+             for i = 1 to 20 { for j = 1 to 10 { X[2i + 5j + 1]; } }",
+        )
+        .unwrap();
+        let r = nest.refs().next().unwrap();
+        assert_eq!(r.matrix.row(0), &[2, 5]);
+        assert_eq!(r.offset, vec![1]);
+        assert_eq!(r.kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn parses_negative_coefficients() {
+        let nest = parse(
+            "array X[200]\n\
+             for i = 1 to 20 { for j = 1 to 30 { X[2*i - 3*j]; } }",
+        )
+        .unwrap();
+        let r = nest.refs().next().unwrap();
+        assert_eq!(r.matrix.row(0), &[2, -3]);
+    }
+
+    #[test]
+    fn rhs_scalars_are_ignored() {
+        // SOR-style statement with scalar multiplier and parens.
+        let nest = parse(
+            "array A[32][32]\n\
+             for i = 2 to 31 {\n\
+               for j = 2 to 31 {\n\
+                 A[i][j] = 0.2 * (A[i][j] + A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]);\n\
+               }\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(nest.statements()[0].refs().len(), 6);
+    }
+
+    #[test]
+    fn triangular_bounds_parse() {
+        let nest = parse(
+            "array A[10][10]\n\
+             for i = 1 to 10 { for j = i to 10 { A[i][j]; } }",
+        )
+        .unwrap();
+        assert!(!nest.is_rectangular());
+    }
+
+    #[test]
+    fn imperfect_nest_rejected() {
+        let err = parse(
+            "array A[10][10]\n\
+             for i = 1 to 10 {\n\
+               A[i][1];\n\
+               for j = 1 to 10 { A[i][j]; }\n\
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("imperfect"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_array_rejected() {
+        let err = parse("for i = 1 to 10 { B[i]; }").unwrap_err();
+        assert!(err.message.contains("undeclared"), "{err}");
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let err =
+            parse("array A[10]\nfor i = 1 to 10 { A[k]; }").unwrap_err();
+        assert!(err.message.contains("unknown variable"), "{err}");
+    }
+
+    #[test]
+    fn non_affine_subscript_rejected() {
+        let err = parse("array A[10]\nfor i = 1 to 10 { A[i*i]; }").unwrap_err();
+        assert!(err.message.contains("non-affine"), "{err}");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let nest = parse(
+            "# declared footprint\n\
+             array A[10]\n\
+             // the loop\n\
+             for i = 1 to 10 { A[i]; }",
+        )
+        .unwrap();
+        assert_eq!(nest.depth(), 1);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("array A[10]\nfor i = 1 to 10 {\n  A[);\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn three_deep_example5() {
+        let nest = parse(
+            "array A[100][100]\n\
+             for i = 1 to 10 {\n\
+               for j = 1 to 20 {\n\
+                 for k = 1 to 30 {\n\
+                   A[3i + k][j + k];\n\
+                 }\n\
+               }\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(nest.depth(), 3);
+        let r = nest.refs().next().unwrap();
+        assert_eq!(r.matrix.row(0), &[3, 0, 1]);
+        assert_eq!(r.matrix.row(1), &[0, 1, 1]);
+    }
+}

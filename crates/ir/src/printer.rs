@@ -1,0 +1,180 @@
+//! Pretty-printer: renders a [`LoopNest`] back as DSL-style source.
+//!
+//! Transformed nests produced by the optimizer have max/min bounds with
+//! integer divisions; the printer renders them with explicit `max(...)`,
+//! `min(...)`, `ceil(...)` and `floor(...)` so the output documents exactly
+//! what the generated loop executes.
+
+use crate::access::AccessKind;
+use crate::bounds::Bound;
+use crate::nest::LoopNest;
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Renders the nest as indented pseudo-source.
+///
+/// ```
+/// let nest = loopmem_ir::parse(
+///     "array A[100][100]
+///      for i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2]; } }",
+/// ).unwrap();
+/// let text = loopmem_ir::print_nest(&nest);
+/// assert!(text.contains("for i = 1 to 10 {"));
+/// assert!(text.contains("A[i - 1][j + 2]"));
+/// ```
+pub fn print_nest(nest: &LoopNest) -> String {
+    let mut out = String::new();
+    let names = nest.var_names();
+    for a in nest.arrays() {
+        let dims: String = a.dims.iter().map(|d| format!("[{d}]")).collect();
+        writeln!(out, "array {}{}", a.name, dims).expect("string write");
+    }
+    for (k, l) in nest.loops().iter().enumerate() {
+        let indent = "  ".repeat(k);
+        writeln!(
+            out,
+            "{indent}for {} = {} to {} {{",
+            l.var,
+            bound_str(&l.lower, &names, true),
+            bound_str(&l.upper, &names, false),
+        )
+        .expect("string write");
+    }
+    let body_indent = "  ".repeat(nest.depth());
+    for s in nest.statements() {
+        let mut line = String::new();
+        let refs = s.refs();
+        let is_assignment = refs[0].kind == AccessKind::Write;
+        for (idx, r) in refs.iter().enumerate() {
+            if idx == 1 && is_assignment {
+                line.push_str(" = ");
+            } else if idx > 1 || (idx == 1 && !is_assignment) {
+                line.push_str(" + ");
+            }
+            let name = &nest.array(r.array).name;
+            line.push_str(name);
+            for sub in r.subscripts() {
+                let _ = write!(line, "[{}]", sub.display_with(&names));
+            }
+        }
+        if is_assignment && refs.len() == 1 {
+            line.push_str(" = 0");
+        }
+        writeln!(out, "{body_indent}{line};").expect("string write");
+    }
+    for k in (0..nest.depth()).rev() {
+        writeln!(out, "{}}}", "  ".repeat(k)).expect("string write");
+    }
+    out
+}
+
+/// Renders a whole program: shared declarations once, then each nest.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for a in program.arrays() {
+        let dims: String = a.dims.iter().map(|d| format!("[{d}]")).collect();
+        writeln!(out, "array {}{}", a.name, dims).expect("string write");
+    }
+    for nest in program.nests() {
+        // Strip the per-nest array declarations the nest printer emits.
+        let text = print_nest(nest);
+        for line in text.lines() {
+            if !line.starts_with("array ") {
+                writeln!(out, "{line}").expect("string write");
+            }
+        }
+    }
+    out
+}
+
+fn bound_str(b: &Bound, names: &[String], is_lower: bool) -> String {
+    let pieces: Vec<String> = b
+        .pieces()
+        .iter()
+        .map(|p| {
+            let e = p.expr.display_with(names).to_string();
+            if p.div == 1 {
+                e
+            } else if is_lower {
+                format!("ceil(({e}) / {})", p.div)
+            } else {
+                format!("floor(({e}) / {})", p.div)
+            }
+        })
+        .collect();
+    if pieces.len() == 1 {
+        pieces.into_iter().next().expect("length checked")
+    } else if is_lower {
+        format!("max({})", pieces.join(", "))
+    } else {
+        format!("min({})", pieces.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{BoundPiece, Loop};
+    use crate::expr::Affine;
+    use crate::{parse, ArrayDecl, ArrayId, ArrayRef, AccessKind, Statement};
+    use loopmem_linalg::IMat;
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let src = "array A[64][64]\n\
+                   for i = 1 to 64 {\n\
+                     for j = 1 to 64 {\n\
+                       A[i][j] = A[i - 1][j];\n\
+                     }\n\
+                   }";
+        let nest = parse(src).unwrap();
+        let printed = print_nest(&nest);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(nest, reparsed, "print/parse must round-trip");
+    }
+
+    #[test]
+    fn bare_read_statement_prints() {
+        let nest = parse("array X[100]\nfor i = 1 to 20 { for j = 1 to 30 { X[2i - 3j]; } }")
+            .unwrap();
+        let printed = print_nest(&nest);
+        assert!(printed.contains("X[2*i - 3*j];"), "{printed}");
+        assert_eq!(parse(&printed).unwrap(), nest);
+    }
+
+    #[test]
+    fn min_max_bounds_render() {
+        let lower = Bound::from_pieces(vec![
+            BoundPiece::simple(Affine::constant(2, 1)),
+            BoundPiece {
+                expr: Affine::new(vec![1, 0], -30),
+                div: 2,
+            },
+        ]);
+        let upper = Bound::from_pieces(vec![BoundPiece {
+            expr: Affine::new(vec![1, 0], 0),
+            div: 3,
+        }]);
+        let nest = crate::LoopNest::new(
+            vec![
+                Loop::rectangular("u", 2, 1, 50),
+                Loop {
+                    var: "v".into(),
+                    lower,
+                    upper,
+                },
+            ],
+            vec![ArrayDecl::new("A", vec![100])],
+            vec![Statement::new(vec![ArrayRef::new(
+                ArrayId(0),
+                IMat::from_rows(&[vec![1, 1]]),
+                vec![0],
+                AccessKind::Read,
+            )])],
+        )
+        .unwrap();
+        let printed = print_nest(&nest);
+        assert!(printed.contains("max(1, ceil((u - 30) / 2))"), "{printed}");
+        assert!(printed.contains("to floor((u) / 3)"), "{printed}");
+    }
+}

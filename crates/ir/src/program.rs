@@ -1,0 +1,179 @@
+//! Programs: sequences of perfect nests over a shared array set.
+//!
+//! Real image/video pipelines are chains of loop nests (produce a frame,
+//! filter it, consume it). The paper analyzes one nest at a time; the
+//! workspace extends the same machinery across a sequence — an element
+//! written by one nest and read by a later one must stay in memory across
+//! the boundary, which single-nest windows cannot see.
+
+use crate::access::ArrayDecl;
+use crate::nest::{LoopNest, NestError};
+use crate::parser::ParseError;
+use std::fmt;
+
+/// A sequence of perfect nests sharing one array declaration table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    arrays: Vec<ArrayDecl>,
+    nests: Vec<LoopNest>,
+}
+
+/// Program-level validation failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program has no nests.
+    Empty,
+    /// A nest failed validation.
+    Nest(usize, NestError),
+    /// A nest's array table differs from the program's.
+    ArrayTableMismatch(usize),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program has no loop nests"),
+            ProgramError::Nest(k, e) => write!(f, "nest {k}: {e}"),
+            ProgramError::ArrayTableMismatch(k) => {
+                write!(f, "nest {k} uses a different array table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Creates a program; every nest must carry the same array table
+    /// (parse with [`crate::parse_program`] to get this for free).
+    ///
+    /// # Errors
+    ///
+    /// See [`ProgramError`].
+    pub fn new(nests: Vec<LoopNest>) -> Result<Self, ProgramError> {
+        let first = nests.first().ok_or(ProgramError::Empty)?;
+        let arrays = first.arrays().to_vec();
+        for (k, n) in nests.iter().enumerate() {
+            if n.arrays() != arrays.as_slice() {
+                return Err(ProgramError::ArrayTableMismatch(k));
+            }
+        }
+        Ok(Program { arrays, nests })
+    }
+
+    /// The shared array declarations.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// The nests, in execution order.
+    pub fn nests(&self) -> &[LoopNest] {
+        &self.nests
+    }
+
+    /// Number of nests.
+    pub fn len(&self) -> usize {
+        self.nests.len()
+    }
+
+    /// `true` when the program has no nests (never, post-validation).
+    pub fn is_empty(&self) -> bool {
+        self.nests.is_empty()
+    }
+
+    /// Total declared elements (the *default* memory of the whole
+    /// program).
+    pub fn default_memory(&self) -> i64 {
+        self.arrays.iter().map(ArrayDecl::size).sum()
+    }
+
+    /// Replaces nest `k` (e.g. with an optimized version). The new nest
+    /// must reference the same arrays.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::ArrayTableMismatch`] when the tables differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn with_nest(&self, k: usize, nest: LoopNest) -> Result<Program, ProgramError> {
+        assert!(k < self.nests.len(), "nest index out of range");
+        if nest.arrays() != self.arrays.as_slice() {
+            return Err(ProgramError::ArrayTableMismatch(k));
+        }
+        let mut nests = self.nests.clone();
+        nests[k] = nest;
+        Program::new(nests)
+    }
+}
+
+/// Parses a program: shared `array` declarations followed by one or more
+/// sequential `for` nests.
+///
+/// ```
+/// let prog = loopmem_ir::parse_program(r#"
+///     array A[16][16]
+///     array B[16][16]
+///     for i = 1 to 16 { for j = 1 to 16 { A[i][j] = A[i][j] + 1; } }
+///     for i = 1 to 16 { for j = 1 to 16 { B[i][j] = A[j][i]; } }
+/// "#).unwrap();
+/// assert_eq!(prog.len(), 2);
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for syntax errors or program-level validation
+/// failures.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let nests = crate::parser::parse_many(src)?;
+    Program::new(nests).map_err(|e| ParseError {
+        line: 1,
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    const TWO_PHASE: &str = "array A[8][8]\narray B[8][8]\n\
+        for i = 1 to 8 { for j = 1 to 8 { A[i][j] = A[i][j] + 1; } }\n\
+        for i = 1 to 8 { for j = 1 to 8 { B[i][j] = A[i][j] + A[i][j]; } }";
+
+    #[test]
+    fn parses_two_phase_program() {
+        let p = parse_program(TWO_PHASE).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.default_memory(), 128);
+        assert_eq!(p.nests()[0].depth(), 2);
+    }
+
+    #[test]
+    fn single_nest_program_matches_parse() {
+        let src = "array A[8]\nfor i = 1 to 8 { A[i]; }";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.nests()[0], parse(src).unwrap());
+    }
+
+    #[test]
+    fn with_nest_replaces_and_validates() {
+        let p = parse_program(TWO_PHASE).unwrap();
+        let replacement = p.nests()[0].clone();
+        let q = p.with_nest(1, replacement).unwrap();
+        assert_eq!(q.nests()[0], q.nests()[1]);
+        // A nest over different arrays is rejected.
+        let other = parse("array Z[8]\nfor i = 1 to 8 { Z[i]; }").unwrap();
+        assert_eq!(
+            p.with_nest(0, other).unwrap_err(),
+            ProgramError::ArrayTableMismatch(0)
+        );
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(Program::new(vec![]).unwrap_err(), ProgramError::Empty);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the IR: parser robustness, affine algebra laws, and
+//! bound-evaluation semantics.
+
+use loopmem_ir::{parse, Affine, Bound};
+use loopmem_ir::bounds::BoundPiece;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parser_never_panics_on_token_soup(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("for".to_string()), Just("array".to_string()), Just("to".to_string()),
+            Just("{".to_string()), Just("}".to_string()), Just("[".to_string()),
+            Just("]".to_string()), Just("=".to_string()), Just(";".to_string()),
+            Just("+".to_string()), Just("-".to_string()), Just("*".to_string()),
+            "[a-z]{1,3}".prop_map(|s| s), (0u32..200).prop_map(|n| n.to_string()),
+        ],
+        0..40,
+    )) {
+        // Must return Ok or Err, never panic.
+        let _ = parse(&tokens.join(" "));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(s in "\\PC*") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn affine_add_commutes(
+        c1 in proptest::collection::vec(-9i64..=9, 3),
+        k1 in -9i64..=9,
+        c2 in proptest::collection::vec(-9i64..=9, 3),
+        k2 in -9i64..=9,
+        at in proptest::collection::vec(-5i64..=5, 3),
+    ) {
+        let a = Affine::new(c1, k1);
+        let b = Affine::new(c2, k2);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).eval(&at), a.eval(&at) + b.eval(&at));
+    }
+
+    #[test]
+    fn affine_substitution_is_evaluation_composition(
+        f_coeffs in proptest::collection::vec(-4i64..=4, 2),
+        f_const in -4i64..=4,
+        s1 in proptest::collection::vec(-3i64..=3, 2),
+        s2 in proptest::collection::vec(-3i64..=3, 2),
+        at in proptest::collection::vec(-5i64..=5, 2),
+    ) {
+        let f = Affine::new(f_coeffs, f_const);
+        let subs = [Affine::new(s1, 0), Affine::new(s2, 0)];
+        let g = f.substitute(&subs);
+        let inner: Vec<i64> = subs.iter().map(|s| s.eval(&at)).collect();
+        prop_assert_eq!(g.eval(&at), f.eval(&inner));
+    }
+
+    #[test]
+    fn bound_evaluation_max_min_semantics(
+        pieces in proptest::collection::vec((-9i64..=9, 1i64..=4), 1..4),
+        at in -20i64..=20,
+    ) {
+        // Constant pieces over a 1-var scope, with divisors.
+        let lower = Bound::from_pieces(
+            pieces.iter().map(|&(c, d)| BoundPiece { expr: Affine::new(vec![0], c), div: d }).collect(),
+        );
+        let upper = Bound::from_pieces(
+            pieces.iter().map(|&(c, d)| BoundPiece { expr: Affine::new(vec![0], c), div: d }).collect(),
+        );
+        let lo = lower.eval_lower(&[at]);
+        let hi = upper.eval_upper(&[at]);
+        // max of ceils >= min of floors for the same piece set.
+        prop_assert!(lo >= hi || lo <= hi); // total, no panic
+        // And each is bracketed by the raw quotients.
+        for &(c, d) in &pieces {
+            prop_assert!(lo >= c / d - 1);
+            prop_assert!(hi <= c / d + 1);
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_triangular_bounds(n1 in 2i64..=9, n2 in 2i64..=9) {
+        let src = format!(
+            "array A[9][9]\nfor i = 1 to {n1} {{ for j = i to {n2} {{ A[i][j]; }} }}"
+        );
+        let nest = parse(&src).expect("triangular source parses");
+        let printed = loopmem_ir::print_nest(&nest);
+        prop_assert_eq!(parse(&printed).expect("printed source parses"), nest);
+    }
+}
+
+#[test]
+fn deeply_nested_parse_does_not_overflow() {
+    // 12-deep nest: recursion in the parser must cope.
+    let mut src = String::from("array A[3]\n");
+    for k in 0..12 {
+        src.push_str(&format!("for v{k} = 1 to 2 {{ "));
+    }
+    src.push_str("A[v0];");
+    src.push_str(&"}".repeat(12));
+    let nest = parse(&src).expect("deep nest parses");
+    assert_eq!(nest.depth(), 12);
+    assert_eq!(nest.iteration_count(), Some(1 << 12));
+}
+
+#[test]
+fn helpful_error_messages() {
+    for (src, needle) in [
+        ("array A[10]\nfor i = 1 to 10 { B[i]; }", "undeclared"),
+        ("array A[10]\nfor i = 1 to 10 { A[x]; }", "unknown variable"),
+        ("array A[10]\narray A[10]\nfor i = 1 to 10 { A[i]; }", "redeclared"),
+        ("array A[0]\nfor i = 1 to 10 { A[i]; }", "positive"),
+        ("for", "identifier"),
+    ] {
+        let err = parse(src).expect_err(src);
+        assert!(
+            err.message.contains(needle),
+            "{src}: expected '{needle}' in '{}'",
+            err.message
+        );
+    }
+}

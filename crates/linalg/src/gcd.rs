@@ -1,0 +1,161 @@
+//! Greatest-common-divisor helpers used throughout the workspace.
+
+/// Non-negative greatest common divisor of two integers.
+///
+/// `gcd_i64(0, 0)` is defined as `0`.
+///
+/// ```
+/// use loopmem_linalg::gcd::gcd_i64;
+/// assert_eq!(gcd_i64(12, -18), 6);
+/// assert_eq!(gcd_i64(0, 7), 7);
+/// ```
+pub fn gcd_i64(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i64
+}
+
+/// Least common multiple. Panics on overflow; `lcm_i64(0, x) == 0`.
+///
+/// ```
+/// use loopmem_linalg::gcd::lcm_i64;
+/// assert_eq!(lcm_i64(4, 6), 12);
+/// ```
+pub fn lcm_i64(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd_i64(a, b);
+    (a / g).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)`
+/// and `g >= 0`.
+///
+/// ```
+/// use loopmem_linalg::gcd::extended_gcd;
+/// let (g, x, y) = extended_gcd(240, 46);
+/// assert_eq!(g, 2);
+/// assert_eq!(240 * x + 46 * y, 2);
+/// ```
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    // Invariants: old_r = a*old_s + b*old_t, r = a*s + b*t.
+    let (mut old_r, mut r) = (a, b);
+    let (mut old_s, mut s) = (1i64, 0i64);
+    let (mut old_t, mut t) = (0i64, 1i64);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+        (old_t, t) = (t, old_t - q * t);
+    }
+    if old_r < 0 {
+        (-old_r, -old_s, -old_t)
+    } else {
+        (old_r, old_s, old_t)
+    }
+}
+
+/// Gcd of a slice; `0` for an empty slice or all-zero input.
+///
+/// ```
+/// use loopmem_linalg::gcd::gcd_slice;
+/// assert_eq!(gcd_slice(&[6, -9, 15]), 3);
+/// assert_eq!(gcd_slice(&[]), 0);
+/// ```
+pub fn gcd_slice(v: &[i64]) -> i64 {
+    v.iter().fold(0, |g, &x| gcd_i64(g, x))
+}
+
+/// Divide every entry by the gcd of the slice, producing a *primitive*
+/// vector (entries coprime). All-zero input is returned unchanged.
+///
+/// ```
+/// use loopmem_linalg::gcd::primitive;
+/// assert_eq!(primitive(&[4, -6, 8]), vec![2, -3, 4]);
+/// ```
+pub fn primitive(v: &[i64]) -> Vec<i64> {
+    let g = gcd_slice(v);
+    if g <= 1 {
+        return v.to_vec();
+    }
+    v.iter().map(|&x| x / g).collect()
+}
+
+/// Floor division that is correct for negative operands
+/// (`div_floor(-7, 2) == -4`).
+pub fn div_floor(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division that is correct for negative operands
+/// (`div_ceil(-7, 2) == -3`).
+pub fn div_ceil(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd_i64(0, 0), 0);
+        assert_eq!(gcd_i64(0, 5), 5);
+        assert_eq!(gcd_i64(5, 0), 5);
+        assert_eq!(gcd_i64(-4, -6), 2);
+        assert_eq!(gcd_i64(i64::MIN + 1, 1), 1);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm_i64(0, 3), 0);
+        assert_eq!(lcm_i64(-4, 6), 12);
+        assert_eq!(lcm_i64(7, 7), 7);
+    }
+
+    #[test]
+    fn extended_gcd_identity_holds() {
+        for a in -30..=30i64 {
+            for b in -30..=30i64 {
+                let (g, x, y) = extended_gcd(a, b);
+                assert_eq!(g, gcd_i64(a, b), "gcd mismatch for ({a},{b})");
+                assert_eq!(a * x + b * y, g, "bezout mismatch for ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn primitive_zero_vector_unchanged() {
+        assert_eq!(primitive(&[0, 0]), vec![0, 0]);
+        assert_eq!(primitive(&[0, 3, 0]), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn floor_ceil_division() {
+        assert_eq!(div_floor(7, 2), 3);
+        assert_eq!(div_floor(-7, 2), -4);
+        assert_eq!(div_floor(7, -2), -4);
+        assert_eq!(div_floor(-7, -2), 3);
+        assert_eq!(div_ceil(7, 2), 4);
+        assert_eq!(div_ceil(-7, 2), -3);
+        assert_eq!(div_ceil(7, -2), -3);
+        assert_eq!(div_ceil(-7, -2), 4);
+        assert_eq!(div_floor(6, 3), 2);
+        assert_eq!(div_ceil(6, 3), 2);
+    }
+}

@@ -1,0 +1,399 @@
+//! Column echelon reduction, Hermite-style normal forms, unimodular
+//! completion, and integer (Diophantine) linear solving.
+//!
+//! These are the lattice tools behind the paper's §4: extending the
+//! optimizer's first row `(a, b)` to a full unimodular transformation
+//! (`complete_unimodular`), extending the access matrix to a transformation
+//! that sinks reuse into the innermost loop (§4.3,
+//! `complete_unimodular_rows`), and solving the dependence equation
+//! `A·x = c1 − c2` over the integers (`solve_diophantine`).
+
+use crate::gcd::gcd_slice;
+use crate::imat::IMat;
+
+/// Result of [`column_echelon`]: `a * v == echelon`, with `v` unimodular.
+#[derive(Clone, Debug)]
+pub struct ColumnEchelon {
+    /// The reduced matrix (same shape as the input).
+    pub echelon: IMat,
+    /// The unimodular column-operation accumulator.
+    pub v: IMat,
+    /// `(row, col)` of each pivot, in increasing row and column order.
+    pub pivots: Vec<(usize, usize)>,
+}
+
+/// Reduces `a` to column echelon form by unimodular column operations.
+///
+/// After the call, `a * v == echelon` where the first `pivots.len()` columns
+/// of `echelon` each hold a positive leading entry (topmost non-zero) and
+/// all later columns are zero. The zero columns of `echelon` mean the
+/// corresponding columns of `v` form a basis of the *integer* kernel of `a`.
+pub fn column_echelon(a: &IMat) -> ColumnEchelon {
+    let (m, n) = (a.nrows(), a.ncols());
+    let mut e = a.clone();
+    let mut v = IMat::identity(n);
+    let mut pivots = Vec::new();
+    let mut c = 0usize;
+    for r in 0..m {
+        if c == n {
+            break;
+        }
+        // Euclidean reduction of row r across columns c..n-1.
+        loop {
+            // Pick the column with the smallest non-zero |entry| in row r.
+            let best = (c..n)
+                .filter(|&j| e[(r, j)] != 0)
+                .min_by_key(|&j| e[(r, j)].unsigned_abs());
+            let Some(p) = best else { break };
+            swap_cols(&mut e, &mut v, c, p);
+            if e[(r, c)] < 0 {
+                negate_col(&mut e, &mut v, c);
+            }
+            let pivot = e[(r, c)];
+            let mut changed = false;
+            for j in c + 1..n {
+                if e[(r, j)] != 0 {
+                    let q = div_round(e[(r, j)], pivot);
+                    if q != 0 {
+                        add_col_multiple(&mut e, &mut v, j, c, -q);
+                        changed = true;
+                    }
+                    if e[(r, j)] != 0 {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed && (c + 1..n).all(|j| e[(r, j)] == 0) {
+                break;
+            }
+            if !changed {
+                break;
+            }
+        }
+        if e[(r, c)] != 0 {
+            pivots.push((r, c));
+            c += 1;
+        }
+    }
+    ColumnEchelon { echelon: e, v, pivots }
+}
+
+fn div_round(a: i64, b: i64) -> i64 {
+    // Round-to-nearest division keeps remainders small during reduction.
+    let q = a / b;
+    let rem = a - q * b;
+    if 2 * rem.abs() > b.abs() {
+        q + if (rem < 0) == (b < 0) { 1 } else { -1 }
+    } else {
+        q
+    }
+}
+
+fn swap_cols(e: &mut IMat, v: &mut IMat, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    for i in 0..e.nrows() {
+        let t = e[(i, a)];
+        e[(i, a)] = e[(i, b)];
+        e[(i, b)] = t;
+    }
+    for i in 0..v.nrows() {
+        let t = v[(i, a)];
+        v[(i, a)] = v[(i, b)];
+        v[(i, b)] = t;
+    }
+}
+
+fn negate_col(e: &mut IMat, v: &mut IMat, c: usize) {
+    for i in 0..e.nrows() {
+        e[(i, c)] = -e[(i, c)];
+    }
+    for i in 0..v.nrows() {
+        v[(i, c)] = -v[(i, c)];
+    }
+}
+
+fn add_col_multiple(e: &mut IMat, v: &mut IMat, dst: usize, src: usize, k: i64) {
+    for i in 0..e.nrows() {
+        e[(i, dst)] = e[(i, dst)]
+            .checked_add(k.checked_mul(e[(i, src)]).expect("column op overflow"))
+            .expect("column op overflow");
+    }
+    for i in 0..v.nrows() {
+        v[(i, dst)] = v[(i, dst)]
+            .checked_add(k.checked_mul(v[(i, src)]).expect("column op overflow"))
+            .expect("column op overflow");
+    }
+}
+
+/// Row-style Hermite normal form: returns `(h, u)` with `u * a == h`,
+/// `u` unimodular and `h` in (lower-triangular-style) row echelon with
+/// positive pivots.
+pub fn hermite_normal_form(a: &IMat) -> (IMat, IMat) {
+    // Compute via the column echelon of the transpose.
+    let ce = column_echelon(&a.transpose());
+    (ce.echelon.transpose(), ce.v.transpose())
+}
+
+/// Extends a single integer row to a unimodular matrix with that row first.
+///
+/// Returns `None` when no completion exists, i.e. when the entries of `row`
+/// are not coprime (`gcd != 1`), including the zero row.
+///
+/// ```
+/// use loopmem_linalg::hnf::complete_unimodular;
+/// let t = complete_unimodular(&[2, -3]).unwrap();
+/// assert_eq!(t.row(0), &[2, -3]);
+/// assert_eq!(t.det().abs(), 1);
+/// assert!(complete_unimodular(&[2, 4]).is_none());
+/// ```
+pub fn complete_unimodular(row: &[i64]) -> Option<IMat> {
+    complete_unimodular_rows(&IMat::from_rows(&[row.to_vec()]))
+}
+
+/// Extends `k` integer rows to an `n × n` unimodular matrix whose first `k`
+/// rows equal the input.
+///
+/// A completion exists iff the rows form a basis of a *primitive* lattice
+/// (equivalently, the gcd of all `k × k` minors is 1). This is the §4.3
+/// construction: taking the data access matrix as the leading rows of `T`
+/// forces the innermost loop to carry all the reuse, so the window collapses
+/// to a single element.
+///
+/// Returns `None` when the rows are linearly dependent or non-primitive.
+pub fn complete_unimodular_rows(rows: &IMat) -> Option<IMat> {
+    let (k, n) = (rows.nrows(), rows.ncols());
+    assert!(k <= n, "cannot complete more rows than columns");
+    let ce = column_echelon(rows);
+    if ce.pivots.len() < k {
+        return None; // linearly dependent rows
+    }
+    // rows * v = [H | 0]; completion exists iff |det H| == 1, i.e. every
+    // pivot of the echelon equals 1 (pivots are positive by construction).
+    for &(r, c) in &ce.pivots {
+        debug_assert_eq!(r, c, "full-row-rank echelon pivots are diagonal");
+        if ce.echelon[(r, c)] != 1 {
+            return None;
+        }
+    }
+    // With M = [rows; S] and S = [0 | I] * v^{-1}, M*v = [[H,0],[0,I]] is
+    // unimodular, hence so is M.
+    let v_inv = ce
+        .v
+        .unimodular_inverse()
+        .expect("column-op accumulator is unimodular");
+    let mut out_rows: Vec<Vec<i64>> = (0..k).map(|i| rows.row(i).to_vec()).collect();
+    for i in k..n {
+        out_rows.push(v_inv.row(i).to_vec());
+    }
+    let mut m = IMat::from_rows(&out_rows);
+    // Normalize to determinant +1 by flipping the last appended row.
+    if k < n && m.det() == -1 {
+        for x in m.row_mut(n - 1) {
+            *x = -*x;
+        }
+    }
+    debug_assert_eq!(m.det().abs(), 1);
+    Some(m)
+}
+
+/// An integer solution set of `a * x = b`: every solution is
+/// `particular + Σ t_i · kernel[i]` with `t_i ∈ ℤ`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiophantineSolution {
+    /// One integer solution.
+    pub particular: Vec<i64>,
+    /// Basis of the integer kernel of `a`.
+    pub kernel: Vec<Vec<i64>>,
+}
+
+/// Solves the linear Diophantine system `a * x = b` over the integers.
+///
+/// Returns `None` when no integer solution exists (either the rational
+/// system is inconsistent or divisibility fails). This is the engine behind
+/// the paper's §4.2 dependence test: a dependence between uniformly
+/// generated references `A·x + c1` and `A·x + c2` exists iff
+/// `A·δ = c1 − c2` has an integer solution `δ` inside the loop ranges.
+pub fn solve_diophantine(a: &IMat, b: &[i64]) -> Option<DiophantineSolution> {
+    assert_eq!(b.len(), a.nrows(), "rhs length mismatch");
+    let n = a.ncols();
+    let ce = column_echelon(a);
+    // a * v = e (echelon). Solve e * y = b by forward substitution on the
+    // pivot structure, then x = v * y.
+    let mut y = vec![0i64; n];
+    let mut consumed_rows = vec![false; a.nrows()];
+    for &(r, c) in &ce.pivots {
+        let mut acc: i128 = b[r] as i128;
+        for (j, &yj) in y[..c].iter().enumerate() {
+            acc -= (ce.echelon[(r, j)] as i128) * (yj as i128);
+        }
+        let p = ce.echelon[(r, c)] as i128;
+        if acc % p != 0 {
+            return None; // divisibility failure: no integer solution
+        }
+        y[c] = i64::try_from(acc / p).expect("diophantine overflow");
+        consumed_rows[r] = true;
+    }
+    // Verify the non-pivot rows are consistent.
+    for r in 0..a.nrows() {
+        if consumed_rows[r] {
+            continue;
+        }
+        let acc: i128 = (0..n)
+            .map(|j| (ce.echelon[(r, j)] as i128) * (y[j] as i128))
+            .sum();
+        if acc != b[r] as i128 {
+            return None;
+        }
+    }
+    let particular = ce.v.mul_vec(&y);
+    let kernel = (ce.pivots.len()..n).map(|j| ce.v.col(j)).collect();
+    Some(DiophantineSolution { particular, kernel })
+}
+
+/// Primitive integer kernel basis of `a` (each vector has coprime entries
+/// and a positive leading non-zero).
+pub(crate) fn kernel_basis(a: &IMat) -> Vec<Vec<i64>> {
+    let ce = column_echelon(a);
+    (ce.pivots.len()..a.ncols())
+        .map(|j| {
+            let mut v = ce.v.col(j);
+            let g = gcd_slice(&v);
+            if g > 1 {
+                for x in &mut v {
+                    *x /= g;
+                }
+            }
+            if let Some(first) = v.iter().find(|&&x| x != 0) {
+                if *first < 0 {
+                    for x in &mut v {
+                        *x = -*x;
+                    }
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_echelon_invariant() {
+        let a = IMat::from_rows(&[vec![3, 0, 1], vec![0, 1, 1]]);
+        let ce = column_echelon(&a);
+        assert_eq!(&a * &ce.v, ce.echelon);
+        assert_eq!(ce.v.det().abs(), 1);
+        assert_eq!(ce.pivots.len(), 2);
+        // Third column must be zero (rank 2 of a 2x3 matrix).
+        assert_eq!(ce.echelon.col(2), vec![0, 0]);
+    }
+
+    #[test]
+    fn complete_single_row_2d() {
+        for (a, b) in [(2i64, 3i64), (2, -3), (1, 0), (0, 1), (-5, 2), (7, 9)] {
+            let t = complete_unimodular(&[a, b]).unwrap();
+            assert_eq!(t.row(0), &[a, b]);
+            assert_eq!(t.det().abs(), 1, "not unimodular for ({a},{b})");
+        }
+        assert!(complete_unimodular(&[2, 4]).is_none());
+        assert!(complete_unimodular(&[0, 0]).is_none());
+        assert!(complete_unimodular(&[3, 6]).is_none());
+    }
+
+    #[test]
+    fn complete_single_row_higher_dims() {
+        for row in [vec![2, 3, 5], vec![1, 0, 0, 0], vec![6, 10, 15], vec![0, 0, 1]] {
+            let t = complete_unimodular(&row).unwrap();
+            assert_eq!(t.row(0), row.as_slice());
+            assert_eq!(t.det().abs(), 1);
+        }
+        assert!(complete_unimodular(&[2, 4, 6]).is_none());
+    }
+
+    #[test]
+    fn complete_access_matrix_example10() {
+        // §4.3: T's first two rows are the access matrix of A[3i+k][j+k].
+        let acc = IMat::from_rows(&[vec![3, 0, 1], vec![0, 1, 1]]);
+        let t = complete_unimodular_rows(&acc).unwrap();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.row(0), &[3, 0, 1]);
+        assert_eq!(t.row(1), &[0, 1, 1]);
+        assert_eq!(t.det().abs(), 1);
+    }
+
+    #[test]
+    fn dependent_rows_cannot_complete() {
+        let m = IMat::from_rows(&[vec![1, 2, 3], vec![2, 4, 6]]);
+        assert!(complete_unimodular_rows(&m).is_none());
+    }
+
+    #[test]
+    fn non_primitive_rows_cannot_complete() {
+        // Rows span a sublattice of index 2: no unimodular completion.
+        let m = IMat::from_rows(&[vec![2, 0], vec![0, 1]]);
+        assert!(complete_unimodular_rows(&m).is_none());
+    }
+
+    #[test]
+    fn diophantine_example2_dependence() {
+        // Example 2: A[i][j] vs A[i-1][j+2]: solve I*x = (1, -2).
+        let a = IMat::identity(2);
+        let s = solve_diophantine(&a, &[1, -2]).unwrap();
+        assert_eq!(s.particular, vec![1, -2]);
+        assert!(s.kernel.is_empty());
+    }
+
+    #[test]
+    fn diophantine_example4_reuse() {
+        // Example 4: A[2i+5j]: solutions of 2x + 5y = 0 form the reuse
+        // lattice spanned by (5, -2).
+        let a = IMat::from_rows(&[vec![2, 5]]);
+        let s = solve_diophantine(&a, &[0]).unwrap();
+        assert_eq!(s.particular, vec![0, 0]);
+        assert_eq!(s.kernel.len(), 1);
+        let k = &s.kernel[0];
+        assert_eq!(2 * k[0] + 5 * k[1], 0);
+        assert_eq!(k[0].abs(), 5);
+        assert_eq!(k[1].abs(), 2);
+    }
+
+    #[test]
+    fn diophantine_divisibility_failure() {
+        // 2x = 3 has no integer solution.
+        let a = IMat::from_rows(&[vec![2]]);
+        assert!(solve_diophantine(&a, &[3]).is_none());
+        assert!(solve_diophantine(&a, &[4]).is_some());
+    }
+
+    #[test]
+    fn diophantine_inconsistent_rows() {
+        // x = 1 and x = 2 simultaneously.
+        let a = IMat::from_rows(&[vec![1], vec![1]]);
+        assert!(solve_diophantine(&a, &[1, 2]).is_none());
+    }
+
+    #[test]
+    fn diophantine_solution_satisfies_system() {
+        let a = IMat::from_rows(&[vec![3, 7], vec![4, -3]]);
+        let b = [10, 1];
+        let s = solve_diophantine(&a, &b);
+        if let Some(s) = s {
+            assert_eq!(a.mul_vec(&s.particular), b.to_vec());
+            for k in &s.kernel {
+                assert_eq!(a.mul_vec(k), vec![0, 0]);
+            }
+        }
+    }
+
+    #[test]
+    fn hnf_row_form() {
+        let a = IMat::from_rows(&[vec![4, 6], vec![2, 2]]);
+        let (h, u) = hermite_normal_form(&a);
+        assert_eq!(&u * &a, h);
+        assert_eq!(u.det().abs(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! Exact integer and rational linear algebra for loop-nest analysis.
+//!
+//! This crate is the numeric substrate of the `loopmem` workspace, the
+//! reproduction of *"Reducing Memory Requirements of Nested Loops for
+//! Embedded Systems"* (Ramanujam, Hong, Kandemir, Narayan — DAC 2001).
+//! Everything in the paper — dependence distances, reuse vectors, unimodular
+//! transformations, loop-bound regeneration — is exact integer mathematics,
+//! so no floating point appears anywhere in the workspace.
+//!
+//! # Contents
+//!
+//! * [`Rational`] — arbitrary-sign exact rationals over `i128` with
+//!   overflow-checked arithmetic.
+//! * [`IMat`] — dense integer matrices with exact determinant (Bareiss),
+//!   rank, products, and unimodular inverses.
+//! * [`RMat`] — dense rational matrices with Gaussian elimination, solving,
+//!   and null-space extraction.
+//! * [`nullspace`] — primitive integer null-space bases (the paper's "reuse
+//!   vectors" for rank-deficient access matrices).
+//! * [`hnf`] — Hermite normal form and unimodular completion (extending a
+//!   row such as the optimizer's `(a, b)` to a full unimodular matrix).
+//! * [`gcd`] — gcd / extended gcd / lcm helpers.
+//!
+//! # Example
+//!
+//! Completing the first row `(2, 3)` found by the paper's §4.2 branch and
+//! bound into a unimodular transformation:
+//!
+//! ```
+//! use loopmem_linalg::{hnf::complete_unimodular, IMat};
+//!
+//! let t = complete_unimodular(&[2, 3]).expect("gcd(2,3) = 1 so completion exists");
+//! assert_eq!(t.det(), 1);
+//! assert_eq!(t.row(0), &[2, 3]);
+//! ```
+
+pub mod gcd;
+pub mod hnf;
+pub mod imat;
+pub mod nullspace;
+pub mod rational;
+pub mod rmat;
+
+pub use gcd::{extended_gcd, gcd_i64, lcm_i64};
+pub use hnf::{complete_unimodular, complete_unimodular_rows, hermite_normal_form};
+pub use imat::IMat;
+pub use nullspace::integer_nullspace;
+pub use rational::Rational;
+pub use rmat::RMat;
+
+/// The integer scalar type used across the workspace.
+///
+/// Loop bounds, subscripts, and dependence distances in embedded kernels are
+/// tiny; `i64` leaves a huge safety margin and intermediate products are
+/// computed in `i128`.
+pub type Int = i64;

@@ -1,0 +1,98 @@
+//! Primitive integer null spaces of access matrices.
+//!
+//! When an array's dimensionality is smaller than the loop depth, the access
+//! matrix is rank deficient and two iterations `~i`, `~j` touch the same
+//! element exactly when `~j − ~i` lies in the integer kernel of the access
+//! matrix. The paper calls a primitive generator of that kernel the *reuse
+//! vector* (§3.2): `A[2i+5j]` reuses along `(5, −2)`, `A[3i+k][j+k]` along
+//! `(1, 3, −3)` up to sign.
+
+use crate::hnf::kernel_basis;
+use crate::imat::IMat;
+
+/// Basis of the integer kernel `{x ∈ ℤⁿ : a·x = 0}`.
+///
+/// Every vector is *primitive* (coprime entries) and normalized so its first
+/// non-zero entry is positive, matching the paper's convention for reuse and
+/// dependence vectors. The basis is empty iff `a` has full column rank.
+///
+/// ```
+/// use loopmem_linalg::{integer_nullspace, IMat};
+/// let a = IMat::from_rows(&[vec![2, 5]]); // Example 4: A[2i + 5j]
+/// let ns = integer_nullspace(&a);
+/// assert_eq!(ns, vec![vec![5, -2]]);
+/// ```
+pub fn integer_nullspace(a: &IMat) -> Vec<Vec<i64>> {
+    kernel_basis(a)
+}
+
+/// The unique (up to sign) reuse direction of a rank-deficient access
+/// matrix whose kernel is one-dimensional, normalized lexicographically
+/// positive.
+///
+/// Returns `None` when the kernel dimension differs from one — callers that
+/// support higher-dimensional reuse must use [`integer_nullspace`].
+pub fn reuse_vector(a: &IMat) -> Option<Vec<i64>> {
+    let ns = integer_nullspace(a);
+    if ns.len() == 1 {
+        Some(ns.into_iter().next().expect("length checked"))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example4_reuse_vector() {
+        let a = IMat::from_rows(&[vec![2, 5]]);
+        assert_eq!(reuse_vector(&a), Some(vec![5, -2]));
+    }
+
+    #[test]
+    fn example5_reuse_vector() {
+        // A[3i + k][j + k]: kernel of [[3,0,1],[0,1,1]] is spanned by
+        // (1, 3, -3) — the paper writes the magnitudes (1, 3, 3).
+        let a = IMat::from_rows(&[vec![3, 0, 1], vec![0, 1, 1]]);
+        let v = reuse_vector(&a).unwrap();
+        assert_eq!(a.mul_vec(&v), vec![0, 0]);
+        assert_eq!(v.iter().map(|x| x.abs()).collect::<Vec<_>>(), vec![1, 3, 3]);
+        assert!(v[0] > 0, "normalized lex-positive");
+    }
+
+    #[test]
+    fn full_rank_has_empty_kernel() {
+        assert!(integer_nullspace(&IMat::identity(3)).is_empty());
+        assert!(reuse_vector(&IMat::identity(2)).is_none());
+    }
+
+    #[test]
+    fn two_dimensional_kernel() {
+        // One constraint over three variables: kernel has dimension 2.
+        let a = IMat::from_rows(&[vec![1, 1, 1]]);
+        let ns = integer_nullspace(&a);
+        assert_eq!(ns.len(), 2);
+        for v in &ns {
+            assert_eq!(v.iter().sum::<i64>(), 0);
+            let first = v.iter().find(|&&x| x != 0).unwrap();
+            assert!(*first > 0);
+        }
+        assert!(reuse_vector(&a).is_none());
+    }
+
+    #[test]
+    fn kernel_vectors_are_primitive() {
+        let a = IMat::from_rows(&[vec![4, 10]]);
+        let ns = integer_nullspace(&a);
+        assert_eq!(ns, vec![vec![5, -2]]);
+    }
+
+    #[test]
+    fn zero_matrix_kernel_is_standard_basis_sized() {
+        let a = IMat::zeros(2, 3);
+        let ns = integer_nullspace(&a);
+        assert_eq!(ns.len(), 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! Exact rational arithmetic over `i128`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(num, den) == 1`.
+///
+/// Used by Gaussian elimination, Fourier–Motzkin elimination, and the
+/// optimizer's continuous objective (§4.2 of the paper evaluates
+/// `45 + (5a − 2b) − 18b/a` exactly before rounding).
+///
+/// Arithmetic is overflow-checked: loop-nest analysis never produces values
+/// anywhere near `i128` range, so an overflow indicates a logic error and
+/// panics.
+///
+/// ```
+/// use loopmem_linalg::Rational;
+/// let x = Rational::new(9, 2) + Rational::from(1);
+/// assert_eq!(x, Rational::new(11, 2));
+/// assert_eq!(x.floor(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i128
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd_i128(num, den).max(1);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// `true` if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` if the value is a whole number.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            -((-self.num + self.den - 1) / self.den)
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> i128 {
+        -(-*self).floor()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Exact conversion to `i64` when the value is an integer in range.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.den == 1 {
+            i64::try_from(self.num).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Lossy conversion for reporting only (never used in analysis).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(v: i128) -> Self {
+        Rational { num: v, den: 1 }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        let num = self
+            .num
+            .checked_mul(rhs.den)
+            .and_then(|l| rhs.num.checked_mul(self.den).and_then(|r| l.checked_add(r)))
+            .expect("rational add overflow");
+        let den = self.den.checked_mul(rhs.den).expect("rational add overflow");
+        Rational::new(num, den)
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd_i128(self.num, rhs.den).max(1);
+        let g2 = gcd_i128(rhs.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .expect("rational mul overflow");
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .expect("rational mul overflow");
+        Rational::new(num, den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division *is* multiplication by the reciprocal
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        let l = self.num.checked_mul(other.den).expect("rational cmp overflow");
+        let r = other.num.checked_mul(self.den).expect("rational cmp overflow");
+        l.cmp(&r)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 6);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(a / b, Rational::from(2));
+        assert_eq!(-a, Rational::new(-1, 3));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::from(5).floor(), 5);
+        assert_eq!(Rational::from(5).ceil(), 5);
+        assert_eq!(Rational::new(-6, 3).floor(), -2);
+        assert_eq!(Rational::new(-6, 3).ceil(), -2);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(5, 5) == Rational::ONE);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 2).to_string(), "3/2");
+        assert_eq!(Rational::from(-4).to_string(), "-4");
+    }
+
+    #[test]
+    fn paper_4_2_objective_value() {
+        // §4.2: at a = 2, b = 3 the objective (9/a + 1)(5a − 2b) equals 22.
+        let a = Rational::from(2);
+        let b = Rational::from(3);
+        let objective = (Rational::from(9) / a + Rational::ONE)
+            * (Rational::from(5) * a - Rational::from(2) * b);
+        assert_eq!(objective, Rational::from(22));
+    }
+}

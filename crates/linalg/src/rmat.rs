@@ -1,0 +1,297 @@
+//! Dense rational matrices with exact Gaussian elimination.
+
+use crate::Rational;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of [`Rational`] entries.
+///
+/// Provides the exact elimination kernels behind rank computation, linear
+/// solving (dependence-distance systems), inversion (unimodular transforms),
+/// and rational null spaces.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl RMat {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RMat {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from rows of rationals.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged or empty input.
+    pub fn from_rows(rows: &[Vec<Rational>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        RMat {
+            rows: rows.len(),
+            cols,
+            data: rows.concat(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reduces `self` to row echelon form in place; returns the pivot
+    /// columns (one per non-zero row, ascending).
+    pub fn row_reduce(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut r = 0;
+        for c in 0..self.cols {
+            if r == self.rows {
+                break;
+            }
+            // Find pivot in column c at or below row r.
+            let Some(p) = (r..self.rows).find(|&i| !self[(i, c)].is_zero()) else {
+                continue;
+            };
+            self.swap_rows(r, p);
+            // Normalize pivot row.
+            let inv = self[(r, c)].recip();
+            for j in c..self.cols {
+                self[(r, j)] = self[(r, j)] * inv;
+            }
+            // Eliminate all other rows (full reduction).
+            for i in 0..self.rows {
+                if i != r && !self[(i, c)].is_zero() {
+                    let f = self[(i, c)];
+                    for j in c..self.cols {
+                        let sub = f * self[(r, j)];
+                        self[(i, j)] = self[(i, j)] - sub;
+                    }
+                }
+            }
+            pivots.push(c);
+            r += 1;
+        }
+        pivots
+    }
+
+    /// Rank over the rationals.
+    pub fn rank(&self) -> usize {
+        self.clone().row_reduce().len()
+    }
+
+    /// Solves `self * x = b` for one solution, if the system is consistent.
+    ///
+    /// Returns `None` for inconsistent systems. Under-determined systems
+    /// return the solution with free variables set to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.nrows()`.
+    pub fn solve(&self, b: &[Rational]) -> Option<Vec<Rational>> {
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let mut aug = RMat::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                aug[(i, j)] = self[(i, j)];
+            }
+            aug[(i, self.cols)] = b[i];
+        }
+        let pivots = aug.row_reduce();
+        // Inconsistent iff a pivot lands in the augmented column.
+        if pivots.last() == Some(&self.cols) {
+            return None;
+        }
+        let mut x = vec![Rational::ZERO; self.cols];
+        for (r, &c) in pivots.iter().enumerate() {
+            x[c] = aug[(r, self.cols)];
+        }
+        Some(x)
+    }
+
+    /// Exact inverse; `None` if singular or non-square.
+    pub fn inverse(&self) -> Option<RMat> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        let mut aug = RMat::zeros(n, 2 * n);
+        for i in 0..n {
+            for j in 0..n {
+                aug[(i, j)] = self[(i, j)];
+            }
+            aug[(i, n + i)] = Rational::ONE;
+        }
+        let pivots = aug.row_reduce();
+        if pivots.len() < n || pivots.iter().any(|&c| c >= n) {
+            return None;
+        }
+        let mut out = RMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(i, j)] = aug[(i, n + j)];
+            }
+        }
+        Some(out)
+    }
+
+    /// A basis of the (right) null space `{x : self * x = 0}`.
+    ///
+    /// One basis vector per free column of the echelon form; an empty `Vec`
+    /// means the kernel is trivial.
+    pub fn nullspace(&self) -> Vec<Vec<Rational>> {
+        let mut m = self.clone();
+        let pivots = m.row_reduce();
+        let is_pivot: Vec<bool> = {
+            let mut v = vec![false; self.cols];
+            for &c in &pivots {
+                v[c] = true;
+            }
+            v
+        };
+        let mut basis = Vec::new();
+        for free in 0..self.cols {
+            if is_pivot[free] {
+                continue;
+            }
+            let mut v = vec![Rational::ZERO; self.cols];
+            v[free] = Rational::ONE;
+            for (r, &c) in pivots.iter().enumerate() {
+                v[c] = -m[(r, free)];
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            let t = self[(a, j)];
+            self[(a, j)] = self[(b, j)];
+            self[(b, j)] = t;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for RMat {
+    type Output = Rational;
+    fn index(&self, (i, j): (usize, usize)) -> &Rational {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for RMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn solve_unique() {
+        // x + 2y = 5; 3x - y = 1  =>  x = 1, y = 2
+        let m = RMat::from_rows(&[vec![r(1), r(2)], vec![r(3), r(-1)]]);
+        let x = m.solve(&[r(5), r(1)]).unwrap();
+        assert_eq!(x, vec![r(1), r(2)]);
+    }
+
+    #[test]
+    fn solve_inconsistent() {
+        let m = RMat::from_rows(&[vec![r(1), r(1)], vec![r(2), r(2)]]);
+        assert!(m.solve(&[r(1), r(3)]).is_none());
+    }
+
+    #[test]
+    fn solve_underdetermined_sets_free_vars_to_zero() {
+        // 2i + 5j = 10 has solution with j free -> j = 0, i = 5.
+        let m = RMat::from_rows(&[vec![r(2), r(5)]]);
+        let x = m.solve(&[r(10)]).unwrap();
+        assert_eq!(x, vec![r(5), r(0)]);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = RMat::from_rows(&[vec![r(2), r(3)], vec![r(1), r(2)]]);
+        let inv = m.inverse().unwrap();
+        assert_eq!(inv[(0, 0)], r(2));
+        assert_eq!(inv[(0, 1)], r(-3));
+        assert_eq!(inv[(1, 0)], r(-1));
+        assert_eq!(inv[(1, 1)], r(2));
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        let m = RMat::from_rows(&[vec![r(1), r(2)], vec![r(2), r(4)]]);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn nullspace_of_example4_access_matrix() {
+        // Access A[2i + 5j]: kernel spanned by (5, -2) (paper's reuse
+        // direction, up to sign/scale).
+        let m = RMat::from_rows(&[vec![r(2), r(5)]]);
+        let ns = m.nullspace();
+        assert_eq!(ns.len(), 1);
+        let v = &ns[0];
+        // Must satisfy 2*v0 + 5*v1 = 0.
+        assert_eq!(r(2) * v[0] + r(5) * v[1], r(0));
+    }
+
+    #[test]
+    fn nullspace_trivial_for_full_rank() {
+        let m = RMat::from_rows(&[vec![r(1), r(0)], vec![r(0), r(1)]]);
+        assert!(m.nullspace().is_empty());
+    }
+
+    #[test]
+    fn rank_examples() {
+        let m = RMat::from_rows(&[vec![r(3), r(0), r(1)], vec![r(0), r(1), r(1)]]);
+        assert_eq!(m.rank(), 2);
+        let z = RMat::zeros(3, 3);
+        assert_eq!(z.rank(), 0);
+    }
+}

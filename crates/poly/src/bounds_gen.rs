@@ -1,0 +1,163 @@
+//! Loop-bound regeneration from a polyhedron (Ancourt–Irigoin style).
+//!
+//! After applying a unimodular transformation `T`, the new iteration space
+//! is `{y : T⁻¹·y ∈ P}`. Scanning it lexicographically needs, for each new
+//! loop `y_k`, bounds in terms of `y_0..y_{k-1}` — obtained by
+//! Fourier–Motzkin-eliminating the inner variables and reading the
+//! remaining constraints on `y_k` as `ceil`/`floor` bound pieces.
+
+use crate::constraint::Polyhedron;
+use crate::fm::project_prefix;
+use loopmem_ir::{Affine, Bound, Loop};
+use loopmem_ir::bounds::BoundPiece;
+use std::error::Error;
+use std::fmt;
+
+/// Failure to produce loop bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundsGenError {
+    /// Variable `0-based index` has no lower or upper bound.
+    Unbounded(usize),
+    /// The polyhedron is (rationally) empty.
+    Empty,
+}
+
+impl fmt::Display for BoundsGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundsGenError::Unbounded(k) => write!(f, "loop variable {k} is unbounded"),
+            BoundsGenError::Empty => write!(f, "iteration space is empty"),
+        }
+    }
+}
+
+impl Error for BoundsGenError {}
+
+/// Produces a perfect-nest loop structure scanning the integer points of
+/// `p` lexicographically, using the given variable names.
+///
+/// Projection may over-approximate an integer shadow, so an inner loop can
+/// occasionally execute zero iterations for some outer values — scanning
+/// remains exact because empty ranges simply run no iterations.
+///
+/// # Errors
+///
+/// [`BoundsGenError::Unbounded`] if some variable lacks a bound,
+/// [`BoundsGenError::Empty`] if the polyhedron is rationally empty.
+///
+/// # Panics
+///
+/// Panics if `names.len() != p.nvars()`.
+pub fn regenerate_loops(p: &Polyhedron, names: &[String]) -> Result<Vec<Loop>, BoundsGenError> {
+    let n = p.nvars();
+    assert_eq!(names.len(), n, "one name per variable required");
+    if p.is_rationally_empty() {
+        return Err(BoundsGenError::Empty);
+    }
+    let mut loops = Vec::with_capacity(n);
+    for (k, name) in names.iter().enumerate() {
+        let level = project_prefix(p, k + 1);
+        let mut lower_pieces = Vec::new();
+        let mut upper_pieces = Vec::new();
+        for c in level.constraints() {
+            let a = c.coeffs[k];
+            if a == 0 {
+                continue; // constraint on outer vars only; already enforced
+            }
+            // a·v_k + rest + const >= 0.
+            let rest: Vec<i64> = c
+                .coeffs
+                .iter()
+                .enumerate()
+                .map(|(j, &cc)| if j == k { 0 } else { cc })
+                .collect();
+            if a > 0 {
+                // v_k >= ceil((-rest - const) / a)
+                let expr = Affine::new(rest.iter().map(|&x| -x).collect(), -c.constant);
+                lower_pieces.push(BoundPiece { expr, div: a });
+            } else {
+                // v_k <= floor((rest + const) / -a)
+                let expr = Affine::new(rest, c.constant);
+                upper_pieces.push(BoundPiece { expr, div: -a });
+            }
+        }
+        if lower_pieces.is_empty() || upper_pieces.is_empty() {
+            return Err(BoundsGenError::Unbounded(k));
+        }
+        loops.push(Loop {
+            var: name.clone(),
+            lower: Bound::from_pieces(lower_pieces),
+            upper: Bound::from_pieces(upper_pieces),
+        });
+    }
+    Ok(loops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|k| format!("v{k}")).collect()
+    }
+
+    #[test]
+    fn regenerates_box() {
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, 0], -1));
+        p.add(Constraint::new(vec![-1, 0], 10));
+        p.add(Constraint::new(vec![0, 1], -1));
+        p.add(Constraint::new(vec![0, -1], 20));
+        let loops = regenerate_loops(&p, &names(2)).unwrap();
+        assert_eq!(loops[0].constant_range(), Some((1, 10)));
+        assert_eq!(loops[1].constant_range(), Some((1, 20)));
+    }
+
+    #[test]
+    fn regenerated_bounds_scan_exactly_the_points() {
+        // Skewed space: u = i + j, v = j with i,j in 1..=4 — constraints
+        // over (u, v): 1 <= u - v <= 4, 1 <= v <= 4.
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, -1], -1));
+        p.add(Constraint::new(vec![-1, 1], 4));
+        p.add(Constraint::new(vec![0, 1], -1));
+        p.add(Constraint::new(vec![0, -1], 4));
+        let loops = regenerate_loops(&p, &names(2)).unwrap();
+        // Scan with the generated bounds and compare against enumeration.
+        let mut scanned = Vec::new();
+        let (ulo, uhi) = loops[0].constant_range().expect("outer is constant");
+        for u in ulo..=uhi {
+            let vlo = loops[1].lower.eval_lower(&[u, 0]);
+            let vhi = loops[1].upper.eval_upper(&[u, 0]);
+            for v in vlo..=vhi {
+                scanned.push(vec![u, v]);
+            }
+        }
+        let mut enumerated = Vec::new();
+        crate::enumerate::for_each_point(&p, |pt| enumerated.push(pt.to_vec()));
+        assert_eq!(scanned, enumerated);
+        assert_eq!(scanned.len(), 16);
+    }
+
+    #[test]
+    fn unbounded_reports_error() {
+        let mut p = Polyhedron::universe(1);
+        p.add(Constraint::new(vec![1], 0));
+        assert_eq!(
+            regenerate_loops(&p, &names(1)).unwrap_err(),
+            BoundsGenError::Unbounded(0)
+        );
+    }
+
+    #[test]
+    fn empty_reports_error() {
+        let mut p = Polyhedron::universe(1);
+        p.add(Constraint::new(vec![1], -10));
+        p.add(Constraint::new(vec![-1], 5));
+        assert_eq!(
+            regenerate_loops(&p, &names(1)).unwrap_err(),
+            BoundsGenError::Empty
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Affine constraint systems over iteration vectors.
+
+use loopmem_ir::LoopNest;
+use loopmem_linalg::gcd::gcd_slice;
+use std::fmt;
+
+/// One affine inequality `coeffs · x + constant ≥ 0`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// Per-variable coefficients.
+    pub coeffs: Vec<i64>,
+    /// Constant term.
+    pub constant: i64,
+}
+
+impl Constraint {
+    /// Creates a constraint `coeffs · x + constant ≥ 0`.
+    pub fn new(coeffs: Vec<i64>, constant: i64) -> Self {
+        Constraint { coeffs, constant }
+    }
+
+    /// Evaluates the left-hand side at `x`.
+    pub fn eval(&self, x: &[i64]) -> i64 {
+        assert_eq!(x.len(), self.coeffs.len(), "point arity mismatch");
+        let acc: i128 = self
+            .coeffs
+            .iter()
+            .zip(x)
+            .map(|(&c, &v)| (c as i128) * (v as i128))
+            .sum::<i128>()
+            + self.constant as i128;
+        acc.try_into().expect("constraint eval overflow")
+    }
+
+    /// `true` when `x` satisfies the inequality.
+    pub fn satisfied_by(&self, x: &[i64]) -> bool {
+        self.eval(x) >= 0
+    }
+
+    /// Divides through by the gcd of the coefficients, tightening the
+    /// constant with a floor (valid over the integers).
+    pub fn normalize(&mut self) {
+        let g = gcd_slice(&self.coeffs);
+        if g > 1 {
+            for c in &mut self.coeffs {
+                *c /= g;
+            }
+            self.constant = loopmem_linalg::gcd::div_floor(self.constant, g);
+        }
+    }
+
+    /// `true` if no variable appears (the constraint is `constant ≥ 0`).
+    pub fn is_trivial(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}·x + {} >= 0", self.coeffs, self.constant)
+    }
+}
+
+/// A conjunction of affine inequalities: `{x ∈ ℤⁿ : ∀c, c(x) ≥ 0}`.
+///
+/// Iteration spaces of rectangular and transformed nests are polyhedra; the
+/// enumeration and counting routines in this crate are exact on the integer
+/// points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Polyhedron {
+    nvars: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl Polyhedron {
+    /// The universe polyhedron over `nvars` variables (no constraints).
+    pub fn universe(nvars: usize) -> Self {
+        Polyhedron {
+            nvars,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// The constraint list.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds a constraint (normalized and deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint arity differs from the polyhedron's.
+    pub fn add(&mut self, mut c: Constraint) {
+        assert_eq!(c.coeffs.len(), self.nvars, "constraint arity mismatch");
+        c.normalize();
+        if c.is_trivial() && c.constant >= 0 {
+            return; // always true
+        }
+        if !self.constraints.contains(&c) {
+            self.constraints.push(c);
+        }
+    }
+
+    /// Builds the iteration-space polyhedron of a nest.
+    ///
+    /// Bound pieces with divisor `d` translate exactly: a lower bound
+    /// `v ≥ ceil(e/d)` becomes `d·v − e ≥ 0`, an upper bound
+    /// `v ≤ floor(e/d)` becomes `e − d·v ≥ 0` (both exact for integer `v`
+    /// and positive `d`).
+    pub fn from_nest(nest: &LoopNest) -> Self {
+        let n = nest.depth();
+        let mut p = Polyhedron::universe(n);
+        for (k, l) in nest.loops().iter().enumerate() {
+            for piece in l.lower.pieces() {
+                // d·v_k - e >= 0
+                let mut coeffs: Vec<i64> = piece.expr.coeffs().iter().map(|&c| -c).collect();
+                coeffs[k] += piece.div;
+                p.add(Constraint::new(coeffs, -piece.expr.constant_term()));
+            }
+            for piece in l.upper.pieces() {
+                // e - d·v_k >= 0
+                let mut coeffs: Vec<i64> = piece.expr.coeffs().to_vec();
+                coeffs[k] -= piece.div;
+                p.add(Constraint::new(coeffs, piece.expr.constant_term()));
+            }
+        }
+        p
+    }
+
+    /// `true` when `x` satisfies every constraint.
+    pub fn contains(&self, x: &[i64]) -> bool {
+        self.constraints.iter().all(|c| c.satisfied_by(x))
+    }
+
+    /// `true` when the constraint system is syntactically infeasible after
+    /// eliminating every variable (exact over the rationals; an
+    /// integer-empty but rational-nonempty system reports `false`).
+    pub fn is_rationally_empty(&self) -> bool {
+        let mut p = self.clone();
+        for k in (0..self.nvars).rev() {
+            p = crate::fm::eliminate(&p, k);
+        }
+        p.constraints.iter().any(|c| c.constant < 0)
+    }
+
+    /// Range `(lo, hi)` of variable `k` over the polyhedron, from the full
+    /// projection onto that variable. `None` if unbounded on either side or
+    /// rationally empty.
+    pub fn var_range(&self, k: usize) -> Option<(i64, i64)> {
+        let mut p = self.clone();
+        for v in (0..self.nvars).rev() {
+            if v != k {
+                p = crate::fm::eliminate(&p, v);
+            }
+        }
+        let mut lo: Option<i64> = None;
+        let mut hi: Option<i64> = None;
+        for c in &p.constraints {
+            let a = c.coeffs[k];
+            if a > 0 {
+                // a·v + const >= 0  =>  v >= ceil(-const / a)
+                let b = loopmem_linalg::gcd::div_ceil(-c.constant, a);
+                lo = Some(lo.map_or(b, |x: i64| x.max(b)));
+            } else if a < 0 {
+                let b = loopmem_linalg::gcd::div_floor(c.constant, -a);
+                hi = Some(hi.map_or(b, |x: i64| x.min(b)));
+            } else if c.constant < 0 {
+                return None; // infeasible projection
+            }
+        }
+        match (lo, hi) {
+            (Some(lo), Some(hi)) if lo <= hi => Some((lo, hi)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopmem_ir::parse;
+
+    fn box_2d(n1: i64, n2: i64) -> Polyhedron {
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, 0], -1)); // i >= 1
+        p.add(Constraint::new(vec![-1, 0], n1)); // i <= n1
+        p.add(Constraint::new(vec![0, 1], -1));
+        p.add(Constraint::new(vec![0, -1], n2));
+        p
+    }
+
+    #[test]
+    fn membership() {
+        let p = box_2d(10, 20);
+        assert!(p.contains(&[1, 1]));
+        assert!(p.contains(&[10, 20]));
+        assert!(!p.contains(&[0, 1]));
+        assert!(!p.contains(&[11, 1]));
+    }
+
+    #[test]
+    fn normalization_tightens() {
+        // 2i - 3 >= 0  =>  i >= 2 after integer tightening (i - 2 >= 0).
+        let mut c = Constraint::new(vec![2], -3);
+        c.normalize();
+        assert_eq!(c.coeffs, vec![1]);
+        assert_eq!(c.constant, -2);
+        assert!(c.satisfied_by(&[2]));
+        assert!(!c.satisfied_by(&[1]));
+    }
+
+    #[test]
+    fn trivially_true_constraints_dropped() {
+        let mut p = Polyhedron::universe(1);
+        p.add(Constraint::new(vec![0], 5));
+        assert!(p.constraints().is_empty());
+        p.add(Constraint::new(vec![0], -5));
+        assert_eq!(p.constraints().len(), 1);
+        assert!(p.is_rationally_empty());
+    }
+
+    #[test]
+    fn from_nest_matches_manual_box() {
+        let nest = parse("array A[10][20]\nfor i = 1 to 10 { for j = 1 to 20 { A[i][j]; } }")
+            .unwrap();
+        let p = Polyhedron::from_nest(&nest);
+        for (pt, expect) in [([1, 1], true), ([10, 20], true), ([0, 5], false), ([5, 21], false)] {
+            assert_eq!(p.contains(&pt), expect, "{pt:?}");
+        }
+    }
+
+    #[test]
+    fn var_range_of_box() {
+        let p = box_2d(10, 20);
+        assert_eq!(p.var_range(0), Some((1, 10)));
+        assert_eq!(p.var_range(1), Some((1, 20)));
+    }
+
+    #[test]
+    fn var_range_triangular() {
+        // i in 1..=10, j in i..=10: j's full range is 1..=10, i's is 1..=10.
+        let nest = parse("array A[10][10]\nfor i = 1 to 10 { for j = i to 10 { A[i][j]; } }")
+            .unwrap();
+        let p = Polyhedron::from_nest(&nest);
+        assert_eq!(p.var_range(0), Some((1, 10)));
+        assert_eq!(p.var_range(1), Some((1, 10)));
+    }
+
+    #[test]
+    fn empty_detection() {
+        let mut p = box_2d(10, 10);
+        p.add(Constraint::new(vec![1, 1], -25)); // i + j >= 25 impossible
+        assert!(p.is_rationally_empty());
+        assert!(!box_2d(10, 10).is_rationally_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Exact lexicographic enumeration of the integer points of a polyhedron.
+//!
+//! Enumeration walks variables outermost-first using per-level bounds
+//! derived from the Fourier–Motzkin projections, then re-checks every leaf
+//! against the *original* constraint system. Projection over-approximates
+//! integer shadows, so the re-check is what makes enumeration exact: a hole
+//! merely wastes a bounds evaluation.
+
+use crate::constraint::Polyhedron;
+use crate::fm::project_prefix;
+use loopmem_linalg::gcd::{div_ceil, div_floor};
+
+/// Calls `f` for every integer point of `p`, in lexicographic order.
+///
+/// # Panics
+///
+/// Panics if any variable is unbounded over the polyhedron (infinite
+/// enumeration); iteration spaces of valid nests are always bounded.
+pub fn for_each_point<F: FnMut(&[i64])>(p: &Polyhedron, mut f: F) {
+    let n = p.nvars();
+    if n == 0 {
+        return;
+    }
+    // Projection chain: levels[k] constrains variables 0..=k only.
+    let levels: Vec<Polyhedron> = (0..n).map(|k| project_prefix(p, k + 1)).collect();
+    let mut point = vec![0i64; n];
+    descend(p, &levels, &mut point, 0, &mut f);
+}
+
+fn descend<F: FnMut(&[i64])>(
+    full: &Polyhedron,
+    levels: &[Polyhedron],
+    point: &mut Vec<i64>,
+    k: usize,
+    f: &mut F,
+) {
+    let n = full.nvars();
+    let Some((lo, hi)) = level_range(&levels[k], point, k) else {
+        return; // empty slice at this prefix
+    };
+    for v in lo..=hi {
+        point[k] = v;
+        if k + 1 == n {
+            if full.contains(point) {
+                f(point);
+            }
+        } else {
+            descend(full, levels, point, k + 1, f);
+        }
+    }
+}
+
+/// Bounds of variable `k` given the fixed prefix `point[0..k]`.
+fn level_range(level: &Polyhedron, point: &[i64], k: usize) -> Option<(i64, i64)> {
+    let mut lo: Option<i64> = None;
+    let mut hi: Option<i64> = None;
+    for c in level.constraints() {
+        let a = c.coeffs[k];
+        // Partial evaluation over the fixed prefix.
+        let fixed: i128 = c.coeffs[..k]
+            .iter()
+            .zip(&point[..k])
+            .map(|(&cc, &v)| (cc as i128) * (v as i128))
+            .sum::<i128>()
+            + c.constant as i128;
+        let fixed = i64::try_from(fixed).expect("enumeration overflow");
+        if a > 0 {
+            let b = div_ceil(-fixed, a);
+            lo = Some(lo.map_or(b, |x: i64| x.max(b)));
+        } else if a < 0 {
+            let b = div_floor(fixed, -a);
+            hi = Some(hi.map_or(b, |x: i64| x.min(b)));
+        } else if fixed < 0 {
+            return None;
+        }
+    }
+    match (lo, hi) {
+        (Some(lo), Some(hi)) if lo <= hi => Some((lo, hi)),
+        (Some(_), Some(_)) => None,
+        _ => panic!("enumeration over an unbounded polyhedron"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+
+    fn collect(p: &Polyhedron) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        for_each_point(p, |pt| out.push(pt.to_vec()));
+        out
+    }
+
+    #[test]
+    fn enumerates_box_in_lex_order() {
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, 0], -1));
+        p.add(Constraint::new(vec![-1, 0], 2));
+        p.add(Constraint::new(vec![0, 1], -1));
+        p.add(Constraint::new(vec![0, -1], 2));
+        let pts = collect(&p);
+        assert_eq!(
+            pts,
+            vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]
+        );
+    }
+
+    #[test]
+    fn enumerates_triangle() {
+        // i in 1..=3, j in i..=3 => 6 points.
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, 0], -1));
+        p.add(Constraint::new(vec![-1, 0], 3));
+        p.add(Constraint::new(vec![-1, 1], 0));
+        p.add(Constraint::new(vec![0, -1], 3));
+        let pts = collect(&p);
+        assert_eq!(pts.len(), 6);
+        assert!(pts.contains(&vec![3, 3]));
+        assert!(!pts.contains(&vec![3, 1]));
+    }
+
+    #[test]
+    fn empty_polyhedron_yields_nothing() {
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, 0], -5));
+        p.add(Constraint::new(vec![-1, 0], 2)); // 5 <= i <= 2
+        p.add(Constraint::new(vec![0, 1], 0));
+        p.add(Constraint::new(vec![0, -1], 9));
+        assert!(collect(&p).is_empty());
+    }
+
+    #[test]
+    fn integer_holes_are_filtered() {
+        // 2i = j with j in 0..=4 and i in 0..=2, plus parity constraint
+        // expressed as two inequalities 2i - j >= 0 and j - 2i >= 0. Odd j
+        // has no i; enumeration must yield exactly (0,0), (1,2), (2,4).
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, 0], 0));
+        p.add(Constraint::new(vec![-1, 0], 2));
+        p.add(Constraint::new(vec![0, 1], 0));
+        p.add(Constraint::new(vec![0, -1], 4));
+        p.add(Constraint::new(vec![2, -1], 0));
+        p.add(Constraint::new(vec![-2, 1], 0));
+        let pts = collect(&p);
+        assert_eq!(pts, vec![vec![0, 0], vec![1, 2], vec![2, 4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn unbounded_panics() {
+        let mut p = Polyhedron::universe(1);
+        p.add(Constraint::new(vec![1], 0)); // x >= 0, no upper bound
+        collect(&p);
+    }
+}

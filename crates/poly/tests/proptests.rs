@@ -1,0 +1,113 @@
+//! Property tests: Fourier–Motzkin soundness and enumeration exactness
+//! against brute force.
+
+use loopmem_poly::{for_each_point, Constraint, Polyhedron};
+use proptest::prelude::*;
+
+/// A random constraint system over 2 variables, anchored inside a known
+/// bounding box so enumeration terminates.
+fn random_poly_2d() -> impl Strategy<Value = Polyhedron> {
+    let extra = proptest::collection::vec(
+        (-3i64..=3, -3i64..=3, -12i64..=12).prop_map(|(a, b, c)| Constraint::new(vec![a, b], c)),
+        0..4,
+    );
+    extra.prop_map(|cs| {
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, 0], 6)); // x >= -6
+        p.add(Constraint::new(vec![-1, 0], 6)); // x <= 6
+        p.add(Constraint::new(vec![0, 1], 6));
+        p.add(Constraint::new(vec![0, -1], 6));
+        for c in cs {
+            p.add(c);
+        }
+        p
+    })
+}
+
+fn brute_force(p: &Polyhedron) -> Vec<Vec<i64>> {
+    let mut out = Vec::new();
+    for x in -6..=6i64 {
+        for y in -6..=6i64 {
+            if p.contains(&[x, y]) {
+                out.push(vec![x, y]);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn enumeration_matches_brute_force(p in random_poly_2d()) {
+        let mut pts = Vec::new();
+        for_each_point(&p, |pt| pts.push(pt.to_vec()));
+        prop_assert_eq!(pts, brute_force(&p));
+    }
+
+    #[test]
+    fn elimination_is_sound(p in random_poly_2d()) {
+        // Every point of P satisfies the shadow after eliminating either
+        // variable (projection is an over-approximation, never an under-).
+        let s0 = loopmem_poly::fm::eliminate(&p, 0);
+        let s1 = loopmem_poly::fm::eliminate(&p, 1);
+        for pt in brute_force(&p) {
+            prop_assert!(s0.contains(&pt), "{pt:?} escaped shadow of x");
+            prop_assert!(s1.contains(&pt), "{pt:?} escaped shadow of y");
+        }
+    }
+
+    #[test]
+    fn emptiness_test_is_exact_on_rational_empties(p in random_poly_2d()) {
+        // If FM says rationally empty there are certainly no integer
+        // points; if brute force finds a point FM must not claim empty.
+        if p.is_rationally_empty() {
+            prop_assert!(brute_force(&p).is_empty());
+        }
+        if !brute_force(&p).is_empty() {
+            prop_assert!(!p.is_rationally_empty());
+        }
+    }
+
+    #[test]
+    fn var_range_brackets_all_points(p in random_poly_2d()) {
+        let pts = brute_force(&p);
+        for k in 0..2 {
+            match p.var_range(k) {
+                Some((lo, hi)) => {
+                    for pt in &pts {
+                        prop_assert!(lo <= pt[k] && pt[k] <= hi);
+                    }
+                }
+                None => prop_assert!(pts.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn regenerated_loops_scan_the_same_points(p in random_poly_2d()) {
+        let names = vec!["u".to_string(), "v".to_string()];
+        let Ok(loops) = loopmem_poly::regenerate_loops(&p, &names) else {
+            // Empty polyhedra are allowed to fail regeneration.
+            return Ok(());
+        };
+        let mut scanned = Vec::new();
+        // Outer bounds may involve no variables; evaluate with zeros.
+        let ulo = loops[0].lower.eval_lower(&[0, 0]);
+        let uhi = loops[0].upper.eval_upper(&[0, 0]);
+        for u in ulo..=uhi {
+            let vlo = loops[1].lower.eval_lower(&[u, 0]);
+            let vhi = loops[1].upper.eval_upper(&[u, 0]);
+            for v in vlo..=vhi {
+                if p.contains(&[u, v]) {
+                    scanned.push(vec![u, v]);
+                } else {
+                    // Rational bounds may include integer holes; they must
+                    // be points of the rational shadow, nothing checked.
+                }
+            }
+        }
+        prop_assert_eq!(scanned, brute_force(&p));
+    }
+}

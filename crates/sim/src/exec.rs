@@ -1,0 +1,86 @@
+//! Lexicographic execution of a loop nest.
+
+use loopmem_ir::LoopNest;
+
+/// Calls `f` once per iteration, in execution (lexicographic) order, with
+/// the iteration vector. Bounds are evaluated exactly, including the
+/// `max`/`min`/`ceil`/`floor` pieces that transformed nests carry; empty
+/// ranges execute zero iterations.
+///
+/// ```
+/// let nest = loopmem_ir::parse(
+///     "array A[10][10]\nfor i = 1 to 3 { for j = i to 3 { A[i][j]; } }",
+/// ).unwrap();
+/// let mut count = 0;
+/// loopmem_sim::for_each_iteration(&nest, |_| count += 1);
+/// assert_eq!(count, 6);
+/// ```
+pub fn for_each_iteration<F: FnMut(&[i64])>(nest: &LoopNest, mut f: F) {
+    let n = nest.depth();
+    let mut iter = vec![0i64; n];
+    descend(nest, &mut iter, 0, &mut f);
+}
+
+fn descend<F: FnMut(&[i64])>(nest: &LoopNest, iter: &mut Vec<i64>, k: usize, f: &mut F) {
+    let l = &nest.loops()[k];
+    let lo = l.lower.eval_lower(iter);
+    let hi = l.upper.eval_upper(iter);
+    for v in lo..=hi {
+        iter[k] = v;
+        if k + 1 == nest.depth() {
+            f(iter);
+        } else {
+            descend(nest, iter, k + 1, f);
+        }
+    }
+    iter[k] = 0; // outer bounds must not observe stale inner values
+}
+
+/// Number of iterations the nest executes.
+pub fn count_iterations(nest: &LoopNest) -> u64 {
+    let mut n = 0u64;
+    for_each_iteration(nest, |_| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopmem_ir::parse;
+
+    #[test]
+    fn rectangular_count_and_order() {
+        let nest =
+            parse("array A[4]\nfor i = 1 to 2 { for j = 1 to 2 { A[i]; } }").unwrap();
+        let mut seen = Vec::new();
+        for_each_iteration(&nest, |it| seen.push(it.to_vec()));
+        assert_eq!(
+            seen,
+            vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]
+        );
+        assert_eq!(count_iterations(&nest), 4);
+    }
+
+    #[test]
+    fn triangular_count() {
+        let nest =
+            parse("array A[10][10]\nfor i = 1 to 10 { for j = i to 10 { A[i][j]; } }").unwrap();
+        assert_eq!(count_iterations(&nest), 55);
+    }
+
+    #[test]
+    fn empty_range_runs_zero() {
+        let nest =
+            parse("array A[10]\nfor i = 5 to 4 { A[i]; }").unwrap();
+        assert_eq!(count_iterations(&nest), 0);
+    }
+
+    #[test]
+    fn matches_iteration_count_accessor() {
+        let nest = parse(
+            "array A[100]\nfor i = 1 to 10 { for j = 1 to 20 { for k = 1 to 3 { A[i]; } } }",
+        )
+        .unwrap();
+        assert_eq!(Some(count_iterations(&nest) as i64), nest.iteration_count());
+    }
+}

@@ -1,0 +1,144 @@
+//! Synthetic scratchpad memory model.
+//!
+//! The paper's §1 motivation: per-access energy, latency, and area of an
+//! on-chip data memory all grow with its capacity, so sizing the memory to
+//! the working set (the MWS) instead of the declared arrays saves
+//! energy/area/delay. The authors cite Catthoor et al. \[2\] but publish no
+//! model, and we have no silicon — so this module provides a *synthetic,
+//! CACTI-shaped* model (documented substitution, see DESIGN.md): energy and
+//! latency grow with `√capacity` (bitline/wordline lengths), area linearly.
+//! Absolute numbers are illustrative; only the monotone shape matters for
+//! the reproduction.
+
+use std::fmt;
+
+/// Parameters of the scratchpad model.
+///
+/// Defaults approximate a 0.18 µm-era on-chip SRAM (the paper is from
+/// 2001): they produce plausible magnitudes without claiming accuracy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScratchpadModel {
+    /// Bytes per array element (word size).
+    pub bytes_per_elem: u64,
+    /// Fixed energy per access, picojoules.
+    pub energy_base_pj: f64,
+    /// Capacity-dependent energy coefficient, pJ per √byte.
+    pub energy_sqrt_pj: f64,
+    /// Fixed access latency, nanoseconds.
+    pub latency_base_ns: f64,
+    /// Capacity-dependent latency coefficient, ns per √byte.
+    pub latency_sqrt_ns: f64,
+    /// Area per byte, square millimetres.
+    pub area_per_byte_mm2: f64,
+}
+
+impl Default for ScratchpadModel {
+    fn default() -> Self {
+        ScratchpadModel {
+            bytes_per_elem: 4,
+            energy_base_pj: 5.0,
+            energy_sqrt_pj: 1.2,
+            latency_base_ns: 0.8,
+            latency_sqrt_ns: 0.05,
+            area_per_byte_mm2: 0.0008,
+        }
+    }
+}
+
+/// Derived figures for one capacity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryReport {
+    /// Capacity in elements (words).
+    pub capacity_words: u64,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Energy per access, picojoules.
+    pub energy_per_access_pj: f64,
+    /// Access latency, nanoseconds.
+    pub latency_ns: f64,
+    /// Silicon area, square millimetres.
+    pub area_mm2: f64,
+}
+
+impl ScratchpadModel {
+    /// Creates the default model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates the model at a capacity given in array elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_words == 0`.
+    pub fn report(&self, capacity_words: u64) -> MemoryReport {
+        assert!(capacity_words > 0, "capacity must be positive");
+        let bytes = capacity_words * self.bytes_per_elem;
+        let sqrt = (bytes as f64).sqrt();
+        MemoryReport {
+            capacity_words,
+            capacity_bytes: bytes,
+            energy_per_access_pj: self.energy_base_pj + self.energy_sqrt_pj * sqrt,
+            latency_ns: self.latency_base_ns + self.latency_sqrt_ns * sqrt,
+            area_mm2: bytes as f64 * self.area_per_byte_mm2,
+        }
+    }
+
+    /// Energy saving factor of sizing for `optimized` instead of `default`
+    /// words (`> 1` means the optimized memory is cheaper per access).
+    pub fn energy_saving_factor(&self, default_words: u64, optimized_words: u64) -> f64 {
+        self.report(default_words).energy_per_access_pj
+            / self.report(optimized_words).energy_per_access_pj
+    }
+}
+
+impl fmt::Display for MemoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} words ({} B): {:.1} pJ/access, {:.2} ns, {:.3} mm2",
+            self.capacity_words,
+            self.capacity_bytes,
+            self.energy_per_access_pj,
+            self.latency_ns,
+            self.area_mm2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_in_capacity() {
+        let m = ScratchpadModel::new();
+        let small = m.report(64);
+        let big = m.report(4096);
+        assert!(big.energy_per_access_pj > small.energy_per_access_pj);
+        assert!(big.latency_ns > small.latency_ns);
+        assert!(big.area_mm2 > small.area_mm2);
+    }
+
+    #[test]
+    fn saving_factor_above_one_for_smaller_memory() {
+        let m = ScratchpadModel::new();
+        assert!(m.energy_saving_factor(4096, 64) > 1.0);
+        let f = m.energy_saving_factor(100, 100);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        ScratchpadModel::new().report(0);
+    }
+
+    #[test]
+    fn display_mentions_units() {
+        let r = ScratchpadModel::new().report(128);
+        let s = r.to_string();
+        assert!(s.contains("pJ/access"));
+        assert!(s.contains("128 words"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Whole-program simulation: window tracking across a sequence of nests.
+//!
+//! A value produced by one nest and consumed by a later one is live across
+//! the boundary; per-nest analysis cannot see it. The program tracker runs
+//! the same first/last-touch sweep over the concatenated execution and
+//! additionally reports the live set at every nest boundary — the minimum
+//! inter-phase buffer.
+
+use crate::exec::for_each_iteration;
+use loopmem_ir::{ArrayId, Program};
+use std::collections::HashMap;
+
+/// Result of simulating a program.
+#[derive(Clone, Debug)]
+pub struct ProgramSimResult {
+    /// Iterations executed per nest.
+    pub per_nest_iterations: Vec<u64>,
+    /// Exact MWS over the whole execution (sum over arrays at the peak).
+    pub mws_total: u64,
+    /// Live words at each internal nest boundary (after nest `k`,
+    /// `k = 0 .. len-2`): elements already touched that a later nest will
+    /// touch again.
+    pub boundary_live: Vec<u64>,
+    /// Distinct elements per array over the whole program.
+    pub distinct: HashMap<ArrayId, u64>,
+    /// The peak's location: index of the nest during which the maximum
+    /// window occurred.
+    pub peak_nest: usize,
+}
+
+impl ProgramSimResult {
+    /// Total distinct elements.
+    pub fn distinct_total(&self) -> u64 {
+        self.distinct.values().sum()
+    }
+}
+
+/// Simulates the program (every nest in order) with exact window
+/// tracking across nest boundaries.
+pub fn simulate_program(program: &Program) -> ProgramSimResult {
+    struct Touch {
+        first: u64,
+        last: u64,
+    }
+    let mut touches: HashMap<(usize, Vec<i64>), Touch> = HashMap::new();
+    let mut per_nest_iterations = Vec::with_capacity(program.len());
+    let mut nest_end = Vec::with_capacity(program.len()); // global t after each nest
+    let mut t = 0u64;
+    for nest in program.nests() {
+        let start = t;
+        for_each_iteration(nest, |it| {
+            for r in nest.refs() {
+                touches
+                    .entry((r.array.0, r.index_at(it)))
+                    .and_modify(|e| e.last = t)
+                    .or_insert(Touch { first: t, last: t });
+            }
+            t += 1;
+        });
+        per_nest_iterations.push(t - start);
+        nest_end.push(t);
+    }
+    let iterations = t as usize;
+
+    // Sweep.
+    let mut add = vec![0i64; iterations.max(1)];
+    let mut rem = vec![0i64; iterations.max(1)];
+    for touch in touches.values() {
+        add[touch.first as usize] += 1;
+        rem[touch.last as usize] += 1;
+    }
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    let mut peak_t = 0u64;
+    let mut boundary_live = Vec::new();
+    let mut next_boundary = 0usize;
+    for ti in 0..iterations {
+        cur += add[ti] - rem[ti];
+        if cur > peak {
+            peak = cur;
+            peak_t = ti as u64;
+        }
+        // Record the live count at each internal nest boundary.
+        while next_boundary + 1 < nest_end.len() && (ti as u64 + 1) == nest_end[next_boundary] {
+            boundary_live.push(cur as u64);
+            next_boundary += 1;
+        }
+    }
+    let peak_nest = nest_end
+        .iter()
+        .position(|&end| peak_t < end)
+        .unwrap_or(0);
+
+    let mut distinct: HashMap<ArrayId, u64> = HashMap::new();
+    for (a, _) in touches.keys() {
+        *distinct.entry(ArrayId(*a)).or_insert(0) += 1;
+    }
+    ProgramSimResult {
+        per_nest_iterations,
+        mws_total: peak as u64,
+        boundary_live,
+        distinct,
+        peak_nest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::simulate;
+    use loopmem_ir::parse_program;
+
+    #[test]
+    fn single_nest_program_matches_nest_simulation() {
+        let src = "array X[200]\n\
+                   for i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }";
+        let p = parse_program(src).unwrap();
+        let ps = simulate_program(&p);
+        let ns = simulate(&p.nests()[0]);
+        assert_eq!(ps.mws_total, ns.mws_total);
+        assert_eq!(ps.distinct_total(), ns.distinct_total());
+        assert!(ps.boundary_live.is_empty());
+        assert_eq!(ps.peak_nest, 0);
+    }
+
+    #[test]
+    fn producer_consumer_keeps_array_live_across_boundary() {
+        // Nest 0 writes all of A; nest 1 reads all of A into a fresh
+        // output. Every element of A is live at the boundary (and only A:
+        // B and C are each touched in one nest only).
+        let p = parse_program(
+            "array A[8][8]\narray B[8][8]\narray C[8][8]\n\
+             for i = 1 to 8 { for j = 1 to 8 { A[i][j] = B[i][j]; } }\n\
+             for i = 1 to 8 { for j = 1 to 8 { C[i][j] = A[i][j] + A[i][j]; } }",
+        )
+        .unwrap();
+        let ps = simulate_program(&p);
+        assert_eq!(ps.boundary_live, vec![64], "all of A crosses the boundary");
+        assert!(ps.mws_total >= 64);
+        // Per-nest analysis sees only tiny windows — the whole point.
+        assert!(simulate(&p.nests()[0]).mws_total <= 2);
+    }
+
+    #[test]
+    fn independent_phases_have_empty_boundaries() {
+        let p = parse_program(
+            "array A[8]\narray B[8]\n\
+             for i = 1 to 8 { A[i] = A[i] + 1; }\n\
+             for i = 1 to 8 { B[i] = B[i] + 1; }",
+        )
+        .unwrap();
+        let ps = simulate_program(&p);
+        assert_eq!(ps.boundary_live, vec![0]);
+        assert_eq!(ps.distinct_total(), 16);
+    }
+
+    #[test]
+    fn three_phase_pipeline_boundaries() {
+        // A -> B -> C pipeline over rows: boundary 0 carries B(written by
+        // phase 0? no: phase 0 writes B from A; boundary carries B).
+        let p = parse_program(
+            "array A[6][6]\narray B[6][6]\narray C[6][6]\n\
+             for i = 1 to 6 { for j = 1 to 6 { B[i][j] = A[i][j]; } }\n\
+             for i = 1 to 6 { for j = 1 to 6 { C[i][j] = B[i][j]; } }\n\
+             for i = 1 to 6 { for j = 1 to 6 { C[i][j] = C[i][j] + 1; } }",
+        )
+        .unwrap();
+        let ps = simulate_program(&p);
+        assert_eq!(ps.per_nest_iterations, vec![36, 36, 36]);
+        assert_eq!(ps.boundary_live.len(), 2);
+        assert_eq!(ps.boundary_live[0], 36, "B crosses boundary 0");
+        assert_eq!(ps.boundary_live[1], 36, "C crosses boundary 1");
+    }
+
+    #[test]
+    fn peak_nest_is_identified() {
+        // Phase 1 touches a big array twice (peak inside phase 1).
+        let p = parse_program(
+            "array A[4]\narray B[12][12]\n\
+             for i = 1 to 4 { A[i] = A[i] + 1; }\n\
+             for t = 1 to 2 { for i = 1 to 12 { for j = 1 to 12 { B[i][j] = B[i][j] + 1; } } }",
+        )
+        .unwrap();
+        let ps = simulate_program(&p);
+        assert_eq!(ps.peak_nest, 1);
+        assert_eq!(ps.mws_total, 144);
+    }
+}

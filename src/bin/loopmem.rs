@@ -1,0 +1,301 @@
+//! `loopmem` — command-line driver for the loop-nest memory analyzer.
+//!
+//! ```text
+//! loopmem analyze  <file.loop>             estimate + exact memory analysis
+//! loopmem deps     <file.loop>             dependence/reuse report
+//! loopmem optimize <file.loop> [--mode M]  search for a window-minimizing T
+//! loopmem simulate <file.loop> [--profile] exact window simulation
+//! loopmem formulas <file.loop>             symbolic distinct-access formulas
+//! loopmem print    <file.loop> [--transform a,b,c,d]
+//! ```
+//!
+//! Modes: `compound` (default), `interchange`, `li-pingali`.
+//! Kernel files use the DSL documented in `loopmem_ir::parser`.
+
+use loopmem::core::optimize::{minimize_mws, SearchMode};
+use loopmem::core::{analyze_memory, apply_transform, estimate_distinct};
+use loopmem::dep::analyze;
+use loopmem::ir::{parse, print_nest, LoopNest};
+use loopmem::linalg::IMat;
+use loopmem::sim::{simulate, simulate_with_profile, ScratchpadModel};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Dying on a closed pipe (`loopmem ... | head`) is expected CLI
+    // behaviour, not a crash: exit quietly instead of panicking.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info.payload().downcast_ref::<String>().cloned();
+        if msg.as_deref().is_some_and(|m| m.contains("Broken pipe")) {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loopmem: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  loopmem analyze  <file.loop>
+  loopmem deps     <file.loop>
+  loopmem optimize <file.loop> [--mode compound|interchange|li-pingali]
+  loopmem simulate <file.loop> [--profile]
+  loopmem formulas <file.loop>
+  loopmem pipeline <file.loop> [--fuse k]
+  loopmem print    <file.loop> [--transform a,b,c,d]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "analyze" => cmd_analyze(&load(rest)?),
+        "deps" => cmd_deps(&load(rest)?),
+        "optimize" => cmd_optimize(&load(rest)?, parse_mode(rest)?),
+        "simulate" => cmd_simulate(&load(rest)?, rest.iter().any(|a| a == "--profile")),
+        "formulas" => cmd_formulas(&load(rest)?),
+        "pipeline" => cmd_pipeline(rest),
+        "print" => cmd_print(&load(rest)?, parse_transform(rest)?),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn load(rest: &[String]) -> Result<LoopNest, String> {
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.contains(','))
+        .ok_or("missing <file.loop> argument")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_mode(rest: &[String]) -> Result<SearchMode, String> {
+    let Some(pos) = rest.iter().position(|a| a == "--mode") else {
+        return Ok(SearchMode::default());
+    };
+    match rest.get(pos + 1).map(String::as_str) {
+        Some("compound") => Ok(SearchMode::default()),
+        Some("interchange") => Ok(SearchMode::InterchangeReversal),
+        Some("li-pingali") => Ok(SearchMode::LiPingali),
+        other => Err(format!("bad --mode {other:?}")),
+    }
+}
+
+fn parse_transform(rest: &[String]) -> Result<Option<IMat>, String> {
+    let Some(pos) = rest.iter().position(|a| a == "--transform") else {
+        return Ok(None);
+    };
+    let spec = rest.get(pos + 1).ok_or("--transform needs a,b,c,d")?;
+    let nums: Result<Vec<i64>, _> = spec.split(',').map(|s| s.trim().parse()).collect();
+    let nums = nums.map_err(|e| format!("--transform: {e}"))?;
+    let n = (nums.len() as f64).sqrt() as usize;
+    if n * n != nums.len() || n == 0 {
+        return Err(format!("--transform needs a square matrix, got {} entries", nums.len()));
+    }
+    let rows: Vec<Vec<i64>> = nums.chunks(n).map(|c| c.to_vec()).collect();
+    Ok(Some(IMat::from_rows(&rows)))
+}
+
+fn cmd_analyze(nest: &LoopNest) -> Result<(), String> {
+    let m = analyze_memory(nest);
+    println!("declared storage : {} words", m.default_words);
+    println!("distinct touched : {} words", m.distinct_exact_total);
+    println!("exact MWS        : {} words", m.mws_exact);
+    if let Some(est) = loopmem::core::estimate_nest_mws(nest) {
+        println!("MWS closed form  : {est} words (paper formulas; upper estimate)");
+    }
+    println!();
+    println!("{:<12} {:>9} {:>16} {:>8}  method", "array", "declared", "distinct", "MWS");
+    for (id, est) in estimate_distinct(nest) {
+        let decl = nest.array(id);
+        let distinct = if est.is_exact() {
+            format!("{}", est.lower)
+        } else {
+            format!("[{}, {}]", est.lower, est.upper)
+        };
+        let mws = m.mws_per_array.get(&id).copied().unwrap_or(0);
+        println!(
+            "{:<12} {:>9} {:>16} {:>8}  {:?}",
+            decl.name,
+            decl.size(),
+            distinct,
+            mws,
+            est.method
+        );
+    }
+    let model = ScratchpadModel::new();
+    println!();
+    println!("scratchpad sized to declared arrays: {}", model.report(m.default_words.max(1) as u64));
+    println!("scratchpad sized to exact MWS      : {}", model.report(m.mws_exact.max(1)));
+    Ok(())
+}
+
+fn cmd_deps(nest: &LoopNest) -> Result<(), String> {
+    let deps = analyze(nest);
+    println!("{} dependences, {} non-uniform pairs", deps.len(), deps.nonuniform_pair_count());
+    for d in deps.iter() {
+        println!(
+            "  {:<22} {:<7} level {}  {} -> {}",
+            format!("{:?}", d.distance),
+            d.kind.to_string(),
+            d.level(),
+            nest.array(d.array).name,
+            format!("S{}#{} to S{}#{}", d.src.0, d.src.1, d.dst.0, d.dst.1),
+        );
+    }
+    println!("\nreuse vectors (null spaces):");
+    for (id, v) in loopmem::dep::reuse_vectors(nest) {
+        println!("  {:<8} {:?}", nest.array(id).name, v);
+    }
+    // Direction vectors for non-uniformly generated pairs (rectangular
+    // nests only).
+    if deps.nonuniform_pair_count() > 0 && nest.is_rectangular() {
+        println!("\ndirection vectors (non-uniform pairs):");
+        let refs: Vec<_> = nest.refs().collect();
+        for (i, a) in refs.iter().enumerate() {
+            for b in &refs[i + 1..] {
+                if a.array == b.array && !a.uniformly_generated_with(b) {
+                    match loopmem::dep::direction_vector(nest, a, b) {
+                        Some(dv) => println!("  {:<8} {}", nest.array(a.array).name, dv),
+                        None => println!("  {:<8} independent", nest.array(a.array).name),
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_optimize(nest: &LoopNest, mode: SearchMode) -> Result<(), String> {
+    let opt = minimize_mws(nest, mode).map_err(|e| e.to_string())?;
+    println!(
+        "MWS {} -> {}  ({} candidates considered)",
+        opt.mws_before, opt.mws_after, opt.candidates_considered
+    );
+    println!("\nT =\n{}", opt.transform);
+    println!("\n{}", print_nest(&opt.transformed));
+    Ok(())
+}
+
+fn cmd_simulate(nest: &LoopNest, profile: bool) -> Result<(), String> {
+    let s = if profile {
+        simulate_with_profile(nest)
+    } else {
+        simulate(nest)
+    };
+    println!("iterations : {}", s.iterations);
+    println!("total MWS  : {}", s.mws_total);
+    println!("{:<12} {:>10} {:>10} {:>8}", "array", "accesses", "distinct", "MWS");
+    let mut ids: Vec<_> = s.per_array.keys().copied().collect();
+    ids.sort();
+    for id in ids {
+        let st = &s.per_array[&id];
+        println!(
+            "{:<12} {:>10} {:>10} {:>8}",
+            nest.array(id).name,
+            st.accesses,
+            st.distinct,
+            st.mws
+        );
+    }
+    if let Some(p) = s.profile {
+        println!("\nwindow profile (live words after each iteration, downsampled):");
+        let step = (p.len() / 24).max(1);
+        for (t, w) in p.iter().enumerate().step_by(step) {
+            let bar = "#".repeat(((*w as usize) * 50 / (s.mws_total.max(1) as usize)).min(50));
+            println!("  t={t:>7}  {bar:<50} {w}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_formulas(nest: &LoopNest) -> Result<(), String> {
+    let formulas = loopmem::core::distinct_formulas(nest);
+    if formulas.is_empty() {
+        println!("no closed-form distinct-access formula applies (bounds/enumeration cases)");
+        return Ok(());
+    }
+    println!("distinct-access formulas over the loop extents N1..N{}:", nest.depth());
+    let mut ids: Vec<_> = formulas.keys().copied().collect();
+    ids.sort();
+    for id in ids {
+        let est = &formulas[&id];
+        println!(
+            "  A_d({}) = {}    [{:?}]",
+            nest.array(id).name,
+            est.formula,
+            est.method
+        );
+    }
+    if let Some(values) = loopmem::core::symbolic::extent_values(nest) {
+        let mut pairs: Vec<_> = values.iter().collect();
+        pairs.sort();
+        let shown: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("  at this nest's sizes ({}):", shown.join(", "));
+        let mut ids: Vec<_> = formulas.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            println!(
+                "    {} -> {}",
+                nest.array(id).name,
+                formulas[&id].formula.eval(&values)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".loop"))
+        .ok_or("missing <file.loop> argument")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut program = loopmem::ir::parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(pos) = rest.iter().position(|a| a == "--fuse") {
+        let k: usize = rest
+            .get(pos + 1)
+            .ok_or("--fuse needs a nest index")?
+            .parse()
+            .map_err(|e| format!("--fuse: {e}"))?;
+        program = loopmem::core::fuse(&program, k).map_err(|e| e.to_string())?;
+        println!("fused nests {k} and {}:", k + 1);
+        println!("{}", loopmem::ir::print_program(&program));
+    }
+    let a = loopmem::core::analyze_program(&program);
+    println!("nests             : {}", program.len());
+    println!("declared storage  : {} words", a.default_words);
+    println!("distinct touched  : {} words", a.distinct.values().sum::<u64>());
+    println!(
+        "whole-program MWS : {} words (peak inside nest {})",
+        a.mws_exact, a.peak_nest
+    );
+    for (k, live) in a.boundary_live.iter().enumerate() {
+        println!("boundary {}->{}      : {} words live", k, k + 1, live);
+    }
+    // Point out fusable adjacent pairs.
+    for k in 0..program.len().saturating_sub(1) {
+        match loopmem::core::fuse(&program, k) {
+            Ok(_) => println!("nests {k}+{}: fusable (try --fuse {k})", k + 1),
+            Err(e) => println!("nests {k}+{}: not fusable ({e})", k + 1),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_print(nest: &LoopNest, transform: Option<IMat>) -> Result<(), String> {
+    match transform {
+        None => print!("{}", print_nest(nest)),
+        Some(t) => {
+            let out = apply_transform(nest, &t).map_err(|e| e.to_string())?;
+            print!("{}", print_nest(&out));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+//! Facade crate re-exporting the whole `loopmem` workspace.
+#![doc = include_str!("../README.md")]
+pub use loopmem_core as core;
+pub use loopmem_dep as dep;
+pub use loopmem_ir as ir;
+pub use loopmem_linalg as linalg;
+pub use loopmem_poly as poly;
+pub use loopmem_sim as sim;

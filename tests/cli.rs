@@ -1,0 +1,98 @@
+//! End-to-end tests of the `loopmem` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_loopmem"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn analyze_reports_example8_numbers() {
+    let (ok, stdout, _) = run(&["analyze", "kernels/example8.loop"]);
+    assert!(ok);
+    assert!(stdout.contains("declared storage : 200 words"), "{stdout}");
+    assert!(stdout.contains("exact MWS        : 44 words"), "{stdout}");
+}
+
+#[test]
+fn optimize_reaches_21_and_prints_the_transformed_loop() {
+    let (ok, stdout, _) = run(&["optimize", "kernels/example8.loop"]);
+    assert!(ok);
+    assert!(stdout.contains("MWS 44 -> 21"), "{stdout}");
+    assert!(stdout.contains("for t1 ="), "{stdout}");
+}
+
+#[test]
+fn deps_lists_paper_distances() {
+    let (ok, stdout, _) = run(&["deps", "kernels/example8.loop"]);
+    assert!(ok);
+    assert!(stdout.contains("[3, -2]"), "{stdout}");
+    assert!(stdout.contains("flow"), "{stdout}");
+}
+
+#[test]
+fn print_applies_a_transform() {
+    let (ok, stdout, _) = run(&[
+        "print",
+        "kernels/example8.loop",
+        "--transform",
+        "2,3,1,1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("max("), "{stdout}");
+}
+
+#[test]
+fn formulas_prints_symbolic_output() {
+    let (ok, stdout, _) = run(&["formulas", "kernels/matmult.loop"]);
+    assert!(ok);
+    assert!(stdout.contains("A_d(B) = N2*N3"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_with_usage_text() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let (ok, _, stderr) = run(&["analyze", "/nonexistent.loop"]);
+    assert!(!ok);
+    assert!(stderr.contains("nonexistent"), "{stderr}");
+    let (ok, _, stderr) = run(&["optimize", "kernels/example8.loop", "--mode", "bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --mode"), "{stderr}");
+}
+
+#[test]
+fn simulate_profile_renders_bars() {
+    let (ok, stdout, _) = run(&["simulate", "kernels/sor.loop", "--profile"]);
+    assert!(ok);
+    assert!(stdout.contains("window profile"), "{stdout}");
+    assert!(stdout.contains("total MWS  : 60"), "{stdout}");
+}
+
+#[test]
+fn li_pingali_mode_reports_failure_on_example8() {
+    let (ok, _, stderr) = run(&["optimize", "kernels/example8.loop", "--mode", "li-pingali"]);
+    assert!(!ok);
+    assert!(stderr.contains("no legal transformation"), "{stderr}");
+}
+
+#[test]
+fn pipeline_reports_boundary_and_fusion() {
+    let (ok, stdout, _) = run(&["pipeline", "kernels/pipeline.loop"]);
+    assert!(ok);
+    assert!(stdout.contains("boundary 0->1      : 256 words live"), "{stdout}");
+    assert!(stdout.contains("fusable (try --fuse 0)"), "{stdout}");
+    let (ok, stdout, _) = run(&["pipeline", "kernels/pipeline.loop", "--fuse", "0"]);
+    assert!(ok);
+    assert!(stdout.contains("whole-program MWS : 0 words"), "{stdout}");
+}

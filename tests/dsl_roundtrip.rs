@@ -1,0 +1,71 @@
+//! Parser/printer round-trip guarantees over generated programs.
+
+use loopmem::ir::{parse, print_nest};
+use proptest::prelude::*;
+
+/// Random rectangular 2-deep nest with 1–3 statements of uniformly
+/// generated references.
+fn random_source() -> impl Strategy<Value = String> {
+    let stmt = (-3i64..=3, -3i64..=3, -3i64..=3, -3i64..=3).prop_map(|(a, b, c, d)| {
+        format!(
+            "A[i + {}][j + {}] = A[i + {}][j + {}];",
+            a + 4,
+            b + 4,
+            c + 4,
+            d + 4
+        )
+    });
+    (2i64..=20, 2i64..=20, proptest::collection::vec(stmt, 1..4)).prop_map(
+        |(n1, n2, stmts)| {
+            format!(
+                "array A[{}][{}]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ {} }} }}",
+                n1 + 8,
+                n2 + 8,
+                stmts.join(" ")
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_roundtrip(src in random_source()) {
+        let nest = parse(&src).expect("generated source parses");
+        let printed = print_nest(&nest);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
+        prop_assert_eq!(nest, reparsed, "{}", printed);
+    }
+
+    #[test]
+    fn parsing_is_deterministic(src in random_source()) {
+        prop_assert_eq!(parse(&src).unwrap(), parse(&src).unwrap());
+    }
+}
+
+#[test]
+fn kernel_sources_roundtrip() {
+    for k in loopmem_bench::all_kernels() {
+        let nest = k.nest();
+        let printed = print_nest(&nest);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{}: {e}\n{printed}", k.name));
+        assert_eq!(nest, reparsed, "{}", k.name);
+    }
+}
+
+#[test]
+fn transformed_nests_print_readably() {
+    // A transformed nest has max/min/ceil/floor bounds; the printer must
+    // render them without panicking and mention each construct.
+    let nest = parse(
+        "array X[200]\nfor i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }",
+    )
+    .unwrap();
+    let t = loopmem::linalg::IMat::from_rows(&[vec![2, 3], vec![1, 1]]);
+    let out = loopmem::core::apply_transform(&nest, &t).unwrap();
+    let printed = print_nest(&out);
+    assert!(printed.contains("max("), "{printed}");
+    assert!(printed.contains("min("), "{printed}");
+    assert!(printed.contains("t1"), "{printed}");
+}

@@ -1,0 +1,82 @@
+//! Invariants of the Figure 2 reproduction (the full experiment is run by
+//! `cargo run -p loopmem-bench --bin fig2_table`; this test pins the cells
+//! that the paper's scan preserves and the structural properties of the
+//! rest).
+
+use loopmem_bench::experiments::figure2;
+
+#[test]
+fn figure2_reproduction() {
+    let fig2 = figure2();
+    assert_eq!(fig2.rows.len(), 7);
+    let row = |name: &str| {
+        fig2.rows
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("row {name} missing"))
+    };
+
+    // Defaults (rasta_flt's 5,152 is legible in the paper; matmult's 768
+    // is pinned by the 64.4% / 273 cells).
+    assert_eq!(row("2_point").default_words, 4096);
+    assert_eq!(row("matmult").default_words, 768);
+    assert_eq!(row("rasta_flt").default_words, 5152);
+
+    // matmult: MWS 273 in both columns (no unimodular reordering helps) —
+    // exactly the paper's identical 64.4% cells.
+    assert_eq!(row("matmult").mws_unopt, 273);
+    assert_eq!(row("matmult").mws_opt, 273);
+    assert!((row("matmult").pct_unopt() - 64.4).abs() < 0.5);
+
+    // 2_point: unoptimized reduction is the paper's 98.4%.
+    assert!((row("2_point").pct_unopt() - 98.4).abs() < 0.2);
+
+    // Structure: optimization never regresses, and every row reduces
+    // memory versus the declared arrays.
+    for r in &fig2.rows {
+        assert!(r.mws_opt <= r.mws_unopt, "{}", r.name);
+        assert!(
+            (r.mws_unopt as i64) < r.default_words,
+            "{}: window {} vs default {}",
+            r.name,
+            r.mws_unopt,
+            r.default_words
+        );
+        assert!(r.transform.is_unimodular(), "{}", r.name);
+    }
+
+    // Averages land in the paper's regime: ~82% before, more after.
+    assert!(fig2.avg_unopt() > 60.0 && fig2.avg_unopt() < 99.0);
+    assert!(fig2.avg_opt() >= fig2.avg_unopt());
+
+    // Kernels where a transformation exists see a real win.
+    assert!(row("2_point").mws_opt <= 3);
+    assert!(row("3_point").mws_opt <= 3);
+    assert!(row("rasta_flt").mws_opt <= 10);
+}
+
+#[test]
+fn accuracy_claim() {
+    // §5: "except for rasta_flt, our estimations were exact". In our
+    // reconstruction the closed forms cover the stencil kernels exactly;
+    // kernels with multi-reference rank-deficient accesses fall back to
+    // exact enumeration (estimate == exact by construction); estimates
+    // never undercount.
+    for r in loopmem_bench::experiments::accuracy_table() {
+        assert!(
+            r.estimate >= r.exact as i64,
+            "{}: estimate {} under exact {}",
+            r.name,
+            r.estimate,
+            r.exact
+        );
+        let err = (r.estimate as f64 - r.exact as f64) / r.exact as f64;
+        assert!(err < 0.35, "{}: error {:.2} too large", r.name, err);
+        // Our inclusion-exclusion extension is exact on every kernel.
+        assert_eq!(
+            r.estimate_exact, r.exact as i64,
+            "{}: improved estimator must be exact",
+            r.name
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Semantic guarantees of the transformation machinery: a unimodular
+//! transformation permutes the iteration order without changing the set of
+//! accesses, and the optimizer never regresses.
+
+use loopmem::core::optimize::{minimize_mws, SearchMode};
+use loopmem::core::apply_transform;
+use loopmem::dep::{analyze, is_legal};
+use loopmem::ir::parse;
+use loopmem::linalg::IMat;
+use loopmem::sim::{count_iterations, simulate};
+use proptest::prelude::*;
+
+/// Random 2×2 unimodular matrices via products of elementary generators
+/// (skews and the signed swap), so every sample is exactly unimodular.
+fn unimodular2() -> impl Strategy<Value = IMat> {
+    proptest::collection::vec((0usize..3, -2i64..=2), 1..5).prop_map(|ops| {
+        let mut m = IMat::identity(2);
+        for (kind, k) in ops {
+            let g = match kind {
+                0 => IMat::from_rows(&[vec![1, k], vec![0, 1]]),
+                1 => IMat::from_rows(&[vec![1, 0], vec![k, 1]]),
+                _ => IMat::from_rows(&[vec![0, 1], vec![-1, 0]]),
+            };
+            m = &g * &m;
+        }
+        m
+    })
+}
+
+fn small_nest() -> impl Strategy<Value = String> {
+    (3i64..=8, 3i64..=8, -2i64..=2, -2i64..=2).prop_map(|(n1, n2, d1, d2)| {
+        format!(
+            "array A[{}][{}]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ \
+             A[i + 3][j + 3] = A[i + {a}][j + {b}]; }} }}",
+            n1 + 6,
+            n2 + 6,
+            a = d1 + 3,
+            b = d2 + 3,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transformation_preserves_access_sets(src in small_nest(), t in unimodular2()) {
+        let nest = parse(&src).expect("generated source parses");
+        prop_assume!(t.is_unimodular());
+        let out = apply_transform(&nest, &t).expect("unimodular transforms apply");
+        prop_assert_eq!(count_iterations(&out), count_iterations(&nest), "{}", src);
+        let (a, b) = (simulate(&nest), simulate(&out));
+        prop_assert_eq!(a.distinct_total(), b.distinct_total(), "{}", src);
+        // Per-array access counts are preserved too (same multiset of work).
+        for (id, sa) in &a.per_array {
+            prop_assert_eq!(sa.accesses, b.per_array[id].accesses);
+            prop_assert_eq!(sa.distinct, b.per_array[id].distinct);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_inverse_is_identity(src in small_nest(), t in unimodular2()) {
+        let nest = parse(&src).expect("generated source parses");
+        let fwd = apply_transform(&nest, &t).expect("forward");
+        let back = apply_transform(&fwd, &t.unimodular_inverse().unwrap()).expect("inverse");
+        prop_assert_eq!(simulate(&back).mws_total, simulate(&nest).mws_total);
+    }
+
+    #[test]
+    fn optimizer_never_regresses(src in small_nest()) {
+        let nest = parse(&src).expect("generated source parses");
+        let opt = minimize_mws(&nest, SearchMode::default()).expect("identity is a candidate");
+        prop_assert!(opt.mws_after <= opt.mws_before, "{}", src);
+        // The reported transformation is legal and reproduces mws_after.
+        let deps = analyze(&nest);
+        prop_assert!(is_legal(&opt.transform, &deps));
+        let redo = apply_transform(&nest, &opt.transform).expect("reported T applies");
+        prop_assert_eq!(simulate(&redo).mws_total, opt.mws_after);
+    }
+
+    #[test]
+    fn interchange_reversal_is_never_better_than_compound(src in small_nest()) {
+        let nest = parse(&src).expect("generated source parses");
+        let compound = minimize_mws(&nest, SearchMode::default()).expect("compound");
+        let baseline = minimize_mws(&nest, SearchMode::InterchangeReversal).expect("baseline");
+        prop_assert!(
+            compound.mws_after <= baseline.mws_after,
+            "compound {} vs baseline {} for {}",
+            compound.mws_after,
+            baseline.mws_after,
+            src
+        );
+    }
+}
+
+#[test]
+fn illegal_transformation_is_rejected_by_legality_not_by_apply() {
+    // apply_transform is mechanical; legality lives in loopmem-dep.
+    let nest = parse(
+        "array A[20][20]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2]; } }",
+    )
+    .unwrap();
+    let deps = analyze(&nest);
+    let interchange = IMat::from_rows(&[vec![0, 1], vec![1, 0]]);
+    assert!(!is_legal(&interchange, &deps));
+    // It still applies (measuring an illegal order is allowed) …
+    let out = apply_transform(&nest, &interchange).unwrap();
+    // … and preserves the access set even though it breaks dataflow order.
+    assert_eq!(
+        simulate(&out).distinct_total(),
+        simulate(&nest).distinct_total()
+    );
+}
