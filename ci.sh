@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline CI: tier-1 build/test plus a smoke run of the performance suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: build =="
+cargo build --release --offline
+
+echo "== tier-1: test =="
+cargo test -q --offline
+
+echo "== workspace tests =="
+cargo test -q --offline --workspace
+
+echo "== perfsuite (smoke) =="
+rm -f BENCH_loopmem.json
+cargo run -q --release --offline -p loopmem-bench --bin perfsuite -- --smoke
+
+echo "== BENCH_loopmem.json well-formed =="
+test -s BENCH_loopmem.json
+python3 - <<'EOF'
+import json
+with open("BENCH_loopmem.json") as f:
+    d = json.load(f)
+assert d["suite"] == "loopmem-perfsuite", d.get("suite")
+assert isinstance(d["threads_default"], int) and d["threads_default"] >= 1
+assert d["results"], "no results recorded"
+for r in d["results"]:
+    assert {"bench", "subject", "threads", "millis", "iterations"} <= r.keys(), r
+assert any(k.endswith("dense1t_vs_hashmap") for k in d["speedups"]), d["speedups"]
+print(f"ok: {len(d['results'])} results, {len(d['speedups'])} speedups")
+EOF
+
+echo "== ci passed =="

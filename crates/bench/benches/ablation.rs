@@ -5,8 +5,11 @@
 //!   bound grows);
 //! * how much exact re-simulation the candidate-ranking heuristic saves
 //!   (`simulate_top` sensitivity of the compound search).
+//!
+//! Dependency-free harness (std `Instant`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+mod util;
+
 use loopmem_core::optimize::{minimize_mws, SearchMode};
 use loopmem_core::{branch_and_bound, two_level_objective};
 use loopmem_dep::legality::row_tileable;
@@ -14,7 +17,7 @@ use loopmem_dep::{analyze, DependenceSet};
 use loopmem_ir::parse;
 use loopmem_linalg::gcd::gcd_i64;
 use loopmem_linalg::Rational;
-use std::hint::black_box;
+use util::bench;
 
 fn example8_deps() -> DependenceSet {
     analyze(
@@ -41,41 +44,31 @@ fn exhaustive(alpha: (i64, i64), deps: &DependenceSet, bound: i64) -> Option<Rat
     best
 }
 
-fn bench_bnb_vs_exhaustive(c: &mut Criterion) {
+fn main() {
     let deps = example8_deps();
-    let mut g = c.benchmark_group("leading_row_search");
+    println!("== leading-row search: branch & bound vs exhaustive ==");
     for bound in [4i64, 8, 16, 32, 64] {
-        g.bench_with_input(BenchmarkId::new("branch_and_bound", bound), &bound, |b, &n| {
-            b.iter(|| black_box(branch_and_bound((2, 5), &deps, (25, 10), n)))
+        bench(&format!("branch_and_bound/{bound}"), || {
+            branch_and_bound((2, 5), &deps, (25, 10), bound)
         });
-        g.bench_with_input(BenchmarkId::new("exhaustive", bound), &bound, |b, &n| {
-            b.iter(|| black_box(exhaustive((2, 5), &deps, n)))
+        bench(&format!("exhaustive/{bound}"), || {
+            exhaustive((2, 5), &deps, bound)
         });
     }
-    g.finish();
-}
 
-fn bench_simulate_top(c: &mut Criterion) {
+    println!("== compound search: simulate_top sensitivity ==");
     let nest = loopmem_bench::kernel_by_name("full_search")
         .expect("kernel exists")
         .nest();
-    let mut g = c.benchmark_group("compound_simulate_top");
-    g.sample_size(10);
     for top in [1usize, 4, 12, 24] {
-        g.bench_with_input(BenchmarkId::from_parameter(top), &top, |b, &top| {
-            b.iter(|| {
-                black_box(minimize_mws(
-                    black_box(&nest),
-                    SearchMode::Compound {
-                        max_coeff: 6,
-                        simulate_top: top,
-                    },
-                ))
-            })
+        bench(&format!("simulate_top/{top}"), || {
+            minimize_mws(
+                &nest,
+                SearchMode::Compound {
+                    max_coeff: 6,
+                    simulate_top: top,
+                },
+            )
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_bnb_vs_exhaustive, bench_simulate_top);
-criterion_main!(benches);

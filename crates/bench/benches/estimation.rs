@@ -4,48 +4,32 @@
 //! counting of Clauss and Pugh. This bench quantifies the gap on the seven
 //! kernels and on a size sweep of the Example 4 access pattern: the
 //! closed forms are O(depth · refs) while enumeration scales with the
-//! iteration count.
+//! iteration count. Dependency-free harness (std `Instant`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+mod util;
+
 use loopmem_bench::all_kernels;
 use loopmem_core::estimate_distinct;
 use loopmem_ir::parse;
 use loopmem_poly::count::distinct_accesses;
-use std::hint::black_box;
+use util::bench;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("distinct_accesses");
-    g.sample_size(10);
+fn main() {
+    println!("== distinct accesses: formula vs enumeration, paper kernels ==");
     for k in all_kernels() {
         let nest = k.nest();
-        g.bench_with_input(BenchmarkId::new("formula", k.name), &nest, |b, nest| {
-            b.iter(|| black_box(estimate_distinct(black_box(nest))))
-        });
-        g.bench_with_input(BenchmarkId::new("enumerate", k.name), &nest, |b, nest| {
-            b.iter(|| black_box(distinct_accesses(black_box(nest))))
-        });
+        bench(&format!("formula/{}", k.name), || estimate_distinct(&nest));
+        bench(&format!("enumerate/{}", k.name), || distinct_accesses(&nest));
     }
-    g.finish();
-}
 
-fn bench_size_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("example4_sweep");
-    g.sample_size(10);
+    println!("== example 4 size sweep ==");
     for n in [10i64, 40, 160, 640] {
         let src = format!(
             "array A[{}]\nfor i = 1 to {n} {{ for j = 1 to {n} {{ A[2i + 5j + 1]; }} }}",
             7 * n + 10
         );
         let nest = parse(&src).expect("sweep kernel parses");
-        g.bench_with_input(BenchmarkId::new("formula", n), &nest, |b, nest| {
-            b.iter(|| black_box(estimate_distinct(black_box(nest))))
-        });
-        g.bench_with_input(BenchmarkId::new("enumerate", n), &nest, |b, nest| {
-            b.iter(|| black_box(distinct_accesses(black_box(nest))))
-        });
+        bench(&format!("formula/{n}"), || estimate_distinct(&nest));
+        bench(&format!("enumerate/{n}"), || distinct_accesses(&nest));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_kernels, bench_size_sweep);
-criterion_main!(benches);

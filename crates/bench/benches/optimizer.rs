@@ -5,35 +5,23 @@
 //! practice (≤ 4)". This bench measures the full search — candidate
 //! generation, legality filtering, ranking, and exact re-simulation — for
 //! the compound mode and the interchange+reversal baseline.
+//! Dependency-free harness (std `Instant`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+mod util;
+
 use loopmem_bench::all_kernels;
 use loopmem_core::optimize::{minimize_mws, SearchMode};
-use std::hint::black_box;
+use util::bench;
 
-fn bench_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("minimize_mws");
-    g.sample_size(10);
+fn main() {
+    println!("== minimize_mws: compound vs interchange+reversal ==");
     for k in all_kernels() {
         let nest = k.nest();
-        g.bench_with_input(BenchmarkId::new("compound", k.name), &nest, |b, nest| {
-            b.iter(|| black_box(minimize_mws(black_box(nest), SearchMode::default())))
+        bench(&format!("compound/{}", k.name), || {
+            minimize_mws(&nest, SearchMode::default())
         });
-        g.bench_with_input(
-            BenchmarkId::new("interchange_reversal", k.name),
-            &nest,
-            |b, nest| {
-                b.iter(|| {
-                    black_box(minimize_mws(
-                        black_box(nest),
-                        SearchMode::InterchangeReversal,
-                    ))
-                })
-            },
-        );
+        bench(&format!("interchange_reversal/{}", k.name), || {
+            minimize_mws(&nest, SearchMode::InterchangeReversal)
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);

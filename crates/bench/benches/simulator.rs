@@ -1,40 +1,31 @@
 //! Throughput of the exact-window simulator (the reproduction's ground
 //! truth), per kernel and against nest size.
+//!
+//! Dependency-free harness: `harness = false` + `std::time::Instant`
+//! (criterion is unavailable offline). For the cross-PR tracked numbers,
+//! run the `perfsuite` binary instead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+mod util;
+
 use loopmem_bench::all_kernels;
 use loopmem_ir::parse;
 use loopmem_sim::{count_iterations, simulate};
-use std::hint::black_box;
+use util::bench;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate");
-    g.sample_size(10);
+fn main() {
+    println!("== simulate: paper kernels ==");
     for k in all_kernels() {
         let nest = k.nest();
-        g.throughput(Throughput::Elements(count_iterations(&nest)));
-        g.bench_with_input(BenchmarkId::from_parameter(k.name), &nest, |b, nest| {
-            b.iter(|| black_box(simulate(black_box(nest))))
-        });
+        let iters = count_iterations(&nest);
+        bench(&format!("simulate/{} ({iters} its)", k.name), || simulate(&nest));
     }
-    g.finish();
-}
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_scaling");
-    g.sample_size(10);
+    println!("== simulate: size scaling ==");
     for n in [32i64, 64, 128, 256] {
         let src = format!(
             "array A[{n}][{n}]\nfor i = 2 to {n} {{ for j = 1 to {n} {{ A[i][j] = A[i-1][j] + A[i][j]; }} }}"
         );
         let nest = parse(&src).expect("scaling kernel parses");
-        g.throughput(Throughput::Elements(count_iterations(&nest)));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &nest, |b, nest| {
-            b.iter(|| black_box(simulate(black_box(nest))))
-        });
+        bench(&format!("simulate_scaling/{n}"), || simulate(&nest));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_kernels, bench_scaling);
-criterion_main!(benches);

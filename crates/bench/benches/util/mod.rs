@@ -1,0 +1,25 @@
+//! Shared std-`Instant` measurement loop for the `harness = false` benches
+//! (criterion is unavailable offline).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Runs `f` a few warm-up times, then measures the median of `RUNS`
+/// timed executions and prints one aligned line.
+pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) {
+    const WARMUP: usize = 2;
+    const RUNS: usize = 5;
+    for _ in 0..WARMUP {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[RUNS / 2];
+    println!("  {label:<56} {:>12.3} ms", median * 1e3);
+}

@@ -1,0 +1,221 @@
+//! Dependency-free performance suite for the `loopmem` workspace.
+//!
+//! Times the simulator (dense engine vs the legacy hashmap engine, 1..=N
+//! worker threads), the per-iteration profile, and each optimizer search
+//! mode on the paper kernels plus two ≥10⁷-iteration synthetic nests.
+//! Prints a table and writes machine-readable results to
+//! `BENCH_loopmem.json` at the repository root.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfsuite [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the synthetics to ~10⁵ iterations so CI can assert
+//! the harness end-to-end in seconds; the JSON shape is identical.
+//! Worker threads come from `LOOPMEM_THREADS` (default: available
+//! parallelism).
+
+use loopmem_bench::all_kernels;
+use loopmem_core::optimize::{minimize_mws_with_threads, SearchMode};
+use loopmem_ir::{parse, LoopNest};
+use loopmem_sim::{simulate_hashmap, simulate_with_profile, simulate_with_threads, thread_count};
+use std::time::Instant;
+
+/// One timed measurement.
+struct Row {
+    bench: String,
+    subject: String,
+    threads: usize,
+    millis: f64,
+    iterations: u64,
+    mws_total: Option<u64>,
+}
+
+fn time_ms<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64() * 1e3, out)
+}
+
+/// Median-of-3 timing for cheap subjects; single-shot for expensive ones.
+fn time_median3<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let (a, _) = time_ms(&mut f);
+    let (b, _) = time_ms(&mut f);
+    let (c, out) = time_ms(&mut f);
+    let mut v = [a, b, c];
+    v.sort_by(f64::total_cmp);
+    (v[1], out)
+}
+
+fn synthetic_stream(smoke: bool) -> LoopNest {
+    // Element-heavy row stencil: ~12M iterations (~1M distinct elements),
+    // the dense engine's best case against per-access hashing.
+    let (t, n) = if smoke { (2, 100) } else { (12, 1000) };
+    parse(&format!(
+        "array A[{}][{}]\nfor t = 1 to {t} {{ for i = 2 to {n} {{ for j = 1 to {n} {{ A[i][j] = A[i-1][j]; }} }} }}",
+        n + 2,
+        n + 2,
+    ))
+    .expect("synthetic parses")
+}
+
+fn synthetic_reuse(smoke: bool) -> LoopNest {
+    // Reuse-heavy 1-D nest (Example 8 scaled up): 10M iterations over a
+    // ~20k-element footprint, stressing touch-table updates.
+    let (i, j) = if smoke { (400, 250) } else { (4000, 2500) };
+    parse(&format!(
+        "array X[{}]\nfor i = 1 to {i} {{ for j = 1 to {j} {{ X[2i + 5j + 1] = X[2i + 5j + 5]; }} }}",
+        2 * i + 5 * j + 8,
+    ))
+    .expect("synthetic parses")
+}
+
+fn optimizer_examples() -> Vec<(&'static str, LoopNest)> {
+    vec![
+        (
+            "example7",
+            parse("array X[100]\nfor i = 1 to 20 { for j = 1 to 30 { X[2i - 3j]; } }").unwrap(),
+        ),
+        (
+            "example8",
+            parse(
+                "array X[200]\nfor i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }",
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &std::path::Path, rows: &[Row], speedups: &[(String, f64)], threads: usize) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"loopmem-perfsuite\",\n");
+    out.push_str(&format!("  \"threads_default\": {threads},\n"));
+    out.push_str("  \"results\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"subject\": \"{}\", \"threads\": {}, \"millis\": {:.3}, \"iterations\": {}, \"mws_total\": {}}}{}\n",
+            json_escape(&r.bench),
+            json_escape(&r.subject),
+            r.threads,
+            r.millis,
+            r.iterations,
+            r.mws_total.map_or("null".to_string(), |m| m.to_string()),
+            if k + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": {\n");
+    for (k, (name, v)) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {:.3}{}\n",
+            json_escape(name),
+            v,
+            if k + 1 == speedups.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|k| args.get(k + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/bench -> repository root.
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_loopmem.json")
+        });
+    let nthreads = thread_count();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    println!("loopmem perfsuite ({}, {} worker threads)", if smoke { "smoke" } else { "full" }, nthreads);
+    println!();
+    println!("{:<34} {:>7} {:>12} {:>14}", "bench", "threads", "millis", "iterations");
+
+    let record = |rows: &mut Vec<Row>, bench: &str, subject: &str, threads: usize, millis: f64, iterations: u64, mws: Option<u64>| {
+        println!("{:<34} {:>7} {:>12.3} {:>14}", format!("{bench}/{subject}"), threads, millis, iterations);
+        rows.push(Row {
+            bench: bench.to_string(),
+            subject: subject.to_string(),
+            threads,
+            millis,
+            iterations,
+            mws_total: mws,
+        });
+    };
+
+    // --- paper kernels: dense vs hashmap, plus the profile variant -------
+    for k in all_kernels() {
+        let nest = k.nest();
+        let (ms, s) = time_median3(|| simulate_with_threads(&nest, false, 1));
+        record(&mut rows, "simulate", k.name, 1, ms, s.iterations, Some(s.mws_total));
+        let (ms, s) = time_median3(|| simulate_hashmap(&nest));
+        record(&mut rows, "simulate-hashmap", k.name, 1, ms, s.iterations, Some(s.mws_total));
+        let (ms, s) = time_median3(|| simulate_with_profile(&nest));
+        record(&mut rows, "simulate-profile", k.name, nthreads, ms, s.iterations, Some(s.mws_total));
+    }
+
+    // --- synthetics: engine comparison and thread scaling ----------------
+    for (name, nest) in [
+        ("synth-stream", synthetic_stream(smoke)),
+        ("synth-reuse", synthetic_reuse(smoke)),
+    ] {
+        let (hash_ms, s) = time_ms(|| simulate_hashmap(&nest));
+        let baseline = s.mws_total;
+        record(&mut rows, "simulate-hashmap", name, 1, hash_ms, s.iterations, Some(s.mws_total));
+        let mut dense1_ms = f64::NAN;
+        for threads in [1usize, 2, 4] {
+            let (ms, s) = time_ms(|| simulate_with_threads(&nest, false, threads));
+            assert_eq!(s.mws_total, baseline, "engines disagree on {name}");
+            if threads == 1 {
+                dense1_ms = ms;
+            }
+            record(&mut rows, "simulate-dense", name, threads, ms, s.iterations, Some(s.mws_total));
+            speedups.push((
+                format!("{name}_dense{threads}t_vs_hashmap"),
+                hash_ms / ms,
+            ));
+        }
+        speedups.push((format!("{name}_dense1t_vs_hashmap"), hash_ms / dense1_ms));
+        let (profile_ms, s) = time_ms(|| simulate_with_profile(&nest));
+        record(&mut rows, "simulate-profile", name, nthreads, profile_ms, s.iterations, Some(s.mws_total));
+    }
+
+    // --- optimizer search modes ------------------------------------------
+    for (name, nest) in optimizer_examples() {
+        for (mode_name, mode) in [
+            ("compound", SearchMode::default()),
+            ("interchange-reversal", SearchMode::InterchangeReversal),
+            ("li-pingali", SearchMode::LiPingali),
+        ] {
+            let (ms, r) = time_median3(|| minimize_mws_with_threads(&nest, mode, nthreads));
+            let mws = r.as_ref().ok().map(|o| o.mws_after);
+            record(
+                &mut rows,
+                &format!("optimize-{mode_name}"),
+                name,
+                nthreads,
+                ms,
+                0,
+                mws,
+            );
+        }
+    }
+    let (hits, misses) = loopmem_core::optimize::memo_stats();
+    println!();
+    println!("optimizer memo: {hits} hits / {misses} misses");
+    speedups.push(("optimizer_memo_hits".to_string(), hits as f64));
+
+    write_json(&out_path, &rows, &speedups, nthreads);
+    println!("wrote {}", out_path.display());
+}

@@ -66,7 +66,9 @@ pub use union_count::exact_union_count;
 pub use estimator::{analyze_memory, MemoryAnalysis};
 pub use fusion::{fuse, FusionError};
 pub use mws::{estimate_nest_mws, three_level_estimate, two_level_estimate, two_level_objective};
-pub use optimize::{minimize_mws, Optimization, OptimizeError, SearchMode};
+pub use optimize::{
+    memo_stats, minimize_mws, minimize_mws_with_threads, Optimization, OptimizeError, SearchMode,
+};
 pub use program_opt::{analyze_program, optimize_program, ProgramAnalysis, ProgramOptimization};
 pub use symbolic::{distinct_formulas, Poly, SymbolicEstimate};
 pub use tile::{tile, tile_count, TileError};

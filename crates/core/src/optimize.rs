@@ -26,9 +26,12 @@ use loopmem_dep::{analyze, DependenceSet};
 use loopmem_ir::LoopNest;
 use loopmem_linalg::gcd::{extended_gcd, gcd_i64};
 use loopmem_linalg::{complete_unimodular_rows, IMat};
-use loopmem_sim::simulate;
+use loopmem_sim::simulate_with_threads;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Which transformation space to search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,6 +102,82 @@ pub struct Optimization {
     pub mws_after: u64,
     /// Number of legal candidates the search considered.
     pub candidates_considered: usize,
+    /// How many candidate simulations this search served from the
+    /// process-wide memo table instead of re-simulating.
+    pub cache_hits: usize,
+}
+
+// ------------------------------------------------------------------ memo --
+
+/// Process-wide memo of exact simulation results, keyed by the canonical
+/// printed form of the nest. Different candidate matrices frequently
+/// produce the *same* transformed nest (and every search re-simulates the
+/// identity), so repeated and multi-mode searches hit this table hard.
+struct Memo {
+    map: Mutex<HashMap<String, u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn memo() -> &'static Memo {
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    MEMO.get_or_init(|| Memo {
+        map: Mutex::new(HashMap::new()),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// `(hits, misses)` of the process-wide simulation memo since startup.
+pub fn memo_stats() -> (u64, u64) {
+    let m = memo();
+    (m.hits.load(Ordering::Relaxed), m.misses.load(Ordering::Relaxed))
+}
+
+/// Canonical memo key: everything the simulator observes — array decls,
+/// bound pieces, reference matrices/offsets — but *not* loop-variable
+/// names, so a nest and its identity transform (which renames `i, j` to
+/// `t1, t2`) key identically.
+fn canonical_key(nest: &LoopNest) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for a in nest.arrays() {
+        let _ = write!(s, "A{}:{:?};", a.name, a.dims);
+    }
+    for l in nest.loops() {
+        s.push('L');
+        for p in l.lower.pieces() {
+            let _ = write!(s, "l{:?}+{}/{};", p.expr.coeffs(), p.expr.constant_term(), p.div);
+        }
+        for p in l.upper.pieces() {
+            let _ = write!(s, "u{:?}+{}/{};", p.expr.coeffs(), p.expr.constant_term(), p.div);
+        }
+    }
+    for st in nest.statements() {
+        for r in st.refs() {
+            let _ = write!(s, "R{}:{:?}:", r.array.0, r.kind);
+            for d in 0..r.rank() {
+                let _ = write!(s, "{:?}+{};", r.matrix.row(d), r.offset[d]);
+            }
+        }
+    }
+    s
+}
+
+/// Memoized exact MWS of a nest; `true` when served from the table.
+/// Simulations run single-threaded — the optimizer parallelizes over
+/// candidates, so nesting parallel sweeps would only oversubscribe.
+fn memoized_mws(nest: &LoopNest) -> (u64, bool) {
+    let m = memo();
+    let key = canonical_key(nest);
+    if let Some(&v) = m.map.lock().expect("memo poisoned").get(&key) {
+        m.hits.fetch_add(1, Ordering::Relaxed);
+        return (v, true);
+    }
+    let v = simulate_with_threads(nest, false, 1).mws_total;
+    m.misses.fetch_add(1, Ordering::Relaxed);
+    m.map.lock().expect("memo poisoned").insert(key, v);
+    (v, false)
 }
 
 /// Searches `mode`'s space for the transformation minimizing the exact MWS.
@@ -113,6 +192,17 @@ pub struct Optimization {
 /// [`OptimizeError::NoLegalTransform`] when the candidate space is empty
 /// (possible for [`SearchMode::LiPingali`]).
 pub fn minimize_mws(nest: &LoopNest, mode: SearchMode) -> Result<Optimization, OptimizeError> {
+    minimize_mws_with_threads(nest, mode, loopmem_sim::thread_count())
+}
+
+/// [`minimize_mws`] with a pinned evaluator-thread count. The winner is
+/// chosen by `(exact MWS, candidate rank)`, so the result is bit-identical
+/// for every `threads` value.
+pub fn minimize_mws_with_threads(
+    nest: &LoopNest,
+    mode: SearchMode,
+    threads: usize,
+) -> Result<Optimization, OptimizeError> {
     let deps = analyze(nest);
     let n = nest.depth();
     let candidates = match mode {
@@ -142,28 +232,83 @@ pub fn minimize_mws(nest: &LoopNest, mode: SearchMode) -> Result<Optimization, O
         return Err(OptimizeError::NoLegalTransform);
     }
 
-    let mws_before = simulate(nest).mws_total;
-    let mut best: Option<(u64, IMat, LoopNest)> = None;
-    let considered = candidates.len();
-    for t in candidates {
-        let out = apply_transform(nest, &t)?;
-        let mws = simulate(&out).mws_total;
-        let better = match &best {
-            None => true,
-            Some((b, _, _)) => mws < *b,
-        };
-        if better {
-            best = Some((mws, t, out));
-        }
+    let hits = AtomicUsize::new(0);
+    let (mws_before, before_hit) = memoized_mws(nest);
+    if before_hit {
+        hits.fetch_add(1, Ordering::Relaxed);
     }
-    let (mws_after, transform, transformed) = best.expect("candidates were non-empty");
+    let considered = candidates.len();
+    let evals = evaluate_candidates(nest, &candidates, threads, &hits);
+
+    // Serial semantics: an apply failure aborts the scan, so the earliest
+    // failing candidate wins over any simulated result.
+    if let Some((_, Err(e))) = evals
+        .iter()
+        .filter(|(_, r)| r.is_err())
+        .min_by_key(|(rank, _)| *rank)
+    {
+        return Err(e.clone());
+    }
+    let (mws_after, rank) = evals
+        .into_iter()
+        .map(|(rank, r)| {
+            let mws = r.expect("errors were handled above");
+            (mws, rank)
+        })
+        .min()
+        .expect("candidates were non-empty");
+    let transform = candidates.into_iter().nth(rank).expect("rank is in range");
+    let transformed = apply_transform(nest, &transform)?;
     Ok(Optimization {
         transform,
         transformed,
         mws_before,
         mws_after,
         candidates_considered: considered,
+        cache_hits: hits.into_inner(),
     })
+}
+
+/// Evaluates each candidate's exact MWS (memoized), in parallel on a
+/// scoped-thread pool when `threads > 1`. Returns `(rank, result)` pairs;
+/// order of the returned vector is unspecified, ranks identify candidates.
+fn evaluate_candidates(
+    nest: &LoopNest,
+    candidates: &[IMat],
+    threads: usize,
+    hits: &AtomicUsize,
+) -> Vec<(usize, Result<u64, OptimizeError>)> {
+    let eval_one = |t: &IMat| -> Result<u64, OptimizeError> {
+        let out = apply_transform(nest, t)?;
+        let (mws, hit) = memoized_mws(&out);
+        if hit {
+            hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(mws)
+    };
+    let workers = threads.max(1).min(candidates.len());
+    if workers <= 1 {
+        return candidates
+            .iter()
+            .enumerate()
+            .map(|(rank, t)| (rank, eval_one(t)))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new(Vec::with_capacity(candidates.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let rank = next.fetch_add(1, Ordering::Relaxed);
+                if rank >= candidates.len() {
+                    break;
+                }
+                let r = eval_one(&candidates[rank]);
+                results.lock().expect("results poisoned").push((rank, r));
+            });
+        }
+    });
+    results.into_inner().expect("results poisoned")
 }
 
 // ------------------------------------------------------------ candidates --
@@ -510,6 +655,44 @@ mod tests {
             let nest = parse(src).unwrap();
             let opt = minimize_mws(&nest, SearchMode::default()).unwrap();
             assert!(opt.mws_after <= opt.mws_before, "{src}");
+        }
+    }
+
+    #[test]
+    fn memoization_serves_repeated_searches() {
+        // The identity candidate re-simulates the input nest, which the
+        // mws_before computation already inserted into the memo — so even
+        // a single search records hits, and a repeat is almost all hits.
+        // The nest is unique to this test: the memo is process-wide and
+        // concurrently running tests would otherwise pre-populate it.
+        let nest =
+            parse("array X[160]\nfor i = 1 to 21 { for j = 1 to 17 { X[3i - 7j + 120]; } }")
+                .unwrap();
+        let first = minimize_mws(&nest, SearchMode::default()).unwrap();
+        assert!(first.cache_hits > 0, "identity candidate must hit the memo");
+        let again = minimize_mws(&nest, SearchMode::default()).unwrap();
+        assert!(again.cache_hits > first.cache_hits);
+        assert_eq!(again.mws_after, first.mws_after);
+        assert_eq!(again.transform, first.transform);
+        let (hits, misses) = memo_stats();
+        assert!(hits > 0 && misses > 0);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        for src in [
+            "array X[100]\nfor i = 1 to 20 { for j = 1 to 30 { X[2i - 3j]; } }",
+            "array X[200]\nfor i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }",
+        ] {
+            let nest = parse(src).unwrap();
+            let serial = minimize_mws_with_threads(&nest, SearchMode::default(), 1).unwrap();
+            for threads in [2, 4, 7] {
+                let par = minimize_mws_with_threads(&nest, SearchMode::default(), threads).unwrap();
+                assert_eq!(par.transform, serial.transform, "{src}");
+                assert_eq!(par.mws_after, serial.mws_after);
+                assert_eq!(par.mws_before, serial.mws_before);
+                assert_eq!(par.candidates_considered, serial.candidates_considered);
+            }
         }
     }
 

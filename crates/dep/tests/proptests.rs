@@ -1,36 +1,32 @@
-//! Property tests: dependence analysis against brute-force collision
-//! detection.
+//! Property-style tests: dependence analysis against brute-force collision
+//! detection. Deterministic (seeded `Lcg`), no external dependencies.
 
 use loopmem_dep::{analyze, lex_positive};
 use loopmem_ir::parse;
-use proptest::prelude::*;
+use loopmem_linalg::Lcg;
 use std::collections::HashSet;
 
 /// Random two-reference uniformly generated nest over a small box.
-fn uniform_pair() -> impl Strategy<Value = (String, i64, i64, i64, i64, i64, i64)> {
-    (
-        3i64..=8,
-        3i64..=8,
-        1i64..=4,
-        -4i64..=4,
-        0i64..=6,
-        0i64..=6,
-    )
-        .prop_map(|(n1, n2, p, q, c1, c2)| {
-            let qterm = if q >= 0 {
-                format!("+ {q}*j")
-            } else {
-                format!("- {}*j", -q)
-            };
-            let base = 40; // keep subscripts positive
-            let src = format!(
-                "array A[200]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ \
-                 A[{p}*i {qterm} + {o1}] = A[{p}*i {qterm} + {o2}]; }} }}",
-                o1 = base + c1,
-                o2 = base + c2,
-            );
-            (src, n1, n2, p, q, c1, c2)
-        })
+fn uniform_pair(rng: &mut Lcg) -> (String, i64, i64, i64, i64, i64, i64) {
+    let n1 = rng.range_i64(3, 8);
+    let n2 = rng.range_i64(3, 8);
+    let p = rng.range_i64(1, 4);
+    let q = rng.range_i64(-4, 4);
+    let c1 = rng.range_i64(0, 6);
+    let c2 = rng.range_i64(0, 6);
+    let qterm = if q >= 0 {
+        format!("+ {q}*j")
+    } else {
+        format!("- {}*j", -q)
+    };
+    let base = 40; // keep subscripts positive
+    let src = format!(
+        "array A[200]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ \
+         A[{p}*i {qterm} + {o1}] = A[{p}*i {qterm} + {o2}]; }} }}",
+        o1 = base + c1,
+        o2 = base + c2,
+    );
+    (src, n1, n2, p, q, c1, c2)
 }
 
 /// Brute-force set of positive collision distances between any two
@@ -60,26 +56,30 @@ fn brute_distances(n1: i64, n2: i64, p: i64, q: i64, c1: i64, c2: i64) -> HashSe
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn reported_distances_are_real((src, n1, n2, p, q, c1, c2) in uniform_pair()) {
+#[test]
+fn reported_distances_are_real() {
+    let mut rng = Lcg::new(0x41);
+    for _ in 0..96 {
+        let (src, n1, n2, p, q, c1, c2) = uniform_pair(&mut rng);
         let nest = parse(&src).expect("generated source parses");
         let deps = analyze(&nest);
         let truth = brute_distances(n1, n2, p, q, c1, c2);
         for d in deps.iter() {
-            prop_assert!(
+            assert!(
                 truth.contains(&d.distance),
                 "analysis reported {:?} but no collision exists ({src})",
                 d.distance
             );
-            prop_assert!(lex_positive(&d.distance));
+            assert!(lex_positive(&d.distance));
         }
     }
+}
 
-    #[test]
-    fn lex_min_collision_is_reported((src, n1, n2, p, q, c1, c2) in uniform_pair()) {
+#[test]
+fn lex_min_collision_is_reported() {
+    let mut rng = Lcg::new(0x42);
+    for _ in 0..96 {
+        let (src, n1, n2, p, q, c1, c2) = uniform_pair(&mut rng);
         // The analysis records at least the lexicographically smallest
         // true distance (the §4.2 "dependence vector of interest").
         let nest = parse(&src).expect("generated source parses");
@@ -87,33 +87,39 @@ proptest! {
         let truth = brute_distances(n1, n2, p, q, c1, c2);
         if let Some(min_true) = truth.iter().min() {
             let reported: Vec<&Vec<i64>> = deps.iter().map(|d| &d.distance).collect();
-            prop_assert!(
+            assert!(
                 reported.contains(&min_true),
-                "lex-min collision {:?} missing from {:?} ({src})",
-                min_true,
-                reported
+                "lex-min collision {min_true:?} missing from {reported:?} ({src})"
             );
         }
     }
+}
 
-    #[test]
-    fn no_dependence_means_no_collision((src, n1, n2, p, q, c1, c2) in uniform_pair()) {
+#[test]
+fn no_dependence_means_no_collision() {
+    let mut rng = Lcg::new(0x43);
+    for _ in 0..96 {
+        let (src, n1, n2, p, q, c1, c2) = uniform_pair(&mut rng);
         let nest = parse(&src).expect("generated source parses");
         let deps = analyze(&nest);
         if deps.is_empty() {
             let truth = brute_distances(n1, n2, p, q, c1, c2);
-            prop_assert!(truth.is_empty(), "missed collisions {truth:?} ({src})");
+            assert!(truth.is_empty(), "missed collisions {truth:?} ({src})");
         }
     }
+}
 
-    #[test]
-    fn levels_are_consistent((src, _n1, _n2, _p, _q, _c1, _c2) in uniform_pair()) {
+#[test]
+fn levels_are_consistent() {
+    let mut rng = Lcg::new(0x44);
+    for _ in 0..96 {
+        let (src, ..) = uniform_pair(&mut rng);
         let nest = parse(&src).expect("generated source parses");
         for d in analyze(&nest).iter() {
             let lvl = d.level();
-            prop_assert!((1..=2).contains(&lvl));
-            prop_assert!(d.distance[..lvl - 1].iter().all(|&x| x == 0));
-            prop_assert!(d.distance[lvl - 1] > 0);
+            assert!((1..=2).contains(&lvl), "{src}");
+            assert!(d.distance[..lvl - 1].iter().all(|&x| x == 0), "{src}");
+            assert!(d.distance[lvl - 1] > 0, "{src}");
         }
     }
 }

@@ -52,6 +52,84 @@ impl ArrayDecl {
     }
 }
 
+/// Row-major flattening of element coordinates inside a bounding box.
+///
+/// Built from conservative per-dimension index ranges (see
+/// [`ArrayRef::index_ranges`]), this maps each in-box coordinate vector to
+/// a dense cell offset so simulators can replace hash maps with flat
+/// tables. Out-of-box coordinates flatten to `None`.
+///
+/// ```
+/// use loopmem_ir::ElementBox;
+/// let b = ElementBox::new(&[(1, 4), (0, 9)]); // 4 x 10 box
+/// assert_eq!(b.cells(), 40);
+/// assert_eq!(b.flatten(&[1, 0]), Some(0));
+/// assert_eq!(b.flatten(&[2, 3]), Some(13));
+/// assert_eq!(b.flatten(&[0, 0]), None); // below the box
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElementBox {
+    lo: Vec<i64>,
+    extents: Vec<i64>,
+    strides: Vec<i64>,
+    cells: u128,
+}
+
+impl ElementBox {
+    /// Builds a box from inclusive per-dimension ranges. Empty (inverted)
+    /// ranges produce a zero-cell box that flattens nothing.
+    pub fn new(ranges: &[(i64, i64)]) -> Self {
+        let lo: Vec<i64> = ranges.iter().map(|&(l, _)| l).collect();
+        let extents: Vec<i64> = ranges.iter().map(|&(l, h)| (h - l + 1).max(0)).collect();
+        let mut strides = vec![0i64; ranges.len()];
+        let mut cells: u128 = 1;
+        for d in (0..ranges.len()).rev() {
+            strides[d] = if cells > u64::MAX as u128 { 0 } else { cells as i64 };
+            cells = cells.saturating_mul(extents[d] as u128);
+        }
+        ElementBox {
+            lo,
+            extents,
+            strides,
+            cells,
+        }
+    }
+
+    /// Number of cells in the box (0 when any dimension is empty).
+    pub fn cells(&self) -> u128 {
+        self.cells
+    }
+
+    /// Per-dimension lower corner of the box.
+    pub fn lo(&self) -> &[i64] {
+        &self.lo
+    }
+
+    /// Row-major strides (innermost dimension has stride 1). Zero when the
+    /// box is too large to address linearly.
+    pub fn strides(&self) -> &[i64] {
+        &self.strides
+    }
+
+    /// Dense row-major offset of `idx`, or `None` when outside the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len()` differs from the box rank.
+    pub fn flatten(&self, idx: &[i64]) -> Option<usize> {
+        assert_eq!(idx.len(), self.lo.len(), "coordinate rank mismatch");
+        let mut off: usize = 0;
+        for d in 0..idx.len() {
+            let rel = idx[d] - self.lo[d];
+            if rel < 0 || rel >= self.extents[d] {
+                return None;
+            }
+            off += rel as usize * self.strides[d] as usize;
+        }
+        Some(off)
+    }
+}
+
 /// Whether a reference reads or writes its element.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AccessKind {
@@ -132,6 +210,18 @@ impl ArrayRef {
             *x += b;
         }
         v
+    }
+
+    /// Conservative per-dimension subscript ranges over a per-variable
+    /// box: evaluating the reference anywhere inside `var_ranges` yields an
+    /// index inside the returned box. Exact over non-empty boxes (affine
+    /// extrema sit at corners); the dense simulator engine uses this to
+    /// size flat touch tables.
+    pub fn index_ranges(&self, var_ranges: &[(i64, i64)]) -> Vec<(i64, i64)> {
+        self.subscripts()
+            .iter()
+            .map(|s| s.eval_interval(var_ranges))
+            .collect()
     }
 
     /// Per-dimension affine subscripts.

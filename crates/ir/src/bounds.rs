@@ -77,6 +77,22 @@ impl Bound {
             .expect("bounds are non-empty")
     }
 
+    /// Conservative range of the bound's value over a per-variable box:
+    /// every `eval_lower`/`eval_upper` result at a point of the box lies in
+    /// the returned `(min, max)`. Used by the dense simulator engine to
+    /// size its touch tables; looseness only costs memory, never
+    /// correctness.
+    pub fn value_range(&self, ranges: &[(i64, i64)]) -> (i64, i64) {
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for p in &self.pieces {
+            let (elo, ehi) = p.expr.eval_interval(ranges);
+            lo = lo.min(loopmem_linalg::gcd::div_floor(elo, p.div));
+            hi = hi.max(loopmem_linalg::gcd::div_ceil(ehi, p.div));
+        }
+        (lo, hi)
+    }
+
     /// Evaluates as an upper bound: `min` over pieces of `floor(expr/div)`.
     pub fn eval_upper(&self, iter: &[i64]) -> i64 {
         self.pieces

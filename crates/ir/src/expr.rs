@@ -85,6 +85,31 @@ impl Affine {
         acc.try_into().expect("affine eval overflow")
     }
 
+    /// Conservative interval evaluation over a per-variable box: returns
+    /// `(min, max)` of the expression when each variable `i_k` ranges over
+    /// `ranges[k].0 ..= ranges[k].1`. Exact for non-empty boxes (an affine
+    /// function attains its extrema at box corners).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranges.len() != self.nvars()`, any range is inverted, or
+    /// the result overflows `i64`.
+    pub fn eval_interval(&self, ranges: &[(i64, i64)]) -> (i64, i64) {
+        assert_eq!(ranges.len(), self.coeffs.len(), "range vector length");
+        let mut lo = self.constant as i128;
+        let mut hi = self.constant as i128;
+        for (&c, &(rlo, rhi)) in self.coeffs.iter().zip(ranges) {
+            assert!(rlo <= rhi, "inverted range {rlo}..={rhi}");
+            let (a, b) = ((c as i128) * (rlo as i128), (c as i128) * (rhi as i128));
+            lo += a.min(b);
+            hi += a.max(b);
+        }
+        (
+            lo.try_into().expect("interval eval overflow"),
+            hi.try_into().expect("interval eval overflow"),
+        )
+    }
+
     /// Sum of two expressions over the same variables.
     pub fn add(&self, other: &Affine) -> Affine {
         assert_eq!(self.nvars(), other.nvars(), "variable-count mismatch");

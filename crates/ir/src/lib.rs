@@ -41,7 +41,7 @@ pub mod parser;
 pub mod printer;
 pub mod program;
 
-pub use access::{AccessKind, ArrayDecl, ArrayId, ArrayRef};
+pub use access::{AccessKind, ArrayDecl, ArrayId, ArrayRef, ElementBox};
 pub use bounds::{Bound, Loop};
 pub use expr::Affine;
 pub use nest::{LoopNest, NestError, Statement};

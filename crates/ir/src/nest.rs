@@ -254,6 +254,30 @@ impl LoopNest {
     pub fn var_names(&self) -> Vec<String> {
         self.loops.iter().map(|l| l.var.clone()).collect()
     }
+
+    /// Conservative per-variable value ranges: for every executed
+    /// iteration, loop variable `k` lies inside `result[k]`. Computed
+    /// outermost-in with interval arithmetic over the (validated,
+    /// outer-only) bounds, so it is exact for rectangular nests and a
+    /// superset box for transformed ones. Returns `None` when the
+    /// enclosure proves some loop can never execute (empty nest).
+    pub fn var_ranges(&self) -> Option<Vec<(i64, i64)>> {
+        let n = self.depth();
+        // Inner variables have zero coefficients in outer bounds (checked
+        // by `new`), so a (0, 0) placeholder never contributes.
+        let mut ranges = vec![(0i64, 0i64); n];
+        for k in 0..n {
+            let l = &self.loops[k];
+            let scope = &ranges[..];
+            let (lo, _) = l.lower.value_range(scope);
+            let (_, hi) = l.upper.value_range(scope);
+            if lo > hi {
+                return None;
+            }
+            ranges[k] = (lo, hi);
+        }
+        Some(ranges)
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ pub mod imat;
 pub mod nullspace;
 pub mod rational;
 pub mod rmat;
+pub mod rng;
 
 pub use gcd::{extended_gcd, gcd_i64, lcm_i64};
 pub use hnf::{complete_unimodular, complete_unimodular_rows, hermite_normal_form};
@@ -48,6 +49,7 @@ pub use imat::IMat;
 pub use nullspace::integer_nullspace;
 pub use rational::Rational;
 pub use rmat::RMat;
+pub use rng::Lcg;
 
 /// The integer scalar type used across the workspace.
 ///

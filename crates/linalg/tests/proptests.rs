@@ -1,161 +1,221 @@
-//! Property-based tests for the exact linear-algebra substrate.
+//! Property-style tests for the exact linear-algebra substrate.
+//!
+//! Cases are drawn from the in-tree deterministic generator
+//! ([`loopmem_linalg::rng::Lcg`]) so the suite runs with no external
+//! dependencies; every case is reproducible from its printed seed.
 
 use loopmem_linalg::gcd::{div_ceil, div_floor, extended_gcd, gcd_i64, primitive};
 use loopmem_linalg::hnf::{column_echelon, complete_unimodular, solve_diophantine};
+use loopmem_linalg::rng::Lcg;
 use loopmem_linalg::{integer_nullspace, IMat, Rational};
-use proptest::prelude::*;
 
-fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = IMat> {
-    proptest::collection::vec(proptest::collection::vec(-9i64..=9, cols), rows)
-        .prop_map(|rows| IMat::from_rows(&rows))
+fn small_matrix(rng: &mut Lcg, rows: usize, cols: usize) -> IMat {
+    let rows: Vec<Vec<i64>> = (0..rows).map(|_| rng.ivec(cols, -9, 9)).collect();
+    IMat::from_rows(&rows)
 }
 
-proptest! {
-    #[test]
-    fn gcd_divides_both(a in -1000i64..1000, b in -1000i64..1000) {
+#[test]
+fn gcd_divides_both() {
+    let mut rng = Lcg::new(0x11);
+    for _ in 0..500 {
+        let a = rng.range_i64(-1000, 999);
+        let b = rng.range_i64(-1000, 999);
         let g = gcd_i64(a, b);
         if g != 0 {
-            prop_assert_eq!(a % g, 0);
-            prop_assert_eq!(b % g, 0);
+            assert_eq!(a % g, 0, "gcd({a},{b})={g}");
+            assert_eq!(b % g, 0, "gcd({a},{b})={g}");
         } else {
-            prop_assert_eq!(a, 0);
-            prop_assert_eq!(b, 0);
+            assert_eq!((a, b), (0, 0));
         }
     }
+}
 
-    #[test]
-    fn extended_gcd_bezout(a in -1000i64..1000, b in -1000i64..1000) {
+#[test]
+fn extended_gcd_bezout() {
+    let mut rng = Lcg::new(0x12);
+    for _ in 0..500 {
+        let a = rng.range_i64(-1000, 999);
+        let b = rng.range_i64(-1000, 999);
         let (g, x, y) = extended_gcd(a, b);
-        prop_assert_eq!(a * x + b * y, g);
-        prop_assert_eq!(g, gcd_i64(a, b));
+        assert_eq!(a * x + b * y, g, "bezout({a},{b})");
+        assert_eq!(g, gcd_i64(a, b));
     }
+}
 
-    #[test]
-    fn primitive_is_parallel_and_coprime(v in proptest::collection::vec(-50i64..=50, 1..5)) {
+#[test]
+fn primitive_is_parallel_and_coprime() {
+    let mut rng = Lcg::new(0x13);
+    for _ in 0..300 {
+        let len = rng.range_usize(1, 4);
+        let v = rng.ivec(len, -50, 50);
         let p = primitive(&v);
         // Parallel: cross products vanish.
         for i in 0..v.len() {
             for j in 0..v.len() {
-                prop_assert_eq!(v[i] * p[j], v[j] * p[i]);
+                assert_eq!(v[i] * p[j], v[j] * p[i], "{v:?} vs {p:?}");
             }
         }
         if v.iter().any(|&x| x != 0) {
             let g = p.iter().fold(0i64, |g, &x| gcd_i64(g, x));
-            prop_assert_eq!(g, 1);
+            assert_eq!(g, 1, "{v:?} -> {p:?}");
         }
     }
+}
 
-    #[test]
-    fn floor_ceil_consistent(a in -10_000i64..10_000, b in prop_oneof![-50i64..=-1, 1i64..=50]) {
+#[test]
+fn floor_ceil_consistent() {
+    let mut rng = Lcg::new(0x14);
+    for _ in 0..1000 {
+        let a = rng.range_i64(-10_000, 9_999);
+        let b = if rng.range_i64(0, 1) == 0 {
+            rng.range_i64(-50, -1)
+        } else {
+            rng.range_i64(1, 50)
+        };
         let f = div_floor(a, b);
         let c = div_ceil(a, b);
-        prop_assert!(f <= c);
-        prop_assert!((c - f) <= 1);
-        prop_assert_eq!(f == c, a % b == 0);
+        assert!(f <= c, "{a}/{b}");
+        assert!((c - f) <= 1, "{a}/{b}");
+        assert_eq!(f == c, a % b == 0, "{a}/{b}");
         // floor is the unique q with q <= a/b < q+1; multiplying by b flips
         // the inequalities when b < 0.
         if b > 0 {
-            prop_assert!(f * b <= a && a < (f + 1) * b);
-            prop_assert!((c - 1) * b < a && a <= c * b);
+            assert!(f * b <= a && a < (f + 1) * b, "{a}/{b}");
+            assert!((c - 1) * b < a && a <= c * b, "{a}/{b}");
         } else {
-            prop_assert!(f * b >= a && a > (f + 1) * b);
-            prop_assert!((c - 1) * b > a && a >= c * b);
+            assert!(f * b >= a && a > (f + 1) * b, "{a}/{b}");
+            assert!((c - 1) * b > a && a >= c * b, "{a}/{b}");
         }
     }
+}
 
-    #[test]
-    fn rational_field_axioms(
-        an in -40i128..40, ad in 1i128..9,
-        bn in -40i128..40, bd in 1i128..9,
-        cn in -40i128..40, cd in 1i128..9,
-    ) {
-        let a = Rational::new(an, ad);
-        let b = Rational::new(bn, bd);
-        let c = Rational::new(cn, cd);
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!((a + b) + c, a + (b + c));
-        prop_assert_eq!(a * (b + c), a * b + a * c);
-        prop_assert_eq!(a - a, Rational::ZERO);
+#[test]
+fn rational_field_axioms() {
+    let mut rng = Lcg::new(0x15);
+    for _ in 0..500 {
+        let mut q = || {
+            Rational::new(
+                rng.range_i64(-40, 39) as i128,
+                rng.range_i64(1, 8) as i128,
+            )
+        };
+        let (a, b, c) = (q(), q(), q());
+        assert_eq!(a + b, b + a);
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!(a * (b + c), a * b + a * c);
+        assert_eq!(a - a, Rational::ZERO);
         if !b.is_zero() {
-            prop_assert_eq!(a / b * b, a);
+            assert_eq!(a / b * b, a);
         }
     }
+}
 
-    #[test]
-    fn rational_floor_le_value(n in -500i128..500, d in 1i128..20) {
+#[test]
+fn rational_floor_le_value() {
+    let mut rng = Lcg::new(0x16);
+    for _ in 0..500 {
+        let n = rng.range_i64(-500, 499) as i128;
+        let d = rng.range_i64(1, 19) as i128;
         let r = Rational::new(n, d);
         let f = Rational::from(r.floor());
         let c = Rational::from(r.ceil());
-        prop_assert!(f <= r && r <= c);
-        prop_assert!(r - f < Rational::ONE);
-        prop_assert!(c - r < Rational::ONE);
+        assert!(f <= r && r <= c, "{n}/{d}");
+        assert!(r - f < Rational::ONE, "{n}/{d}");
+        assert!(c - r < Rational::ONE, "{n}/{d}");
     }
+}
 
-    #[test]
-    fn column_echelon_preserves_product(a in small_matrix(3, 4)) {
+#[test]
+fn column_echelon_preserves_product() {
+    let mut rng = Lcg::new(0x17);
+    for case in 0..200 {
+        let a = small_matrix(&mut rng, 3, 4);
         let ce = column_echelon(&a);
-        prop_assert_eq!(&a * &ce.v, ce.echelon.clone());
-        prop_assert_eq!(ce.v.det().abs(), 1);
+        assert_eq!(&a * &ce.v, ce.echelon.clone(), "case {case}: {a:?}");
+        assert_eq!(ce.v.det().abs(), 1, "case {case}");
         // Columns beyond the pivots are zero.
         for j in ce.pivots.len()..a.ncols() {
-            prop_assert!(ce.echelon.col(j).iter().all(|&x| x == 0));
+            assert!(ce.echelon.col(j).iter().all(|&x| x == 0), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn nullspace_annihilates(a in small_matrix(2, 4)) {
+#[test]
+fn nullspace_annihilates() {
+    let mut rng = Lcg::new(0x18);
+    for case in 0..200 {
+        let a = small_matrix(&mut rng, 2, 4);
         for v in integer_nullspace(&a) {
-            prop_assert_eq!(a.mul_vec(&v), vec![0i64; a.nrows()]);
+            assert_eq!(a.mul_vec(&v), vec![0i64; a.nrows()], "case {case}");
             let g = v.iter().fold(0i64, |g, &x| gcd_i64(g, x));
-            prop_assert!(g <= 1);
+            assert!(g <= 1, "case {case}: kernel vector {v:?} not primitive");
         }
         // Kernel dimension + rank = #columns.
-        prop_assert_eq!(integer_nullspace(&a).len() + a.rank(), a.ncols());
+        assert_eq!(integer_nullspace(&a).len() + a.rank(), a.ncols(), "case {case}");
     }
+}
 
-    #[test]
-    fn completion_is_unimodular_when_coprime(a in -9i64..=9, b in -9i64..=9) {
-        let t = complete_unimodular(&[a, b]);
-        if gcd_i64(a, b) == 1 {
-            let t = t.unwrap();
-            prop_assert_eq!(t.row(0), &[a, b][..]);
-            prop_assert_eq!(t.det(), 1);
-        } else {
-            prop_assert!(t.is_none());
-        }
-    }
-
-    #[test]
-    fn diophantine_solutions_satisfy_system(
-        a in small_matrix(2, 3),
-        b in proptest::collection::vec(-20i64..=20, 2),
-    ) {
-        if let Some(sol) = solve_diophantine(&a, &b) {
-            prop_assert_eq!(a.mul_vec(&sol.particular), b.clone());
-            for k in &sol.kernel {
-                prop_assert_eq!(a.mul_vec(k), vec![0, 0]);
+#[test]
+fn completion_is_unimodular_when_coprime() {
+    for a in -9i64..=9 {
+        for b in -9i64..=9 {
+            let t = complete_unimodular(&[a, b]);
+            if gcd_i64(a, b) == 1 {
+                let t = t.unwrap();
+                assert_eq!(t.row(0), &[a, b][..]);
+                assert_eq!(t.det(), 1);
+            } else {
+                assert!(t.is_none(), "({a},{b})");
             }
         }
     }
+}
 
-    #[test]
-    fn diophantine_finds_planted_solution(
-        a in small_matrix(2, 3),
-        x in proptest::collection::vec(-10i64..=10, 3),
-    ) {
+#[test]
+fn diophantine_solutions_satisfy_system() {
+    let mut rng = Lcg::new(0x19);
+    for case in 0..200 {
+        let a = small_matrix(&mut rng, 2, 3);
+        let b = rng.ivec(2, -20, 20);
+        if let Some(sol) = solve_diophantine(&a, &b) {
+            assert_eq!(a.mul_vec(&sol.particular), b.clone(), "case {case}");
+            for k in &sol.kernel {
+                assert_eq!(a.mul_vec(k), vec![0, 0], "case {case}");
+            }
+        }
+    }
+}
+
+#[test]
+fn diophantine_finds_planted_solution() {
+    let mut rng = Lcg::new(0x1a);
+    for case in 0..200 {
+        let a = small_matrix(&mut rng, 2, 3);
+        let x = rng.ivec(3, -10, 10);
         // If we plant b = A*x, a solution must be found.
         let b = a.mul_vec(&x);
-        let sol = solve_diophantine(&a, &b);
-        prop_assert!(sol.is_some(), "planted solution not found");
+        assert!(
+            solve_diophantine(&a, &b).is_some(),
+            "case {case}: planted solution {x:?} of {a:?} not found"
+        );
     }
+}
 
-    #[test]
-    fn det_of_product_is_product_of_dets(a in small_matrix(3, 3), b in small_matrix(3, 3)) {
-        prop_assert_eq!((&a * &b).det(), a.det() * b.det());
+#[test]
+fn det_of_product_is_product_of_dets() {
+    let mut rng = Lcg::new(0x1b);
+    for case in 0..200 {
+        let a = small_matrix(&mut rng, 3, 3);
+        let b = small_matrix(&mut rng, 3, 3);
+        assert_eq!((&a * &b).det(), a.det() * b.det(), "case {case}");
     }
+}
 
-    #[test]
-    fn transpose_preserves_det(a in small_matrix(3, 3)) {
-        prop_assert_eq!(a.det(), a.transpose().det());
+#[test]
+fn transpose_preserves_det() {
+    let mut rng = Lcg::new(0x1c);
+    for case in 0..200 {
+        let a = small_matrix(&mut rng, 3, 3);
+        assert_eq!(a.det(), a.transpose().det(), "case {case}");
     }
 }

@@ -1,0 +1,527 @@
+//! Dense-event window engine: flat touch tables and a parallel chunked
+//! sweep.
+//!
+//! The legacy tracker in [`crate::window`] keys every element by its
+//! coordinate vector in a `HashMap`, paying an allocation plus a hash per
+//! access. This engine removes both costs:
+//!
+//! * **Pass 1 (touch recording).** Each array gets a conservative bounding
+//!   box of its subscripts, computed by interval analysis of the affine
+//!   references over the nest's per-variable ranges
+//!   ([`LoopNest::var_ranges`] / [`ArrayRef::index_ranges`]). Coordinates
+//!   flatten to offsets in a dense `Vec<(first, last)>` table — one
+//!   precomputed linear form per reference, so recording a touch is a dot
+//!   product and two stores. Arrays whose box would blow the memory budget
+//!   (or be absurdly sparse relative to the access count) fall back to the
+//!   hashmap representation per array, keeping results exact for *any*
+//!   nest, including out-of-declared-bounds accesses.
+//!
+//! * **Parallelism.** The validator guarantees outermost bounds are
+//!   constants, so the outer loop range splits into contiguous chunks that
+//!   partition the lexicographic iteration stream. Each chunk is swept by a
+//!   scoped thread with chunk-local 32-bit time; tables merge in chunk
+//!   order with cumulative time offsets (`first` keeps the earliest chunk's
+//!   value, `last` the latest), which makes the result bit-identical for
+//!   every thread count.
+//!
+//! * **Pass 2 (window sweep).** First/last events become a difference
+//!   array (`+1` at `first`, `-1` at `last`) whose prefix sum is the live
+//!   count after each iteration — so computing the full per-iteration
+//!   profile costs one `i32` lane instead of per-array add/remove tables.
+
+use crate::exec::{for_each_iteration_outer, outer_range};
+use crate::window::{ArrayStats, SimResult};
+use loopmem_ir::{ArrayId, ArrayRef, ElementBox, LoopNest};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Chunk-local "never touched" sentinel for the `first` slot.
+const UNTOUCHED: u32 = u32::MAX;
+
+/// Memory budget in bytes for all concurrently live dense touch tables.
+const DENSE_BUDGET_BYTES: u128 = 768 << 20;
+
+/// A dense table may be at most this many times larger than the
+/// worst-case number of accesses to the array; beyond that the hashmap is
+/// both smaller and not meaningfully slower.
+const SPARSITY_FACTOR: u128 = 64;
+
+/// Nests with (conservatively) fewer iterations than this are swept on
+/// one thread: thread spawn/merge overhead dominates below it.
+const PARALLEL_THRESHOLD: u128 = 1 << 17;
+
+/// Worker-thread count: `LOOPMEM_THREADS` when set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn thread_count() -> usize {
+    match std::env::var("LOOPMEM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// How one reference records its touches.
+enum RefMode {
+    /// Flattened linear form: `offset = coeffs · iter + constant`, indexing
+    /// the array's dense table. In-range by construction (the table's box
+    /// encloses the reference over the nest's variable ranges).
+    Dense { coeffs: Vec<i64>, constant: i64 },
+    /// Coordinate vector into the array's hashmap.
+    Sparse,
+}
+
+struct RefPlan {
+    array: usize,
+    mode: RefMode,
+    r: ArrayRef,
+}
+
+struct Plan {
+    /// Per-array dense box (`None` = hashmap fallback for that array).
+    boxes: Vec<Option<ElementBox>>,
+    refs: Vec<RefPlan>,
+    /// Largest reference rank, for the shared coordinate buffer.
+    max_rank: usize,
+}
+
+/// Conservative upper bound on the iteration count: the volume of the
+/// per-variable range box (`None` when the nest provably never runs).
+fn estimated_iterations(nest: &LoopNest) -> u128 {
+    match nest.var_ranges() {
+        None => 0,
+        Some(vr) => vr
+            .iter()
+            .fold(1u128, |acc, &(l, h)| {
+                acc.saturating_mul((h.saturating_sub(l).saturating_add(1)).max(0) as u128)
+            }),
+    }
+}
+
+/// Builds the flattened linear index form of `r` into `bx`, or `None`
+/// when any coefficient or reachable partial sum overflows `i64` (the
+/// caller then demotes the whole array to the hashmap path).
+fn dense_form(r: &ArrayRef, bx: &ElementBox, vr: &[(i64, i64)]) -> Option<(Vec<i64>, i64)> {
+    let n = r.depth();
+    let mut coeffs = vec![0i128; n];
+    let mut constant: i128 = 0;
+    for d in 0..r.rank() {
+        let s = bx.strides()[d] as i128;
+        for (k, &c) in r.matrix.row(d).iter().enumerate() {
+            coeffs[k] += s * c as i128;
+        }
+        constant += s * (r.offset[d] as i128 - bx.lo()[d] as i128);
+    }
+    // The evaluator accumulates `constant + Σ coeffs[k]·iter[k]` in `i64`,
+    // term by term; verify every reachable partial sum fits.
+    let fits = |x: i128| (i64::MIN as i128..=i64::MAX as i128).contains(&x);
+    if !fits(constant) || coeffs.iter().any(|&c| !fits(c)) {
+        return None;
+    }
+    let (mut plo, mut phi) = (constant, constant);
+    for (k, &c) in coeffs.iter().enumerate() {
+        let (a, b) = (c * vr[k].0 as i128, c * vr[k].1 as i128);
+        plo += a.min(b);
+        phi += a.max(b);
+        if !fits(plo) || !fits(phi) {
+            return None;
+        }
+    }
+    Some((coeffs.iter().map(|&c| c as i64).collect(), constant as i64))
+}
+
+fn make_plan(nest: &LoopNest, threads: usize) -> Plan {
+    let refs: Vec<ArrayRef> = nest.refs().cloned().collect();
+    let narrays = nest.arrays().len();
+    let max_rank = refs.iter().map(ArrayRef::rank).max().unwrap_or(0).max(1);
+    let mut boxes: Vec<Option<ElementBox>> = vec![None; narrays];
+
+    if let Some(vr) = nest.var_ranges() {
+        let est_iters = estimated_iterations(nest);
+        // Union of each reference's conservative subscript box, per array.
+        let mut arr_ranges: Vec<Option<Vec<(i64, i64)>>> = vec![None; narrays];
+        let mut ref_count = vec![0u128; narrays];
+        for r in &refs {
+            ref_count[r.array.0] += 1;
+            let ir = r.index_ranges(&vr);
+            match &mut arr_ranges[r.array.0] {
+                slot @ None => *slot = Some(ir),
+                Some(acc) => {
+                    for (a, b) in acc.iter_mut().zip(&ir) {
+                        a.0 = a.0.min(b.0);
+                        a.1 = a.1.max(b.1);
+                    }
+                }
+            }
+        }
+        // Up to `threads` chunk-local tables plus the merged base are live
+        // at once; split the byte budget across them (8 bytes per cell).
+        let budget_cells = DENSE_BUDGET_BYTES / (8 * (threads as u128 + 1));
+        let mut used: u128 = 0;
+        for a in 0..narrays {
+            let Some(ranges) = &arr_ranges[a] else { continue };
+            let bx = ElementBox::new(ranges);
+            let cells = bx.cells();
+            let max_touched = est_iters.saturating_mul(ref_count[a]);
+            let sparsity_cap = max_touched.saturating_mul(SPARSITY_FACTOR).saturating_add(4096);
+            if cells == 0 || cells > budget_cells.saturating_sub(used) || cells > sparsity_cap {
+                continue;
+            }
+            // All refs of an array must share a representation; demote the
+            // array if any linear form would overflow.
+            if refs
+                .iter()
+                .filter(|r| r.array.0 == a)
+                .all(|r| dense_form(r, &bx, &vr).is_some())
+            {
+                used += cells;
+                boxes[a] = Some(bx);
+            }
+        }
+        let ref_plans = refs
+            .iter()
+            .map(|r| {
+                let a = r.array.0;
+                let mode = match &boxes[a] {
+                    Some(bx) => {
+                        let (coeffs, constant) =
+                            dense_form(r, bx, &vr).expect("checked during box selection");
+                        RefMode::Dense { coeffs, constant }
+                    }
+                    None => RefMode::Sparse,
+                };
+                RefPlan {
+                    array: a,
+                    mode,
+                    r: r.clone(),
+                }
+            })
+            .collect();
+        return Plan {
+            boxes,
+            refs: ref_plans,
+            max_rank,
+        };
+    }
+
+    // Provably empty nest: representation is irrelevant, keep everything
+    // sparse.
+    Plan {
+        refs: refs
+            .iter()
+            .map(|r| RefPlan {
+                array: r.array.0,
+                mode: RefMode::Sparse,
+                r: r.clone(),
+            })
+            .collect(),
+        boxes,
+        max_rank,
+    }
+}
+
+/// Pass-1 output of one contiguous outer-range chunk, with chunk-local
+/// 32-bit time.
+struct ChunkOut {
+    iters: u64,
+    accesses: Vec<u64>,
+    dense: Vec<Vec<(u32, u32)>>,
+    sparse: Vec<HashMap<Vec<i64>, (u32, u32)>>,
+}
+
+fn sweep_chunk(nest: &LoopNest, plan: &Plan, lo: i64, hi: i64) -> ChunkOut {
+    let narrays = nest.arrays().len();
+    let mut dense: Vec<Vec<(u32, u32)>> = plan
+        .boxes
+        .iter()
+        .map(|b| match b {
+            Some(bx) => vec![(UNTOUCHED, 0u32); bx.cells() as usize],
+            None => Vec::new(),
+        })
+        .collect();
+    let mut sparse: Vec<HashMap<Vec<i64>, (u32, u32)>> =
+        (0..narrays).map(|_| HashMap::new()).collect();
+    let mut accesses = vec![0u64; narrays];
+    let mut idx_buf = vec![0i64; plan.max_rank];
+    let mut t: u32 = 0;
+    for_each_iteration_outer(nest, lo, hi, &mut |iter| {
+        for rp in &plan.refs {
+            accesses[rp.array] += 1;
+            match &rp.mode {
+                RefMode::Dense { coeffs, constant } => {
+                    let mut off = *constant;
+                    for (&c, &x) in coeffs.iter().zip(iter) {
+                        off += c * x;
+                    }
+                    let cell = &mut dense[rp.array][off as usize];
+                    if cell.0 == UNTOUCHED {
+                        *cell = (t, t);
+                    } else {
+                        cell.1 = t;
+                    }
+                }
+                RefMode::Sparse => {
+                    let d = rp.r.rank();
+                    for (dim, slot) in idx_buf[..d].iter_mut().enumerate() {
+                        let mut s = rp.r.offset[dim];
+                        for (&c, &x) in rp.r.matrix.row(dim).iter().zip(iter) {
+                            s += c * x;
+                        }
+                        *slot = s;
+                    }
+                    match sparse[rp.array].get_mut(&idx_buf[..d]) {
+                        Some(cell) => cell.1 = t,
+                        None => {
+                            sparse[rp.array].insert(idx_buf[..d].to_vec(), (t, t));
+                        }
+                    }
+                }
+            }
+        }
+        t = t
+            .checked_add(1)
+            .expect("chunk exceeds the engine's u32 iteration budget");
+    });
+    ChunkOut {
+        iters: t as u64,
+        accesses,
+        dense,
+        sparse,
+    }
+}
+
+/// Folds chunk outputs (in chunk = time order) into the first chunk's
+/// tables, rebasing each chunk's local times by the cumulative iteration
+/// count. Earlier chunks always hold the earlier `first`, later chunks the
+/// later `last`, so the merge is a pair of conditional stores per cell.
+fn merge(mut chunks: Vec<ChunkOut>) -> ChunkOut {
+    let mut base = chunks.remove(0);
+    for c in chunks {
+        let off64 = base.iters;
+        base.iters += c.iters;
+        assert!(
+            base.iters <= UNTOUCHED as u64,
+            "nest exceeds the engine's u32 iteration budget"
+        );
+        let off = off64 as u32;
+        for (total, add) in base.accesses.iter_mut().zip(&c.accesses) {
+            *total += add;
+        }
+        for (bt, ct) in base.dense.iter_mut().zip(c.dense) {
+            for (bc, cc) in bt.iter_mut().zip(ct) {
+                if cc.0 == UNTOUCHED {
+                    continue;
+                }
+                if bc.0 == UNTOUCHED {
+                    *bc = (cc.0 + off, cc.1 + off);
+                } else {
+                    bc.1 = cc.1 + off;
+                }
+            }
+        }
+        for (bm, cm) in base.sparse.iter_mut().zip(c.sparse) {
+            for (k, v) in cm {
+                match bm.entry(k) {
+                    Entry::Occupied(mut e) => e.get_mut().1 = v.1 + off,
+                    Entry::Vacant(e) => {
+                        e.insert((v.0 + off, v.1 + off));
+                    }
+                }
+            }
+        }
+    }
+    base
+}
+
+/// Pass 2: difference arrays over iteration time. An element first touched
+/// at `f` and last touched at `l` is in the window for `f ≤ t < l`, so it
+/// contributes `+1` at `f` and `-1` at `l`; the running prefix sum is the
+/// live count after each iteration.
+fn finish(narrays: usize, merged: ChunkOut, want_profile: bool) -> SimResult {
+    let iterations = merged.iters;
+    let it = iterations as usize;
+    let mut total_diff = vec![0i32; it];
+    let mut arr_diff = vec![0i32; it];
+    let mut per_array = HashMap::new();
+    for a in 0..narrays {
+        if merged.accesses[a] == 0 {
+            continue;
+        }
+        let mut distinct = 0u64;
+        {
+            let mut mark = |f: u32, l: u32| {
+                distinct += 1;
+                if f == l {
+                    return;
+                }
+                arr_diff[f as usize] += 1;
+                arr_diff[l as usize] -= 1;
+                total_diff[f as usize] += 1;
+                total_diff[l as usize] -= 1;
+            };
+            for &(f, l) in &merged.dense[a] {
+                if f != UNTOUCHED {
+                    mark(f, l);
+                }
+            }
+            for &(f, l) in merged.sparse[a].values() {
+                mark(f, l);
+            }
+        }
+        let mut cur = 0i64;
+        let mut mws = 0i64;
+        for d in arr_diff.iter_mut() {
+            cur += *d as i64;
+            mws = mws.max(cur);
+            *d = 0; // reuse the lane for the next array
+        }
+        per_array.insert(
+            ArrayId(a),
+            ArrayStats {
+                distinct,
+                accesses: merged.accesses[a],
+                mws: mws as u64,
+            },
+        );
+    }
+    let mut cur = 0i64;
+    let mut mws_total = 0i64;
+    let mut profile = want_profile.then(|| Vec::with_capacity(it));
+    for &d in &total_diff {
+        cur += d as i64;
+        mws_total = mws_total.max(cur);
+        if let Some(p) = profile.as_mut() {
+            p.push(cur as u64);
+        }
+    }
+    SimResult {
+        iterations,
+        per_array,
+        mws_total: mws_total as u64,
+        profile,
+    }
+}
+
+fn split_range(lo: i64, hi: i64, parts: usize) -> Vec<(i64, i64)> {
+    if lo > hi || parts <= 1 {
+        return vec![(lo, hi)];
+    }
+    let span = (hi as i128 - lo as i128 + 1) as u128;
+    let parts = (parts as u128).min(span);
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut start = lo;
+    for p in 1..=parts {
+        let end = lo + ((span * p / parts) as i64) - 1;
+        out.push((start, end));
+        start = end + 1;
+    }
+    out
+}
+
+/// Worker-thread count for a nest when the caller did not pin one:
+/// [`thread_count`] workers, except that small nests stay serial.
+pub(crate) fn auto_threads(nest: &LoopNest) -> usize {
+    if estimated_iterations(nest) < PARALLEL_THRESHOLD {
+        1
+    } else {
+        thread_count()
+    }
+}
+
+/// Runs the dense engine with exactly the given worker-thread count.
+/// Results are bit-identical for every `threads` value and to the legacy
+/// hashmap engine.
+pub(crate) fn run(nest: &LoopNest, want_profile: bool, threads: usize) -> SimResult {
+    let narrays = nest.arrays().len();
+    let (olo, ohi) = outer_range(nest);
+    let threads = threads.max(1);
+    let plan = make_plan(nest, threads);
+    let chunks = split_range(olo, ohi, threads);
+    let outs: Vec<ChunkOut> = if chunks.len() <= 1 {
+        let (lo, hi) = chunks[0];
+        vec![sweep_chunk(nest, &plan, lo, hi)]
+    } else {
+        let plan = &plan;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(lo, hi)| s.spawn(move || sweep_chunk(nest, plan, lo, hi)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulator worker panicked"))
+                .collect()
+        })
+    };
+    finish(narrays, merge(outs), want_profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{simulate_hashmap_with_profile, SimResult};
+    use loopmem_ir::parse;
+
+    fn assert_same(a: &SimResult, b: &SimResult) {
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.mws_total, b.mws_total);
+        assert_eq!(a.per_array, b.per_array);
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn matches_hashmap_engine_on_small_nests() {
+        for src in [
+            "array A[12][12]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2]; } }",
+            "array X[200]\nfor i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }",
+            "array A[10]\narray B[5]\nfor i = 1 to 10 { for j = 1 to 5 { A[i] = B[j]; } }",
+            "array A[10][10]\nfor i = 1 to 10 { for j = i to 10 { A[i][j] = A[j][i]; } }",
+        ] {
+            let nest = parse(src).unwrap();
+            assert_same(&run(&nest, true, 1), &simulate_hashmap_with_profile(&nest));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let nest = parse(
+            "array A[64][64]\nfor i = 2 to 60 { for j = 1 to 60 { A[i][j] = A[i-1][j]; } }",
+        )
+        .unwrap();
+        let one = run(&nest, true, 1);
+        for threads in [2, 3, 5, 16] {
+            assert_same(&run(&nest, true, threads), &one);
+        }
+    }
+
+    #[test]
+    fn sparse_fallback_is_exact() {
+        // Subscript stride so large the dense box fails the sparsity test.
+        let nest = parse(
+            "array X[2000000000]\nfor i = 1 to 20 { for j = 1 to 5 { X[100000000i + j]; } }",
+        )
+        .unwrap();
+        let plan = make_plan(&nest, 1);
+        assert!(plan.boxes.iter().all(Option::is_none), "expected fallback");
+        assert_same(&run(&nest, true, 1), &simulate_hashmap_with_profile(&nest));
+    }
+
+    #[test]
+    fn empty_nest() {
+        let nest = parse("array A[10]\nfor i = 5 to 4 { A[i]; }").unwrap();
+        let s = run(&nest, true, 4);
+        assert_eq!(s.iterations, 0);
+        assert!(s.per_array.is_empty());
+        assert_eq!(s.profile.as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn chunk_split_covers_range() {
+        assert_eq!(split_range(1, 10, 3), vec![(1, 3), (4, 6), (7, 10)]);
+        assert_eq!(split_range(1, 2, 8), vec![(1, 1), (2, 2)]);
+        assert_eq!(split_range(5, 4, 4), vec![(5, 4)]);
+    }
+}

@@ -16,9 +16,40 @@ use loopmem_ir::LoopNest;
 /// assert_eq!(count, 6);
 /// ```
 pub fn for_each_iteration<F: FnMut(&[i64])>(nest: &LoopNest, mut f: F) {
+    let (lo, hi) = outer_range(nest);
+    for_each_iteration_outer(nest, lo, hi, &mut f);
+}
+
+/// The (always constant) value range of the outermost loop. The validator
+/// guarantees outermost bounds reference no loop variable, so they are
+/// constants; empty nests yield an inverted range.
+pub fn outer_range(nest: &LoopNest) -> (i64, i64) {
+    let zeros = vec![0i64; nest.depth()];
+    let l = &nest.loops()[0];
+    (l.lower.eval_lower(&zeros), l.upper.eval_upper(&zeros))
+}
+
+/// Like [`for_each_iteration`], but restricts the outermost loop variable
+/// to `outer_lo ..= outer_hi` (intersected with the loop's own range by the
+/// caller). This is the parallel sweep's chunking primitive: splitting the
+/// outer range into consecutive chunks and concatenating the per-chunk
+/// iteration streams reproduces the full lexicographic order exactly.
+pub fn for_each_iteration_outer<F: FnMut(&[i64])>(
+    nest: &LoopNest,
+    outer_lo: i64,
+    outer_hi: i64,
+    f: &mut F,
+) {
     let n = nest.depth();
     let mut iter = vec![0i64; n];
-    descend(nest, &mut iter, 0, &mut f);
+    for v in outer_lo..=outer_hi {
+        iter[0] = v;
+        if n == 1 {
+            f(&iter);
+        } else {
+            descend(nest, &mut iter, 1, f);
+        }
+    }
 }
 
 fn descend<F: FnMut(&[i64])>(nest: &LoopNest, iter: &mut Vec<i64>, k: usize, f: &mut F) {

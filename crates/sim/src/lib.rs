@@ -28,6 +28,7 @@
 //! assert_eq!(stats.mws_total, 44); // the closed form estimates 50
 //! ```
 
+pub mod dense;
 pub mod exec;
 pub mod layout;
 pub mod memory;
@@ -36,10 +37,14 @@ pub mod replacement;
 pub mod reuse_distance;
 pub mod window;
 
-pub use exec::{count_iterations, for_each_iteration};
+pub use dense::thread_count;
+pub use exec::{count_iterations, for_each_iteration, for_each_iteration_outer, outer_range};
 pub use layout::{line_analysis, AddressMap, Layout, LineStats};
 pub use memory::{MemoryReport, ScratchpadModel};
 pub use program::{simulate_program, ProgramSimResult};
 pub use replacement::{min_perfect_capacity, miss_curve, misses, Policy, Trace};
 pub use reuse_distance::ReuseHistogram;
-pub use window::{simulate, simulate_with_profile, ArrayStats, SimResult};
+pub use window::{
+    simulate, simulate_hashmap, simulate_hashmap_with_profile, simulate_with_profile,
+    simulate_with_threads, ArrayStats, SimResult,
+};

@@ -63,17 +63,40 @@ impl SimResult {
 }
 
 /// Simulates the nest and returns exact statistics (no profile).
+///
+/// Runs the dense-event engine ([`crate::dense`]): flat touch tables with
+/// a hashmap fallback, swept in parallel for large nests (worker count
+/// from `LOOPMEM_THREADS`, defaulting to the available parallelism).
 pub fn simulate(nest: &LoopNest) -> SimResult {
-    run(nest, false)
+    crate::dense::run(nest, false, crate::dense::auto_threads(nest))
 }
 
 /// Simulates the nest, additionally recording the per-iteration total
 /// window profile (costs one `u64` per iteration).
 pub fn simulate_with_profile(nest: &LoopNest) -> SimResult {
-    run(nest, true)
+    crate::dense::run(nest, true, crate::dense::auto_threads(nest))
 }
 
-fn run(nest: &LoopNest, want_profile: bool) -> SimResult {
+/// Simulates with a pinned worker-thread count (and optional profile).
+/// The result is bit-identical for every `threads` value; use `threads =
+/// 1` when the caller is itself running simulations on a thread pool.
+pub fn simulate_with_threads(nest: &LoopNest, want_profile: bool, threads: usize) -> SimResult {
+    crate::dense::run(nest, want_profile, threads)
+}
+
+/// Simulates with the legacy hashmap engine — the reference
+/// implementation the dense engine is validated against. Slower; kept for
+/// differential tests and benchmarks.
+pub fn simulate_hashmap(nest: &LoopNest) -> SimResult {
+    run_hashmap(nest, false)
+}
+
+/// [`simulate_hashmap`] with the per-iteration window profile.
+pub fn simulate_hashmap_with_profile(nest: &LoopNest) -> SimResult {
+    run_hashmap(nest, true)
+}
+
+fn run_hashmap(nest: &LoopNest, want_profile: bool) -> SimResult {
     // Pass 1: first/last touch per element, per array.
     struct Touch {
         first: u64,

@@ -1,102 +1,114 @@
-//! Property-based cross-validation of the three independent measurement
-//! paths: closed-form estimators (`loopmem-core`), polyhedral enumeration
-//! (`loopmem-poly`), and trace simulation (`loopmem-sim`).
+//! Cross-validation of the three independent measurement paths:
+//! closed-form estimators (`loopmem-core`), polyhedral enumeration
+//! (`loopmem-poly`), and trace simulation (`loopmem-sim`). Deterministic
+//! (seeded `Lcg`), no external dependencies.
 
 use loopmem::core::estimate_distinct;
 use loopmem::ir::{parse, ArrayId};
+use loopmem::linalg::Lcg;
 use loopmem::poly::count::distinct_accesses_for;
 use loopmem::sim::simulate;
-use proptest::prelude::*;
 
 /// Random single-reference 1-D access `A[p*i + q*j + c]` over a random box.
-fn nullspace_case() -> impl Strategy<Value = (String, i64, i64)> {
-    (1i64..=6, -6i64..=6, 0i64..=9, 4i64..=14, 4i64..=14).prop_map(|(p, q, c, n1, n2)| {
-        // Ensure the subscript stays within a generous declaration.
-        let max_idx = p.abs() * n1 + q.abs() * n2 + c + 50;
-        let qterm = if q >= 0 {
-            format!("+ {q}*j")
-        } else {
-            format!("- {}*j", -q)
-        };
-        let src = format!(
-            "array A[{max_idx}]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ A[{p}*i {qterm} + {cc}]; }} }}",
-            cc = c + 49,
-        );
-        (src, n1, n2)
-    })
+fn nullspace_case(rng: &mut Lcg) -> String {
+    let p = rng.range_i64(1, 6);
+    let q = rng.range_i64(-6, 6);
+    let c = rng.range_i64(0, 9);
+    let n1 = rng.range_i64(4, 14);
+    let n2 = rng.range_i64(4, 14);
+    // Ensure the subscript stays within a generous declaration.
+    let max_idx = p.abs() * n1 + q.abs() * n2 + c + 50;
+    let qterm = if q >= 0 {
+        format!("+ {q}*j")
+    } else {
+        format!("- {}*j", -q)
+    };
+    format!(
+        "array A[{max_idx}]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ A[{p}*i {qterm} + {cc}]; }} }}",
+        cc = c + 49,
+    )
 }
 
 /// Random two-reference full-rank case `A[i+o1][j+o2] = A[i+o3][j+o4]`.
-fn full_rank_case() -> impl Strategy<Value = String> {
-    (
-        4i64..=12,
-        4i64..=12,
-        -3i64..=3,
-        -3i64..=3,
-        -3i64..=3,
-        -3i64..=3,
+fn full_rank_case(rng: &mut Lcg) -> String {
+    let n1 = rng.range_i64(4, 12);
+    let n2 = rng.range_i64(4, 12);
+    let o: Vec<i64> = (0..4).map(|_| rng.range_i64(-3, 3)).collect();
+    format!(
+        "array A[{}][{}]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ \
+         A[i + {a}][j + {b}] = A[i + {c}][j + {d}]; }} }}",
+        n1 + 8,
+        n2 + 8,
+        a = o[0] + 4,
+        b = o[1] + 4,
+        c = o[2] + 4,
+        d = o[3] + 4,
     )
-        .prop_map(|(n1, n2, o1, o2, o3, o4)| {
-            format!(
-                "array A[{}][{}]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ \
-                 A[i + {a}][j + {b}] = A[i + {c}][j + {d}]; }} }}",
-                n1 + 8,
-                n2 + 8,
-                a = o1 + 4,
-                b = o2 + 4,
-                c = o3 + 4,
-                d = o4 + 4,
-            )
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn nullspace_formula_matches_enumeration((src, _n1, _n2) in nullspace_case()) {
+#[test]
+fn nullspace_formula_matches_enumeration() {
+    let mut rng = Lcg::new(0x71);
+    for _ in 0..64 {
+        let src = nullspace_case(&mut rng);
         let nest = parse(&src).expect("generated source parses");
         let est = estimate_distinct(&nest)[&ArrayId(0)];
         let exact = distinct_accesses_for(&nest, ArrayId(0)) as i64;
-        prop_assert!(est.is_exact(), "single uniformly generated ref is exact");
-        prop_assert_eq!(est.value().unwrap(), exact, "{}", src);
+        assert!(est.is_exact(), "single uniformly generated ref is exact");
+        assert_eq!(est.value().unwrap(), exact, "{src}");
     }
+}
 
-    #[test]
-    fn nullspace_formula_matches_simulator((src, _n1, _n2) in nullspace_case()) {
+#[test]
+fn nullspace_formula_matches_simulator() {
+    let mut rng = Lcg::new(0x72);
+    for _ in 0..64 {
+        let src = nullspace_case(&mut rng);
         let nest = parse(&src).expect("generated source parses");
         let est = estimate_distinct(&nest)[&ArrayId(0)];
         let sim = simulate(&nest);
-        prop_assert_eq!(est.value().unwrap() as u64, sim.distinct_total(), "{}", src);
+        assert_eq!(est.value().unwrap() as u64, sim.distinct_total(), "{src}");
     }
+}
 
-    #[test]
-    fn two_ref_full_rank_formula_is_exact(src in full_rank_case()) {
+#[test]
+fn two_ref_full_rank_formula_is_exact() {
+    let mut rng = Lcg::new(0x73);
+    for _ in 0..64 {
+        let src = full_rank_case(&mut rng);
         // §3.1 with r = 2 has no higher-order overlap, so the formula is
         // genuinely exact; all three paths must agree.
         let nest = parse(&src).expect("generated source parses");
         let est = estimate_distinct(&nest)[&ArrayId(0)];
         let exact = distinct_accesses_for(&nest, ArrayId(0)) as i64;
-        prop_assert_eq!(est.value().unwrap(), exact, "{}", src);
-        prop_assert_eq!(exact as u64, simulate(&nest).distinct_total(), "{}", src);
+        assert_eq!(est.value().unwrap(), exact, "{src}");
+        assert_eq!(exact as u64, simulate(&nest).distinct_total(), "{src}");
     }
+}
 
-    #[test]
-    fn window_never_exceeds_distinct(src in full_rank_case()) {
+#[test]
+fn window_never_exceeds_distinct() {
+    let mut rng = Lcg::new(0x74);
+    for _ in 0..64 {
+        let src = full_rank_case(&mut rng);
         let nest = parse(&src).expect("generated source parses");
         let sim = simulate(&nest);
-        prop_assert!(sim.mws_total <= sim.distinct_total());
+        assert!(sim.mws_total <= sim.distinct_total(), "{src}");
         for stats in sim.per_array.values() {
-            prop_assert!(stats.mws <= stats.distinct);
-            prop_assert!(stats.distinct <= stats.accesses);
+            assert!(stats.mws <= stats.distinct, "{src}");
+            assert!(stats.distinct <= stats.accesses, "{src}");
         }
     }
+}
 
-    #[test]
-    fn enumeration_and_simulation_always_agree(src in full_rank_case()) {
+#[test]
+fn enumeration_and_simulation_always_agree() {
+    let mut rng = Lcg::new(0x75);
+    for _ in 0..64 {
+        let src = full_rank_case(&mut rng);
         let nest = parse(&src).expect("generated source parses");
         let by_poly = distinct_accesses_for(&nest, ArrayId(0));
         let by_sim = simulate(&nest).array(ArrayId(0)).distinct;
-        prop_assert_eq!(by_poly, by_sim);
+        assert_eq!(by_poly, by_sim, "{src}");
     }
 }

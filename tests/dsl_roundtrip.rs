@@ -1,46 +1,52 @@
 //! Parser/printer round-trip guarantees over generated programs.
+//! Deterministic (seeded `Lcg`), no external dependencies.
 
 use loopmem::ir::{parse, print_nest};
-use proptest::prelude::*;
+use loopmem::linalg::Lcg;
 
 /// Random rectangular 2-deep nest with 1–3 statements of uniformly
 /// generated references.
-fn random_source() -> impl Strategy<Value = String> {
-    let stmt = (-3i64..=3, -3i64..=3, -3i64..=3, -3i64..=3).prop_map(|(a, b, c, d)| {
-        format!(
-            "A[i + {}][j + {}] = A[i + {}][j + {}];",
-            a + 4,
-            b + 4,
-            c + 4,
-            d + 4
-        )
-    });
-    (2i64..=20, 2i64..=20, proptest::collection::vec(stmt, 1..4)).prop_map(
-        |(n1, n2, stmts)| {
+fn random_source(rng: &mut Lcg) -> String {
+    let n1 = rng.range_i64(2, 20);
+    let n2 = rng.range_i64(2, 20);
+    let nstmt = rng.range_usize(1, 3);
+    let stmts: Vec<String> = (0..nstmt)
+        .map(|_| {
             format!(
-                "array A[{}][{}]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ {} }} }}",
-                n1 + 8,
-                n2 + 8,
-                stmts.join(" ")
+                "A[i + {}][j + {}] = A[i + {}][j + {}];",
+                rng.range_i64(-3, 3) + 4,
+                rng.range_i64(-3, 3) + 4,
+                rng.range_i64(-3, 3) + 4,
+                rng.range_i64(-3, 3) + 4,
             )
-        },
+        })
+        .collect();
+    format!(
+        "array A[{}][{}]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ {} }} }}",
+        n1 + 8,
+        n2 + 8,
+        stmts.join(" ")
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn print_parse_roundtrip(src in random_source()) {
+#[test]
+fn print_parse_roundtrip() {
+    let mut rng = Lcg::new(0x91);
+    for _ in 0..64 {
+        let src = random_source(&mut rng);
         let nest = parse(&src).expect("generated source parses");
         let printed = print_nest(&nest);
         let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
-        prop_assert_eq!(nest, reparsed, "{}", printed);
+        assert_eq!(nest, reparsed, "{printed}");
     }
+}
 
-    #[test]
-    fn parsing_is_deterministic(src in random_source()) {
-        prop_assert_eq!(parse(&src).unwrap(), parse(&src).unwrap());
+#[test]
+fn parsing_is_deterministic() {
+    let mut rng = Lcg::new(0x92);
+    for _ in 0..64 {
+        let src = random_source(&mut rng);
+        assert_eq!(parse(&src).unwrap(), parse(&src).unwrap());
     }
 }
 

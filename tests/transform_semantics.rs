@@ -1,94 +1,108 @@
 //! Semantic guarantees of the transformation machinery: a unimodular
 //! transformation permutes the iteration order without changing the set of
-//! accesses, and the optimizer never regresses.
+//! accesses, and the optimizer never regresses. Deterministic (seeded
+//! `Lcg`), no external dependencies.
 
-use loopmem::core::optimize::{minimize_mws, SearchMode};
 use loopmem::core::apply_transform;
+use loopmem::core::optimize::{minimize_mws, SearchMode};
 use loopmem::dep::{analyze, is_legal};
 use loopmem::ir::parse;
-use loopmem::linalg::IMat;
+use loopmem::linalg::{IMat, Lcg};
 use loopmem::sim::{count_iterations, simulate};
-use proptest::prelude::*;
 
 /// Random 2×2 unimodular matrices via products of elementary generators
 /// (skews and the signed swap), so every sample is exactly unimodular.
-fn unimodular2() -> impl Strategy<Value = IMat> {
-    proptest::collection::vec((0usize..3, -2i64..=2), 1..5).prop_map(|ops| {
-        let mut m = IMat::identity(2);
-        for (kind, k) in ops {
-            let g = match kind {
-                0 => IMat::from_rows(&[vec![1, k], vec![0, 1]]),
-                1 => IMat::from_rows(&[vec![1, 0], vec![k, 1]]),
-                _ => IMat::from_rows(&[vec![0, 1], vec![-1, 0]]),
-            };
-            m = &g * &m;
-        }
-        m
-    })
+fn unimodular2(rng: &mut Lcg) -> IMat {
+    let mut m = IMat::identity(2);
+    for _ in 0..rng.range_usize(1, 4) {
+        let k = rng.range_i64(-2, 2);
+        let g = match rng.range_usize(0, 2) {
+            0 => IMat::from_rows(&[vec![1, k], vec![0, 1]]),
+            1 => IMat::from_rows(&[vec![1, 0], vec![k, 1]]),
+            _ => IMat::from_rows(&[vec![0, 1], vec![-1, 0]]),
+        };
+        m = &g * &m;
+    }
+    m
 }
 
-fn small_nest() -> impl Strategy<Value = String> {
-    (3i64..=8, 3i64..=8, -2i64..=2, -2i64..=2).prop_map(|(n1, n2, d1, d2)| {
-        format!(
-            "array A[{}][{}]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ \
-             A[i + 3][j + 3] = A[i + {a}][j + {b}]; }} }}",
-            n1 + 6,
-            n2 + 6,
-            a = d1 + 3,
-            b = d2 + 3,
-        )
-    })
+fn small_nest(rng: &mut Lcg) -> String {
+    let n1 = rng.range_i64(3, 8);
+    let n2 = rng.range_i64(3, 8);
+    let d1 = rng.range_i64(-2, 2);
+    let d2 = rng.range_i64(-2, 2);
+    format!(
+        "array A[{}][{}]\nfor i = 1 to {n1} {{ for j = 1 to {n2} {{ \
+         A[i + 3][j + 3] = A[i + {a}][j + {b}]; }} }}",
+        n1 + 6,
+        n2 + 6,
+        a = d1 + 3,
+        b = d2 + 3,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn transformation_preserves_access_sets(src in small_nest(), t in unimodular2()) {
+#[test]
+fn transformation_preserves_access_sets() {
+    let mut rng = Lcg::new(0x81);
+    for _ in 0..48 {
+        let src = small_nest(&mut rng);
+        let t = unimodular2(&mut rng);
         let nest = parse(&src).expect("generated source parses");
-        prop_assume!(t.is_unimodular());
+        assert!(t.is_unimodular());
         let out = apply_transform(&nest, &t).expect("unimodular transforms apply");
-        prop_assert_eq!(count_iterations(&out), count_iterations(&nest), "{}", src);
+        assert_eq!(count_iterations(&out), count_iterations(&nest), "{src}");
         let (a, b) = (simulate(&nest), simulate(&out));
-        prop_assert_eq!(a.distinct_total(), b.distinct_total(), "{}", src);
+        assert_eq!(a.distinct_total(), b.distinct_total(), "{src}");
         // Per-array access counts are preserved too (same multiset of work).
         for (id, sa) in &a.per_array {
-            prop_assert_eq!(sa.accesses, b.per_array[id].accesses);
-            prop_assert_eq!(sa.distinct, b.per_array[id].distinct);
+            assert_eq!(sa.accesses, b.per_array[id].accesses, "{src}");
+            assert_eq!(sa.distinct, b.per_array[id].distinct, "{src}");
         }
     }
+}
 
-    #[test]
-    fn roundtrip_through_inverse_is_identity(src in small_nest(), t in unimodular2()) {
+#[test]
+fn roundtrip_through_inverse_is_identity() {
+    let mut rng = Lcg::new(0x82);
+    for _ in 0..48 {
+        let src = small_nest(&mut rng);
+        let t = unimodular2(&mut rng);
         let nest = parse(&src).expect("generated source parses");
         let fwd = apply_transform(&nest, &t).expect("forward");
         let back = apply_transform(&fwd, &t.unimodular_inverse().unwrap()).expect("inverse");
-        prop_assert_eq!(simulate(&back).mws_total, simulate(&nest).mws_total);
+        assert_eq!(simulate(&back).mws_total, simulate(&nest).mws_total, "{src}");
     }
+}
 
-    #[test]
-    fn optimizer_never_regresses(src in small_nest()) {
+#[test]
+fn optimizer_never_regresses() {
+    let mut rng = Lcg::new(0x83);
+    for _ in 0..24 {
+        let src = small_nest(&mut rng);
         let nest = parse(&src).expect("generated source parses");
         let opt = minimize_mws(&nest, SearchMode::default()).expect("identity is a candidate");
-        prop_assert!(opt.mws_after <= opt.mws_before, "{}", src);
+        assert!(opt.mws_after <= opt.mws_before, "{src}");
         // The reported transformation is legal and reproduces mws_after.
         let deps = analyze(&nest);
-        prop_assert!(is_legal(&opt.transform, &deps));
+        assert!(is_legal(&opt.transform, &deps), "{src}");
         let redo = apply_transform(&nest, &opt.transform).expect("reported T applies");
-        prop_assert_eq!(simulate(&redo).mws_total, opt.mws_after);
+        assert_eq!(simulate(&redo).mws_total, opt.mws_after, "{src}");
     }
+}
 
-    #[test]
-    fn interchange_reversal_is_never_better_than_compound(src in small_nest()) {
+#[test]
+fn interchange_reversal_is_never_better_than_compound() {
+    let mut rng = Lcg::new(0x84);
+    for _ in 0..24 {
+        let src = small_nest(&mut rng);
         let nest = parse(&src).expect("generated source parses");
         let compound = minimize_mws(&nest, SearchMode::default()).expect("compound");
         let baseline = minimize_mws(&nest, SearchMode::InterchangeReversal).expect("baseline");
-        prop_assert!(
+        assert!(
             compound.mws_after <= baseline.mws_after,
-            "compound {} vs baseline {} for {}",
+            "compound {} vs baseline {} for {src}",
             compound.mws_after,
             baseline.mws_after,
-            src
         );
     }
 }
