@@ -31,4 +31,28 @@ assert any(k.endswith("dense1t_vs_hashmap") for k in d["speedups"]), d["speedups
 print(f"ok: {len(d['results'])} results, {len(d['speedups'])} speedups")
 EOF
 
+echo "== bench-regression gate =="
+# The fresh smoke run's dense-vs-hashmap speedups must stay within 0.8x of
+# the committed baseline (ci/bench_baseline.json, also a smoke run). The
+# baseline holds the minimum ratio observed across repeated runs, so an
+# honest regression has to eat the measurement slack *and* the 0.8 factor.
+python3 - <<'EOF'
+import json, sys
+fresh = json.load(open("BENCH_loopmem.json"))["speedups"]
+base = json.load(open("ci/bench_baseline.json"))["speedups"]
+gated = [k for k in base if k.endswith("dense1t_vs_hashmap")]
+assert gated, "baseline has no dense1t_vs_hashmap speedups"
+failed = False
+for k in gated:
+    if k not in fresh:
+        print(f"FAIL {k}: missing from fresh BENCH_loopmem.json")
+        failed = True
+        continue
+    floor = 0.8 * base[k]
+    verdict = "ok  " if fresh[k] >= floor else "FAIL"
+    failed = failed or fresh[k] < floor
+    print(f"{verdict} {k}: {fresh[k]:.2f}x (floor {floor:.2f}x = 0.8 * baseline {base[k]:.2f}x)")
+sys.exit(1 if failed else 0)
+EOF
+
 echo "== ci passed =="

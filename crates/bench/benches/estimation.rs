@@ -19,7 +19,9 @@ fn main() {
     for k in all_kernels() {
         let nest = k.nest();
         bench(&format!("formula/{}", k.name), || estimate_distinct(&nest));
-        bench(&format!("enumerate/{}", k.name), || distinct_accesses(&nest));
+        bench(&format!("enumerate/{}", k.name), || {
+            distinct_accesses(&nest)
+        });
     }
 
     println!("== example 4 size sweep ==");

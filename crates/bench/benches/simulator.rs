@@ -17,7 +17,9 @@ fn main() {
     for k in all_kernels() {
         let nest = k.nest();
         let iters = count_iterations(&nest);
-        bench(&format!("simulate/{} ({iters} its)", k.name), || simulate(&nest));
+        bench(&format!("simulate/{} ({iters} its)", k.name), || {
+            simulate(&nest)
+        });
     }
 
     println!("== simulate: size scaling ==");

@@ -60,7 +60,12 @@ fn sweep(title: &str, src: &str, alphas: &[((i64, i64), ())], n: (i64, i64)) {
                     let exact = simulate(&out).mws_total;
                     println!(
                         "{:>3} {:>3} {:>3} {:>3} {:>13} {:>10} {:>7.2}",
-                        a, b, c, d, est, exact,
+                        a,
+                        b,
+                        c,
+                        d,
+                        est,
+                        exact,
                         est as f64 / exact.max(1) as f64
                     );
                     printed += 1;

@@ -2,6 +2,10 @@
 fn main() {
     let rows = loopmem_bench::experiments::examples_table();
     print!("{}", loopmem_bench::experiments::format_examples(&rows));
-    println!("\nnote: example 3's formula value (139) reproduces the paper; the exact union is 121.");
-    println!("note: example 6's paper 'actual' is 181; brute force gives 182 (see EXPERIMENTS.md).");
+    println!(
+        "\nnote: example 3's formula value (139) reproduces the paper; the exact union is 121."
+    );
+    println!(
+        "note: example 6's paper 'actual' is 181; brute force gives 182 (see EXPERIMENTS.md)."
+    );
 }

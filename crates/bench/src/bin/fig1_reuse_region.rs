@@ -1,9 +1,8 @@
 //! Figure 1: the reused region induced by dependence (3,-2) on a 10x10 space.
 fn main() {
-    let nest = loopmem_ir::parse(
-        "array A[70]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i + 3j]; } }",
-    )
-    .expect("kernel parses");
+    let nest =
+        loopmem_ir::parse("array A[70]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i + 3j]; } }")
+            .expect("kernel parses");
     println!("Figure 1 — iteration space of a 2-nested loop, dependence (3,-2)");
     println!("('#' marks iterations that re-access an already-touched element)\n");
     print!("{}", loopmem_bench::experiments::figure1(&nest));

@@ -16,7 +16,11 @@ fn sparkline(profile: &[u64], width: usize) -> String {
     let mut idx = 0.0;
     while (idx as usize) < profile.len() && out.len() < width {
         let w = profile[idx as usize] as f64;
-        let level = if max == 0.0 { 0 } else { ((w / max) * 9.0).round() as usize };
+        let level = if max == 0.0 {
+            0
+        } else {
+            ((w / max) * 9.0).round() as usize
+        };
         out.push(glyphs[level.min(9)]);
         idx += step;
     }
@@ -32,7 +36,17 @@ fn main() {
         let after = simulate_with_profile(&opt.transformed);
         let pb = before.profile.expect("profile");
         let pa = after.profile.expect("profile");
-        println!("{:<12} unopt |{}| peak {}", k.name, sparkline(&pb, 64), before.mws_total);
-        println!("{:<12}   opt |{}| peak {}\n", "", sparkline(&pa, 64), after.mws_total);
+        println!(
+            "{:<12} unopt |{}| peak {}",
+            k.name,
+            sparkline(&pb, 64),
+            before.mws_total
+        );
+        println!(
+            "{:<12}   opt |{}| peak {}\n",
+            "",
+            sparkline(&pa, 64),
+            after.mws_total
+        );
     }
 }

@@ -103,7 +103,12 @@ impl fmt::Display for Fig2 {
         writeln!(
             f,
             "{:<12} {:>8} {:>10} {:>7.1}% {:>10} {:>7.1}%",
-            "average", "", "", self.avg_unopt(), "", self.avg_opt()
+            "average",
+            "",
+            "",
+            self.avg_unopt(),
+            "",
+            self.avg_opt()
         )
     }
 }
@@ -245,8 +250,7 @@ pub struct Ex7Row {
 /// Example 7: `X[2i−3j]` over 20×30 under interchange, reversal, both,
 /// and the compound transformation (paper costs 89/41/86/36 → 1).
 pub fn example7_comparison() -> Vec<Ex7Row> {
-    let nest =
-        parse("array X[100]\nfor i = 1 to 20 { for j = 1 to 30 { X[2i - 3j]; } }").unwrap();
+    let nest = parse("array X[100]\nfor i = 1 to 20 { for j = 1 to 30 { X[2i - 3j]; } }").unwrap();
     let alpha = (2i64, -3i64);
     let n = (20i64, 30i64);
     let cases: [(&'static str, Vec<Vec<i64>>, i64); 5] = [
@@ -260,8 +264,7 @@ pub fn example7_comparison() -> Vec<Ex7Row> {
         .into_iter()
         .map(|(label, rows, paper_cost)| {
             let t = IMat::from_rows(&rows);
-            let estimate =
-                loopmem_core::two_level_estimate(alpha, (t[(0, 0)], t[(0, 1)]), n);
+            let estimate = loopmem_core::two_level_estimate(alpha, (t[(0, 0)], t[(0, 1)]), n);
             let out = loopmem_core::apply_transform(&nest, &t).expect("unimodular");
             let exact = simulate(&out).mws_total;
             Ex7Row {
@@ -324,8 +327,8 @@ pub fn example8_study() -> Ex8Study {
     let deps = analyze(&nest);
     let opt = minimize_mws(&nest, SearchMode::default()).expect("compound search succeeds");
     let li = minimize_mws(&nest, SearchMode::LiPingali).map(|o| o.mws_after);
-    let ir = minimize_mws(&nest, SearchMode::InterchangeReversal)
-        .expect("identity is always available");
+    let ir =
+        minimize_mws(&nest, SearchMode::InterchangeReversal).expect("identity is always available");
     Ex8Study {
         distances: deps.distances(true),
         objective_at_optimum: two_level_objective((2, 5), (2, 3), (25, 10)),
@@ -388,10 +391,7 @@ pub fn example10_study() -> Ex10Study {
     )
     .unwrap();
     let reuse = loopmem_dep::reuse_vectors(&nest)[0].1.clone();
-    let estimate = loopmem_core::three_level_estimate(
-        (reuse[0], reuse[1], reuse[2]),
-        (10, 20, 30),
-    );
+    let estimate = loopmem_core::three_level_estimate((reuse[0], reuse[1], reuse[2]), (10, 20, 30));
     let exact_before = simulate(&nest).mws_total;
     let opt = minimize_mws(&nest, SearchMode::default()).expect("search succeeds");
     Ex10Study {
@@ -405,8 +405,16 @@ pub fn example10_study() -> Ex10Study {
 
 impl fmt::Display for Ex10Study {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "reuse vector: {:?} (paper magnitude: (1,3,3))", self.reuse_vector)?;
-        writeln!(f, "MWS estimate (§4.3 formula): {} (paper: 540)", self.estimate)?;
+        writeln!(
+            f,
+            "reuse vector: {:?} (paper magnitude: (1,3,3))",
+            self.reuse_vector
+        )?;
+        writeln!(
+            f,
+            "MWS estimate (§4.3 formula): {} (paper: 540)",
+            self.estimate
+        )?;
         writeln!(f, "MWS exact before: {}", self.exact_before)?;
         writeln!(f, "MWS exact after: {} (paper: 1)", self.exact_after)?;
         writeln!(f, "transformation:\n{}", self.transform)
@@ -683,10 +691,7 @@ mod tests {
     fn example8_matches_paper() {
         let s = example8_study();
         assert_eq!(s.mws_after, 21);
-        assert_eq!(
-            s.objective_at_optimum,
-            loopmem_linalg::Rational::from(22)
-        );
+        assert_eq!(s.objective_at_optimum, loopmem_linalg::Rational::from(22));
         assert!(s.li_pingali.is_err());
         assert_eq!(s.interchange_reversal, s.mws_before);
     }
@@ -706,10 +711,8 @@ mod tests {
     fn figure1_region_has_56_reuses() {
         // Example 1(b): A[2i+3j] over 10x10, dependence (3,-2):
         // reuse = (10-3)(10-2) = 56.
-        let nest = parse(
-            "array A[70]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i + 3j]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[70]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i + 3j]; } }").unwrap();
         let art = figure1(&nest);
         assert!(
             art.contains("already-touched elements): 56 of 100 accesses, 44 distinct"),

@@ -119,11 +119,7 @@ mod tests {
         // All 64 coefficients stay live, the sliding X window holds ~63
         // samples, and Y is live one t at a time: MWS ≈ 127.
         let s = simulate(&FIR.nest());
-        assert!(
-            (126..=129).contains(&s.mws_total),
-            "{}",
-            s.mws_total
-        );
+        assert!((126..=129).contains(&s.mws_total), "{}", s.mws_total);
         let h = FIR.nest();
         let h_id = h.array_by_name("H").expect("H declared");
         assert_eq!(simulate(&h).array(h_id).mws, 64, "all taps resident");

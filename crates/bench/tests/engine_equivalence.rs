@@ -72,7 +72,10 @@ fn compound_search_is_deterministic_across_thread_counts() {
         for threads in [2, 4, 8] {
             let par = minimize_mws_with_threads(&nest, SearchMode::default(), threads)
                 .unwrap_or_else(|e| panic!("{name}: parallel search failed: {e}"));
-            assert_eq!(par.transform, serial.transform, "{name} x{threads}: transform");
+            assert_eq!(
+                par.transform, serial.transform,
+                "{name} x{threads}: transform"
+            );
             assert_eq!(par.mws_before, serial.mws_before, "{name} x{threads}");
             assert_eq!(par.mws_after, serial.mws_after, "{name} x{threads}");
             assert_eq!(
@@ -97,7 +100,10 @@ fn memoization_reports_hits_on_repeated_search() {
     let first = minimize_mws_with_threads(&nest, SearchMode::default(), 2).unwrap();
     let again = minimize_mws_with_threads(&nest, SearchMode::default(), 2).unwrap();
     assert!(first.cache_hits > 0, "identity candidate must hit the memo");
-    assert!(again.cache_hits > first.cache_hits, "repeat must be mostly cached");
+    assert!(
+        again.cache_hits > first.cache_hits,
+        "repeat must be mostly cached"
+    );
     assert_eq!(again.transform, first.transform);
     assert_eq!(again.mws_after, first.mws_after);
 }

@@ -187,10 +187,8 @@ fn objective_lower_bound(alpha: (i64, i64), extents: (i64, i64), bx: &Box2) -> R
     let max_abs_a = bx.alo.abs().max(bx.ahi.abs());
     let max_abs_b = bx.blo.abs().max(bx.bhi.abs());
     let (n1, n2) = extents;
-    let s1 = (max_abs_b > 0)
-        .then(|| Rational::new((n1 - 1) as i128, max_abs_b as i128));
-    let s2 = (max_abs_a > 0)
-        .then(|| Rational::new((n2 - 1) as i128, max_abs_a as i128));
+    let s1 = (max_abs_b > 0).then(|| Rational::new((n1 - 1) as i128, max_abs_b as i128));
+    let s2 = (max_abs_a > 0).then(|| Rational::new((n2 - 1) as i128, max_abs_a as i128));
     let span = match (s1, s2) {
         (Some(x), Some(y)) => x.min(y),
         (Some(x), None) => x,

@@ -129,8 +129,9 @@ fn estimate_impl(nest: &LoopNest, exact_multiref: bool) -> HashMap<ArrayId, Dist
                     .flatten();
                 ie.unwrap_or_else(|| estimate_single_group(nest, g, ranges))
             }
-            (Some(ranges), gs) => nonuniform::estimate_groups(gs, ranges)
-                .unwrap_or_else(|| enumerate(nest, id)),
+            (Some(ranges), gs) => {
+                nonuniform::estimate_groups(gs, ranges).unwrap_or_else(|| enumerate(nest, id))
+            }
             (None, _) => enumerate(nest, id),
         };
         out.insert(id, est);
@@ -169,9 +170,7 @@ fn estimate_single_group(
         // §3.1: designate the sink reference (the one every other
         // reference's dependence points to) and sum the pairwise reuse.
         match full_rank_reuse(g, &extents) {
-            Some(reuse) => {
-                DistinctEstimate::exact(r * iter_count - reuse, Method::FullRankFormula)
-            }
+            Some(reuse) => DistinctEstimate::exact(r * iter_count - reuse, Method::FullRankFormula),
             None => enumerate_group(nest, g),
         }
     } else {
@@ -312,10 +311,8 @@ mod tests {
 
     #[test]
     fn example4_exact_80() {
-        let nest = parse(
-            "array A[111]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[111]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }").unwrap();
         let e = estimate_distinct_for(&nest, ArrayId(0));
         assert_eq!(e.method, Method::NullspaceFormula);
         assert_eq!(e.value(), Some(80));
@@ -344,7 +341,7 @@ mod tests {
         assert_eq!(e.method, Method::NonUniformBounds);
         assert_eq!(e.lower, 179); // the paper's lower bound
         assert_eq!(e.upper, 191); // the paper's upper bound
-        // Exact count (182) sits inside.
+                                  // Exact count (182) sits inside.
         let exact = loopmem_poly::count::distinct_accesses_for(&nest, ArrayId(0)) as i64;
         assert!(e.lower <= exact && exact <= e.upper);
     }
@@ -376,10 +373,8 @@ mod tests {
 
     #[test]
     fn transformed_nest_falls_back_to_enumeration() {
-        let nest = parse(
-            "array A[10][10]\nfor i = 1 to 10 { for j = i to 10 { A[i][j]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[10][10]\nfor i = 1 to 10 { for j = i to 10 { A[i][j]; } }").unwrap();
         let e = estimate_distinct_for(&nest, ArrayId(0));
         assert_eq!(e.method, Method::Enumerated);
         assert_eq!(e.value(), Some(55));
@@ -451,10 +446,7 @@ mod tests {
 
     #[test]
     fn unreferenced_arrays_are_skipped() {
-        let nest = parse(
-            "array A[10]\narray B[10]\nfor i = 1 to 10 { A[i]; }",
-        )
-        .unwrap();
+        let nest = parse("array A[10]\narray B[10]\nfor i = 1 to 10 { A[i]; }").unwrap();
         let all = estimate_distinct(&nest);
         assert!(all.contains_key(&ArrayId(0)));
         assert!(!all.contains_key(&ArrayId(1)));

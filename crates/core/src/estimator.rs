@@ -55,11 +55,7 @@ pub fn analyze_memory(nest: &LoopNest) -> MemoryAnalysis {
     MemoryAnalysis {
         default_words: nest.default_memory(),
         distinct,
-        mws_per_array: sim
-            .per_array
-            .iter()
-            .map(|(&id, s)| (id, s.mws))
-            .collect(),
+        mws_per_array: sim.per_array.iter().map(|(&id, s)| (id, s.mws)).collect(),
         mws_exact: sim.mws_total,
         distinct_exact_total: sim.distinct_total(),
     }

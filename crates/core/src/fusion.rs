@@ -92,8 +92,12 @@ pub fn fuse(program: &Program, k: usize) -> Result<Program, FusionError> {
     // first's.
     let mut statements: Vec<Statement> = first.statements().to_vec();
     statements.extend(second.statements().iter().cloned());
-    let fused = LoopNest::new(first.loops().to_vec(), program.arrays().to_vec(), statements)
-        .expect("conformable fusion yields a valid nest");
+    let fused = LoopNest::new(
+        first.loops().to_vec(),
+        program.arrays().to_vec(),
+        statements,
+    )
+    .expect("conformable fusion yields a valid nest");
 
     let mut nests: Vec<LoopNest> = program.nests().to_vec();
     nests.splice(k..=k + 1, [fused]);
@@ -145,11 +149,7 @@ fn check_legality(
             };
             let conflicting = match r.kind {
                 AccessKind::Write => (it.to_vec() < t.last_touch).then(|| t.last_touch.clone()),
-                AccessKind::Read => t
-                    .last_write
-                    .as_ref()
-                    .filter(|w| it.to_vec() < **w)
-                    .cloned(),
+                AccessKind::Read => t.last_write.as_ref().filter(|w| it.to_vec() < **w).cloned(),
             };
             if let Some(first_iter) = conflicting {
                 violation = Some(FusionError::FusionPreventingDependence {

@@ -62,14 +62,18 @@ pub mod union_count;
 
 pub use bnb::{branch_and_bound, BnbResult};
 pub use distinct::{estimate_distinct, estimate_distinct_exact, DistinctEstimate, Method};
-pub use union_count::exact_union_count;
 pub use estimator::{analyze_memory, MemoryAnalysis};
 pub use fusion::{fuse, FusionError};
 pub use mws::{estimate_nest_mws, three_level_estimate, two_level_estimate, two_level_objective};
 pub use optimize::{
-    memo_stats, minimize_mws, minimize_mws_with_threads, Optimization, OptimizeError, SearchMode,
+    memo_stats, minimize_mws, minimize_mws_with_threads, nest_mws_memoized, Optimization,
+    OptimizeError, SearchMode,
 };
-pub use program_opt::{analyze_program, optimize_program, ProgramAnalysis, ProgramOptimization};
+pub use program_opt::{
+    analyze_program, optimize_program, optimize_program_with_threads, ProgramAnalysis,
+    ProgramOptimization,
+};
 pub use symbolic::{distinct_formulas, Poly, SymbolicEstimate};
 pub use tile::{tile, tile_count, TileError};
 pub use transform::{apply_transform, TransformError};
+pub use union_count::exact_union_count;

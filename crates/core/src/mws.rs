@@ -34,8 +34,16 @@ pub fn maxspan(row: (i64, i64), n: (i64, i64)) -> i64 {
     let (n1, n2) = n;
     assert!(a != 0 || b != 0, "zero leading row");
     assert!(n1 > 0 && n2 > 0, "extents must be positive");
-    let s1 = if b != 0 { Some((n1 - 1) / b.abs()) } else { None };
-    let s2 = if a != 0 { Some((n2 - 1) / a.abs()) } else { None };
+    let s1 = if b != 0 {
+        Some((n1 - 1) / b.abs())
+    } else {
+        None
+    };
+    let s2 = if a != 0 {
+        Some((n2 - 1) / a.abs())
+    } else {
+        None
+    };
     match (s1, s2) {
         (Some(x), Some(y)) => x.min(y) + 1,
         (Some(x), None) => x + 1,
@@ -242,10 +250,7 @@ mod tests {
         // Distance (0,1): immediate reuse, window 2.
         assert_eq!(lex_delay_estimate(&[vec![0, 1]], &[16, 16]), 2);
         // Maximum over several distances.
-        assert_eq!(
-            lex_delay_estimate(&[vec![0, 1], vec![1, 1]], &[16, 16]),
-            18
-        );
+        assert_eq!(lex_delay_estimate(&[vec![0, 1], vec![1, 1]], &[16, 16]), 18);
     }
 
     #[test]

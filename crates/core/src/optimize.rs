@@ -131,7 +131,18 @@ fn memo() -> &'static Memo {
 /// `(hits, misses)` of the process-wide simulation memo since startup.
 pub fn memo_stats() -> (u64, u64) {
     let m = memo();
-    (m.hits.load(Ordering::Relaxed), m.misses.load(Ordering::Relaxed))
+    (
+        m.hits.load(Ordering::Relaxed),
+        m.misses.load(Ordering::Relaxed),
+    )
+}
+
+/// Exact MWS of a nest, served from (and recorded in) the process-wide
+/// simulation memo. The key is the *canonical* nest form — loop-variable
+/// names are erased — so batch analyses of programs that repeat a kernel
+/// under different variable names simulate it exactly once.
+pub fn nest_mws_memoized(nest: &LoopNest) -> u64 {
+    memoized_mws(nest).0
 }
 
 /// Canonical memo key: everything the simulator observes — array decls,
@@ -147,10 +158,22 @@ fn canonical_key(nest: &LoopNest) -> String {
     for l in nest.loops() {
         s.push('L');
         for p in l.lower.pieces() {
-            let _ = write!(s, "l{:?}+{}/{};", p.expr.coeffs(), p.expr.constant_term(), p.div);
+            let _ = write!(
+                s,
+                "l{:?}+{}/{};",
+                p.expr.coeffs(),
+                p.expr.constant_term(),
+                p.div
+            );
         }
         for p in l.upper.pieces() {
-            let _ = write!(s, "u{:?}+{}/{};", p.expr.coeffs(), p.expr.constant_term(), p.div);
+            let _ = write!(
+                s,
+                "u{:?}+{}/{};",
+                p.expr.coeffs(),
+                p.expr.constant_term(),
+                p.div
+            );
         }
     }
     for st in nest.statements() {
@@ -665,9 +688,8 @@ mod tests {
         // a single search records hits, and a repeat is almost all hits.
         // The nest is unique to this test: the memo is process-wide and
         // concurrently running tests would otherwise pre-populate it.
-        let nest =
-            parse("array X[160]\nfor i = 1 to 21 { for j = 1 to 17 { X[3i - 7j + 120]; } }")
-                .unwrap();
+        let nest = parse("array X[160]\nfor i = 1 to 21 { for j = 1 to 17 { X[3i - 7j + 120]; } }")
+            .unwrap();
         let first = minimize_mws(&nest, SearchMode::default()).unwrap();
         assert!(first.cache_hits > 0, "identity candidate must hit the memo");
         let again = minimize_mws(&nest, SearchMode::default()).unwrap();

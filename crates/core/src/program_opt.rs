@@ -6,10 +6,14 @@
 //!/consumer pair needs fusion, not reordering, to shrink its boundary set.
 //! The analysis reports both numbers so the gap is visible.
 
-use crate::optimize::{minimize_mws, OptimizeError, SearchMode};
+use crate::optimize::{
+    minimize_mws_with_threads, nest_mws_memoized, Optimization, OptimizeError, SearchMode,
+};
 use loopmem_ir::{ArrayId, Program};
-use loopmem_sim::{simulate_program, ProgramSimResult};
+use loopmem_sim::{simulate_program, simulate_program_with_threads, ProgramSimResult};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Memory analysis of a whole program.
 #[derive(Clone, Debug)]
@@ -24,6 +28,9 @@ pub struct ProgramAnalysis {
     pub distinct: HashMap<ArrayId, u64>,
     /// Which nest hosts the window peak.
     pub peak_nest: usize,
+    /// Exact single-nest MWS per nest (memoized: a kernel repeated under
+    /// different loop-variable names is simulated once).
+    pub per_nest_mws: Vec<u64>,
 }
 
 /// Analyzes a program's memory behaviour exactly.
@@ -35,6 +42,7 @@ pub fn analyze_program(program: &Program) -> ProgramAnalysis {
         boundary_live: sim.boundary_live,
         distinct: sim.distinct,
         peak_nest: sim.peak_nest,
+        per_nest_mws: program.nests().iter().map(nest_mws_memoized).collect(),
     }
 }
 
@@ -57,6 +65,8 @@ pub struct ProgramOptimization {
 /// keeps whichever whole-program choice is better per nest, greedily in
 /// execution order.
 ///
+/// Uses every available worker thread ([`loopmem_sim::thread_count`]).
+///
 /// # Errors
 ///
 /// Propagates the first nest-level [`OptimizeError`].
@@ -64,28 +74,101 @@ pub fn optimize_program(
     program: &Program,
     mode: SearchMode,
 ) -> Result<ProgramOptimization, OptimizeError> {
-    let mws_before = simulate_program(program).mws_total;
+    optimize_program_with_threads(program, mode, loopmem_sim::thread_count())
+}
+
+/// [`optimize_program`] with a pinned worker-thread count.
+///
+/// The per-nest §4 searches are independent, so they shard across one
+/// scoped-thread pool (workers steal nest indices from an atomic queue;
+/// each search then runs its own evaluation single-threaded to avoid
+/// oversubscribing). All searches share the process-wide simulation memo,
+/// so a kernel repeated across nests — even under different loop-variable
+/// names — is simulated once. The greedy accept pass that follows is
+/// serial and the searches themselves are deterministic, so the result is
+/// bit-identical for every `threads` value.
+///
+/// # Errors
+///
+/// Propagates the earliest (by nest index) nest-level [`OptimizeError`],
+/// matching the serial path's first-failure semantics.
+pub fn optimize_program_with_threads(
+    program: &Program,
+    mode: SearchMode,
+    threads: usize,
+) -> Result<ProgramOptimization, OptimizeError> {
+    let mws_before = simulate_program_with_threads(program, threads).mws_total;
+    let opts = optimize_nests_sharded(program, mode, threads)?;
     let mut current = program.clone();
+    let mut current_mws = mws_before;
     let mut per_nest = Vec::with_capacity(program.len());
-    for k in 0..program.len() {
-        let opt = minimize_mws(&current.nests()[k], mode)?;
+    for (k, opt) in opts.into_iter().enumerate() {
         per_nest.push((opt.mws_before, opt.mws_after));
         let candidate = current
             .with_nest(k, opt.transformed)
             .expect("transformation preserves the array table");
         // Keep the per-nest transformation only if the whole program does
         // not regress.
-        if simulate_program(&candidate).mws_total <= simulate_program(&current).mws_total {
+        let candidate_mws = simulate_program_with_threads(&candidate, threads).mws_total;
+        if candidate_mws <= current_mws {
             current = candidate;
+            current_mws = candidate_mws;
         }
     }
-    let mws_after = simulate_program(&current).mws_total;
     Ok(ProgramOptimization {
         transformed: current,
         mws_before,
-        mws_after,
+        mws_after: current_mws,
         per_nest,
     })
+}
+
+/// Runs the nest-level search for every nest, sharded across `threads`
+/// scoped workers pulling nest indices from an atomic queue. In the
+/// serial loop each nest is searched in its *original* form (earlier
+/// replacements never touch later nests), so the searches are independent
+/// and order-free; outputs land in their nest's slot.
+fn optimize_nests_sharded(
+    program: &Program,
+    mode: SearchMode,
+    threads: usize,
+) -> Result<Vec<Optimization>, OptimizeError> {
+    let nests = program.nests();
+    if nests.len() == 1 {
+        // A single nest cannot shard; give the search every thread.
+        return Ok(vec![minimize_mws_with_threads(&nests[0], mode, threads)?]);
+    }
+    let workers = threads.max(1).min(nests.len());
+    if workers <= 1 {
+        return nests
+            .iter()
+            .map(|n| minimize_mws_with_threads(n, mode, 1))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<Optimization, OptimizeError>>>> =
+        nests.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= nests.len() {
+                    break;
+                }
+                let r = minimize_mws_with_threads(&nests[k], mode, 1);
+                *slots[k].lock().expect("slot poisoned") = Some(r);
+            });
+        }
+    });
+    // Earliest failing nest wins, as in the serial scan.
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("every nest searched")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -116,9 +199,69 @@ mod tests {
         )
         .unwrap();
         let o = optimize_program(&p, SearchMode::default()).unwrap();
-        assert!(o.mws_after <= o.mws_before, "{} -> {}", o.mws_before, o.mws_after);
+        assert!(
+            o.mws_after <= o.mws_before,
+            "{} -> {}",
+            o.mws_before,
+            o.mws_after
+        );
         // The stencil nest improves on its own.
         assert!(o.per_nest[0].1 < o.per_nest[0].0);
+    }
+
+    #[test]
+    fn sharded_optimize_matches_serial_for_all_thread_counts() {
+        // One stencil, one triangular nest, one Example-8-style reuse
+        // kernel — exercised at t ∈ {1, 2, 4} against the serial path.
+        let p = parse_program(
+            "array A[24][24]\narray X[200]\n\
+             for i = 2 to 24 { for j = 1 to 24 { A[i][j] = A[i-1][j] + A[i][j]; } }\n\
+             for i = 1 to 24 { for j = i to 24 { A[i][j] = A[j][i]; } }\n\
+             for i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }",
+        )
+        .unwrap();
+        let serial = optimize_program_with_threads(&p, SearchMode::default(), 1).unwrap();
+        for threads in [2, 4] {
+            let par = optimize_program_with_threads(&p, SearchMode::default(), threads).unwrap();
+            assert_eq!(par.mws_before, serial.mws_before);
+            assert_eq!(par.mws_after, serial.mws_after);
+            assert_eq!(par.per_nest, serial.per_nest);
+            assert_eq!(par.transformed, serial.transformed);
+        }
+        let auto = optimize_program(&p, SearchMode::default()).unwrap();
+        assert_eq!(auto.transformed, serial.transformed);
+    }
+
+    #[test]
+    fn sharded_optimize_propagates_earliest_error() {
+        // Li–Pingali fails on Example 8 (no legal completion); the batch
+        // path must surface that error just like the serial scan.
+        let p = parse_program(
+            "array X[200]\narray Y[200]\n\
+             for i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }\n\
+             for i = 1 to 25 { for j = 1 to 10 { Y[2i + 5j + 1] = Y[2i + 5j + 5]; } }",
+        )
+        .unwrap();
+        for threads in [1, 4] {
+            assert_eq!(
+                optimize_program_with_threads(&p, SearchMode::LiPingali, threads).unwrap_err(),
+                OptimizeError::NoLegalTransform
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_reports_per_nest_mws() {
+        let p = parse_program(
+            "array A[16][16]\n\
+             for i = 2 to 16 { for j = 1 to 16 { A[i][j] = A[i-1][j]; } }\n\
+             for i = 1 to 16 { for j = 1 to 16 { A[i][j] = A[i][j] + 1; } }",
+        )
+        .unwrap();
+        let a = analyze_program(&p);
+        assert_eq!(a.per_nest_mws.len(), 2);
+        assert!((16..=17).contains(&a.per_nest_mws[0]));
+        assert_eq!(a.per_nest_mws[1], 0, "single-touch nest has no window");
     }
 
     #[test]
@@ -133,6 +276,9 @@ mod tests {
         )
         .unwrap();
         let o = optimize_program(&p, SearchMode::default()).unwrap();
-        assert!(o.mws_after >= 36, "boundary set is irreducible by reordering");
+        assert!(
+            o.mws_after >= 36,
+            "boundary set is irreducible by reordering"
+        );
     }
 }

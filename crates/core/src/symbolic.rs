@@ -392,10 +392,8 @@ mod tests {
 
     #[test]
     fn example4_symbolic_formula() {
-        let nest = parse(
-            "array A[500]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[500]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }").unwrap();
         let fs = distinct_formulas(&nest);
         let est = &fs[&ArrayId(0)];
         assert_eq!(est.method, Method::NullspaceFormula);
@@ -408,10 +406,7 @@ mod tests {
     fn example10_symbolic_mws() {
         let names = extent_names(3);
         let f = three_level_mws_sym(&names, (1, 3, 3));
-        assert_eq!(
-            f.eval(&values(&[("N1", 10), ("N2", 20), ("N3", 30)])),
-            540
-        );
+        assert_eq!(f.eval(&values(&[("N1", 10), ("N2", 20), ("N3", 30)])), 540);
         // (N2-3)(N3-3) + 3(N3-3) expands to N2*N3 - 3*N2.
         assert_eq!(f.to_string(), "N2*N3 - 3*N2");
     }

@@ -73,9 +73,7 @@ pub fn tile(nest: &LoopNest, tile_sizes: &[i64]) -> Result<LoopNest, TileError> 
     if let Some(&bad) = tile_sizes.iter().find(|&&b| b <= 0) {
         return Err(TileError::NonPositiveTile(bad));
     }
-    let ranges = nest
-        .rectangular_ranges()
-        .ok_or(TileError::NotRectangular)?;
+    let ranges = nest.rectangular_ranges().ok_or(TileError::NotRectangular)?;
 
     let nn = 2 * n; // new depth: tile loops then intra loops
     let mut loops = Vec::with_capacity(nn);
@@ -135,9 +133,7 @@ const TILE_PREFIX: &str = "tt_";
 
 /// Number of tiles the tiled nest executes.
 pub fn tile_count(nest: &LoopNest, tile_sizes: &[i64]) -> Result<i64, TileError> {
-    let ranges = nest
-        .rectangular_ranges()
-        .ok_or(TileError::NotRectangular)?;
+    let ranges = nest.rectangular_ranges().ok_or(TileError::NotRectangular)?;
     if tile_sizes.len() != ranges.len() {
         return Err(TileError::WrongArity {
             given: tile_sizes.len(),
@@ -156,7 +152,7 @@ mod tests {
     use super::*;
     use loopmem_dep::{analyze, is_tileable};
     use loopmem_ir::parse;
-    use loopmem_sim::{count_iterations, simulate, misses, Policy, Trace};
+    use loopmem_sim::{count_iterations, misses, simulate, Policy, Trace};
 
     fn matmult() -> LoopNest {
         parse(
@@ -184,8 +180,8 @@ mod tests {
     #[test]
     fn partial_tiles_are_handled() {
         // 10 iterations with tile size 4: tiles of 4, 4, 2.
-        let nest = parse("array A[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j]; } }")
-            .unwrap();
+        let nest =
+            parse("array A[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j]; } }").unwrap();
         let tiled = tile(&nest, &[4, 3]).unwrap();
         assert_eq!(count_iterations(&tiled), 100);
         assert_eq!(tile_count(&nest, &[4, 3]).unwrap(), 3 * 4);
@@ -220,16 +216,18 @@ mod tests {
             tile(&nest, &[4, 4]).unwrap_err(),
             TileError::WrongArity { given: 2, depth: 3 }
         );
-        assert_eq!(tile(&nest, &[4, 0, 4]).unwrap_err(), TileError::NonPositiveTile(0));
-        let tri = parse("array A[10][10]\nfor i = 1 to 10 { for j = i to 10 { A[i][j]; } }")
-            .unwrap();
+        assert_eq!(
+            tile(&nest, &[4, 0, 4]).unwrap_err(),
+            TileError::NonPositiveTile(0)
+        );
+        let tri =
+            parse("array A[10][10]\nfor i = 1 to 10 { for j = i to 10 { A[i][j]; } }").unwrap();
         assert_eq!(tile(&tri, &[2, 2]).unwrap_err(), TileError::NotRectangular);
     }
 
     #[test]
     fn tile_size_one_and_full() {
-        let nest = parse("array A[6][6]\nfor i = 1 to 6 { for j = 1 to 6 { A[i][j]; } }")
-            .unwrap();
+        let nest = parse("array A[6][6]\nfor i = 1 to 6 { for j = 1 to 6 { A[i][j]; } }").unwrap();
         // B = 1: every iteration its own tile.
         let t1 = tile(&nest, &[1, 1]).unwrap();
         assert_eq!(count_iterations(&t1), 36);

@@ -167,9 +167,8 @@ mod tests {
 
     #[test]
     fn rank_deficient_is_rejected() {
-        let (_, g) = group_of(
-            "array A[200]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }",
-        );
+        let (_, g) =
+            group_of("array A[200]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }");
         assert!(exact_union_count(&g, &[(1, 20), (1, 10)]).is_none());
     }
 

@@ -15,8 +15,8 @@ fn one_deep_nest_full_stack() {
     assert_eq!(m.mws_exact, 1, "one element live between iterations");
     let est = estimate_distinct(&nest)[&ArrayId(0)];
     assert_eq!(est.value(), Some(2 * 10 - 9)); // §3.1 with r = 2
-    // Optimizer on a 1-deep nest: only identity and reversal exist, and
-    // reversal is illegal here.
+                                               // Optimizer on a 1-deep nest: only identity and reversal exist, and
+                                               // reversal is illegal here.
     let opt = minimize_mws(&nest, SearchMode::default()).unwrap();
     assert_eq!(opt.mws_after, 1);
     assert_eq!(opt.transform, IMat::identity(1));
@@ -34,8 +34,7 @@ fn single_iteration_nest() {
 
 #[test]
 fn empty_outer_range_is_consistent_everywhere() {
-    let nest =
-        parse("array A[10][10]\nfor i = 5 to 4 { for j = 1 to 10 { A[i][j]; } }").unwrap();
+    let nest = parse("array A[10][10]\nfor i = 5 to 4 { for j = 1 to 10 { A[i][j]; } }").unwrap();
     assert_eq!(count_iterations(&nest), 0);
     let s = simulate(&nest);
     assert_eq!(s.iterations, 0);
@@ -49,8 +48,7 @@ fn empty_outer_range_is_consistent_everywhere() {
 
 #[test]
 fn empty_inner_range_is_consistent() {
-    let nest =
-        parse("array A[10][10]\nfor i = 1 to 10 { for j = 7 to 2 { A[i][j]; } }").unwrap();
+    let nest = parse("array A[10][10]\nfor i = 1 to 10 { for j = 7 to 2 { A[i][j]; } }").unwrap();
     assert_eq!(count_iterations(&nest), 0);
     assert_eq!(simulate(&nest).mws_total, 0);
 }
@@ -59,10 +57,9 @@ fn empty_inner_range_is_consistent() {
 fn huge_offset_kills_all_reuse() {
     // Dependence distance exceeds the extents: the formula clamps at zero
     // reuse, and everything agrees.
-    let nest = parse(
-        "array A[200][20]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i + 100][j]; } }",
-    )
-    .unwrap();
+    let nest =
+        parse("array A[200][20]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i + 100][j]; } }")
+            .unwrap();
     let est = estimate_distinct(&nest)[&ArrayId(0)];
     assert_eq!(est.value(), Some(200));
     assert_eq!(simulate(&nest).distinct_total(), 200);
@@ -72,8 +69,7 @@ fn huge_offset_kills_all_reuse() {
 #[test]
 fn negative_direction_loop_via_reversal_transform() {
     // Reversal of a reuse-free nest is legal and preserves everything.
-    let nest =
-        parse("array A[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j]; } }").unwrap();
+    let nest = parse("array A[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j]; } }").unwrap();
     let reversal = IMat::from_rows(&[vec![-1, 0], vec![0, -1]]);
     let out = apply_transform(&nest, &reversal).unwrap();
     assert_eq!(count_iterations(&out), 100);
@@ -103,8 +99,8 @@ fn four_deep_optimizer_handles_identity_only_spaces() {
 #[test]
 fn zero_constant_subscript_array() {
     // A[5] fixed element: touched every iteration, window 1.
-    let nest = parse("array A[10]\nfor i = 1 to 10 { for j = 1 to 10 { A[5] = A[5] + 1; } }")
-        .unwrap();
+    let nest =
+        parse("array A[10]\nfor i = 1 to 10 { for j = 1 to 10 { A[5] = A[5] + 1; } }").unwrap();
     let s = simulate(&nest);
     assert_eq!(s.distinct_total(), 1);
     assert_eq!(s.mws_total, 1);

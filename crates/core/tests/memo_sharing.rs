@@ -1,0 +1,65 @@
+//! Memo-sharing coverage for the batch optimizer.
+//!
+//! This file deliberately holds a single `#[test]`: integration-test
+//! binaries are separate processes, and the simulation memo (with its
+//! hit/miss counters) is process-wide — a sibling test running
+//! concurrently would perturb the exact counts asserted here.
+
+use loopmem_core::optimize::{memo_stats, nest_mws_memoized};
+use loopmem_core::{optimize_program_with_threads, SearchMode};
+use loopmem_ir::{parse, parse_program};
+
+#[test]
+fn identical_nests_under_renamed_variables_miss_the_memo_once() {
+    // The same kernel spelled with different loop-variable names: the
+    // canonical memo key erases names, so the pair costs exactly one
+    // simulation (one miss), the second call a pure hit.
+    let a = parse(
+        "array X[160]\nfor i = 1 to 19 { for j = 1 to 13 { X[3i - 7j + 120] = X[3i - 7j + 113]; } }",
+    )
+    .unwrap();
+    let b = parse(
+        "array X[160]\nfor p = 1 to 19 { for q = 1 to 13 { X[3p - 7q + 120] = X[3p - 7q + 113]; } }",
+    )
+    .unwrap();
+    let (h0, m0) = memo_stats();
+    let mws_a = nest_mws_memoized(&a);
+    let mws_b = nest_mws_memoized(&b);
+    let (h1, m1) = memo_stats();
+    assert_eq!(mws_a, mws_b);
+    assert_eq!(m1 - m0, 1, "second nest must be served from the memo");
+    assert_eq!(h1 - h0, 1);
+
+    // The same sharing through the whole batch-optimizer path: a program
+    // repeating the kernel under both spellings. Nest 1's search walks the
+    // same canonical candidate space as nest 0's, so the *entire* second
+    // search — including its mws_before — is memo hits; the only fresh
+    // misses are nest 0's candidate simulations.
+    let two = parse_program(
+        "array X[160]\n\
+         for i = 1 to 19 { for j = 1 to 13 { X[3i - 7j + 120] = X[3i - 7j + 113]; } }\n\
+         for p = 1 to 19 { for q = 1 to 13 { X[3p - 7q + 120] = X[3p - 7q + 113]; } }",
+    )
+    .unwrap();
+    let first = optimize_program_with_threads(&two, SearchMode::default(), 2).unwrap();
+    let (_, m3) = memo_stats();
+    assert_eq!(first.per_nest[0], first.per_nest[1]);
+
+    // Optimizing the program again re-simulates nothing at all.
+    let again = optimize_program_with_threads(&two, SearchMode::default(), 2).unwrap();
+    let (_, m4) = memo_stats();
+    assert_eq!(m4 - m3, 0, "repeat run must be all memo hits");
+    assert_eq!(again.mws_after, first.mws_after);
+
+    // And a single-nest search over the same kernel would have paid the
+    // same number of candidate misses the two-nest program did: the
+    // second nest added zero.
+    let single = parse_program(
+        "array X[160]\nfor z = 1 to 19 { for w = 1 to 13 { X[3z - 7w + 120] = X[3z - 7w + 113]; } }",
+    )
+    .unwrap();
+    let (_, m5) = memo_stats();
+    let _ = optimize_program_with_threads(&single, SearchMode::default(), 1).unwrap();
+    let (_, m6) = memo_stats();
+    assert_eq!(m6 - m5, 0, "renamed kernel is already fully memoized");
+}

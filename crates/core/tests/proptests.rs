@@ -33,7 +33,10 @@ fn eq2_equals_continuous_objective_rounded_down_or_matches() {
         // The floored estimate never exceeds the continuous objective and
         // they differ by less than one maxspan quantum (= the weight).
         let w = (a2 * a - a1 * b).abs().max(1);
-        assert!(Rational::from(est) <= obj, "({a1},{a2}) T=({a},{b}) N=({n1},{n2})");
+        assert!(
+            Rational::from(est) <= obj,
+            "({a1},{a2}) T=({a},{b}) N=({n1},{n2})"
+        );
         assert!(
             obj - Rational::from(est) < Rational::from(w),
             "({a1},{a2}) T=({a},{b}) N=({n1},{n2})"
@@ -63,13 +66,19 @@ fn eq2_tracks_the_simulator_for_single_references() {
         let exact = simulate(&out).mws_total as i64;
         let est = two_level_estimate((a1, a2), (1, skew), (n1, n2));
         // The closed form is an upper estimate within one line of slack.
-        assert!(exact <= est + 1, "exact {exact} > est {est} ({src}, skew {skew})");
+        assert!(
+            exact <= est + 1,
+            "exact {exact} > est {est} ({src}, skew {skew})"
+        );
         // Tightness holds in eq. (2)'s intended regime — extents well
         // above the coefficients, so the reuse lattice is dense. With
         // sparse reuse (large strides over a small box) the formula is a
         // deliberate over-estimate and no tightness is claimed.
         if a1 == 1 && a2 == 1 && skew.abs() <= 1 {
-            assert!(est <= 3 * exact + 3, "est {est} vs exact {exact} ({src}, skew {skew})");
+            assert!(
+                est <= 3 * exact + 3,
+                "est {est} vs exact {exact} ({src}, skew {skew})"
+            );
         }
     }
 }
@@ -108,7 +117,11 @@ fn bnb_matches_exhaustive_on_random_dependence_sets() {
         let q = rng.range_i64(-4, 4);
         let a1 = rng.range_i64(1, 5);
         let a2 = rng.range_i64(-5, 5);
-        let qt = if q >= 0 { format!("+ {q}*j") } else { format!("- {}*j", -q) };
+        let qt = if q >= 0 {
+            format!("+ {q}*j")
+        } else {
+            format!("- {}*j", -q)
+        };
         let src = format!(
             "array A[300]\nfor i = 1 to 12 {{ for j = 1 to 9 {{ \
              A[{p}*i {qt} + {x}] = A[{p}*i {qt} + {y}]; }} }}",

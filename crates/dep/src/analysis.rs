@@ -217,8 +217,7 @@ fn positive_members(
     spans: &[i64],
     self_pair: bool,
 ) -> Vec<Vec<i64>> {
-    let in_range =
-        |v: &[i64]| v.iter().zip(spans).all(|(&x, &s)| x.abs() <= s);
+    let in_range = |v: &[i64]| v.iter().zip(spans).all(|(&x, &s)| x.abs() <= s);
     match kernel.len() {
         0 => {
             if !self_pair && lex_positive(particular) && in_range(particular) {
@@ -359,7 +358,10 @@ mod tests {
         // Paper: (1,0), (0,1), (1,1) from S1 to the reads; the read-read
         // differences (0,1)-(1,0) etc. also appear as input deps.
         for want in [vec![1, 0], vec![0, 1], vec![1, 1]] {
-            assert!(distances.contains(&want), "missing {want:?} in {distances:?}");
+            assert!(
+                distances.contains(&want),
+                "missing {want:?} in {distances:?}"
+            );
         }
         // All flow distances are exactly those three.
         let flows: Vec<_> = deps
@@ -391,9 +393,15 @@ mod tests {
         .unwrap();
         let deps = analyze(&nest);
         let legality = deps.distances(true);
-        assert!(legality.contains(&vec![3, -2]), "flow missing: {legality:?}");
+        assert!(
+            legality.contains(&vec![3, -2]),
+            "flow missing: {legality:?}"
+        );
         assert!(legality.contains(&vec![2, 0]), "anti missing: {legality:?}");
-        assert!(legality.contains(&vec![5, -2]), "output missing: {legality:?}");
+        assert!(
+            legality.contains(&vec![5, -2]),
+            "output missing: {legality:?}"
+        );
         assert_eq!(legality.len(), 3);
         // Kinds match the paper's classification.
         for d in deps.iter() {
@@ -435,10 +443,9 @@ mod tests {
     #[test]
     fn no_dependence_when_gcd_fails() {
         // 2·δ = 1 has no integer solution: accesses interleave, never collide.
-        let nest = parse(
-            "array A[100]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i] = A[2i + 1]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[100]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i] = A[2i + 1]; } }")
+                .unwrap();
         let deps = analyze(&nest);
         // Only self-reuse along j (kernel (0,1)) appears.
         assert!(deps.iter().all(|d| d.distance == vec![0, 1]));

@@ -170,10 +170,9 @@ mod tests {
     #[test]
     fn uniform_shift_gives_fixed_directions() {
         // A[i][j] -> A[i-1][j]: collision iff J = I + (1, 0).
-        let nest = parse(
-            "array A[20][20]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[20][20]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j]; } }")
+                .unwrap();
         let refs: Vec<_> = nest.refs().collect();
         // I at the write (A[i][j]), J at the read of the same element.
         let dv = direction_vector(&nest, refs[0], refs[1]).expect("they collide");
@@ -182,10 +181,9 @@ mod tests {
 
     #[test]
     fn disjoint_parities_proved_independent() {
-        let nest = parse(
-            "array A[100]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i] = A[2j + 41]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[100]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i] = A[2j + 41]; } }")
+                .unwrap();
         let refs: Vec<_> = nest.refs().collect();
         // 2i is even, 2j+41 is odd — rationally they could meet at
         // half-integers, but the bounds make even the rational test fail
@@ -198,10 +196,9 @@ mod tests {
     fn transposed_access_directions() {
         // B[j][i] vs B[i][j] self-collisions: I=(i,j) and J=(j,i) touch
         // the same element; both signs possible off-diagonal.
-        let nest = parse(
-            "array B[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { B[j][i] = B[i][j]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array B[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { B[j][i] = B[i][j]; } }")
+                .unwrap();
         let refs: Vec<_> = nest.refs().collect();
         let dv = direction_vector(&nest, refs[0], refs[1]).expect("they collide");
         assert_eq!(dv.0, vec![Direction::Star, Direction::Star]);
@@ -209,10 +206,7 @@ mod tests {
 
     #[test]
     fn different_arrays_never_collide() {
-        let nest = parse(
-            "array A[10]\narray B[10]\nfor i = 1 to 10 { A[i] = B[i]; }",
-        )
-        .unwrap();
+        let nest = parse("array A[10]\narray B[10]\nfor i = 1 to 10 { A[i] = B[i]; }").unwrap();
         let refs: Vec<_> = nest.refs().collect();
         assert_eq!(direction_vector(&nest, refs[0], refs[1]), None);
     }

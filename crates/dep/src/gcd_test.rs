@@ -62,10 +62,9 @@ mod tests {
     #[test]
     fn parity_split_proves_independence() {
         // A[2i] vs A[2j + 1]: gcd(2,2) = 2 does not divide 1.
-        let nest = parse(
-            "array A[100]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i] = A[2j + 1]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[100]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i] = A[2j + 1]; } }")
+                .unwrap();
         let refs: Vec<_> = nest.refs().collect();
         assert!(!may_alias(refs[0], refs[1]));
     }
@@ -85,10 +84,9 @@ mod tests {
     fn constant_dimension_mismatch_is_independent() {
         // A[i][1] vs A[j][2]: second dimension constants differ, no
         // variables involved.
-        let nest = parse(
-            "array A[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][1] = A[j][2]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][1] = A[j][2]; } }")
+                .unwrap();
         let refs: Vec<_> = nest.refs().collect();
         assert!(!may_alias(refs[0], refs[1]));
     }

@@ -84,8 +84,7 @@ mod tests {
     #[test]
     fn example4_reuse() {
         let nest =
-            parse("array A[200]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }")
-                .unwrap();
+            parse("array A[200]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }").unwrap();
         let rv = reuse_vectors(&nest);
         assert_eq!(rv.len(), 1);
         assert_eq!(rv[0].1, vec![5, -2]);
@@ -107,10 +106,9 @@ mod tests {
 
     #[test]
     fn full_rank_access_has_no_kernel_reuse() {
-        let nest = parse(
-            "array A[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j]; } }")
+                .unwrap();
         assert!(reuse_vectors(&nest).is_empty());
     }
 

@@ -84,7 +84,11 @@ impl ElementBox {
         let mut strides = vec![0i64; ranges.len()];
         let mut cells: u128 = 1;
         for d in (0..ranges.len()).rev() {
-            strides[d] = if cells > u64::MAX as u128 { 0 } else { cells as i64 };
+            strides[d] = if cells > u64::MAX as u128 {
+                0
+            } else {
+                cells as i64
+            };
             cells = cells.saturating_mul(extents[d] as u128);
         }
         ElementBox {
@@ -105,6 +109,11 @@ impl ElementBox {
         &self.lo
     }
 
+    /// Per-dimension extents (cell counts; 0 for an empty dimension).
+    pub fn extents(&self) -> &[i64] {
+        &self.extents
+    }
+
     /// Row-major strides (innermost dimension has stride 1). Zero when the
     /// box is too large to address linearly.
     pub fn strides(&self) -> &[i64] {
@@ -119,8 +128,8 @@ impl ElementBox {
     pub fn flatten(&self, idx: &[i64]) -> Option<usize> {
         assert_eq!(idx.len(), self.lo.len(), "coordinate rank mismatch");
         let mut off: usize = 0;
-        for d in 0..idx.len() {
-            let rel = idx[d] - self.lo[d];
+        for (d, &x) in idx.iter().enumerate() {
+            let rel = x - self.lo[d];
             if rel < 0 || rel >= self.extents[d] {
                 return None;
             }
@@ -183,12 +192,7 @@ impl ArrayRef {
     /// Panics if `subs` is empty or the subscripts disagree on depth.
     pub fn from_subscripts(array: ArrayId, subs: &[Affine], kind: AccessKind) -> Self {
         assert!(!subs.is_empty(), "reference needs at least one subscript");
-        let matrix = IMat::from_rows(
-            &subs
-                .iter()
-                .map(|s| s.coeffs().to_vec())
-                .collect::<Vec<_>>(),
-        );
+        let matrix = IMat::from_rows(&subs.iter().map(|s| s.coeffs().to_vec()).collect::<Vec<_>>());
         let offset = subs.iter().map(Affine::constant_term).collect();
         ArrayRef::new(array, matrix, offset, kind)
     }
@@ -258,12 +262,7 @@ mod tests {
     #[test]
     fn reference_evaluation() {
         // A[i-1][j+2] over a 2-deep nest (Example 2's second reference).
-        let r = ArrayRef::new(
-            ArrayId(0),
-            IMat::identity(2),
-            vec![-1, 2],
-            AccessKind::Read,
-        );
+        let r = ArrayRef::new(ArrayId(0), IMat::identity(2), vec![-1, 2], AccessKind::Read);
         assert_eq!(r.index_at(&[5, 7]), vec![4, 9]);
         assert_eq!(r.rank(), 2);
         assert_eq!(r.depth(), 2);

@@ -46,7 +46,10 @@ impl Bound {
     /// Panics if `pieces` is empty or any divisor is non-positive.
     pub fn from_pieces(pieces: Vec<BoundPiece>) -> Self {
         assert!(!pieces.is_empty(), "bound needs at least one piece");
-        assert!(pieces.iter().all(|p| p.div > 0), "divisors must be positive");
+        assert!(
+            pieces.iter().all(|p| p.div > 0),
+            "divisors must be positive"
+        );
         Bound { pieces }
     }
 

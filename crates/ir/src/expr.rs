@@ -45,7 +45,10 @@ impl Affine {
         assert!(k < n, "variable index out of range");
         let mut coeffs = vec![0; n];
         coeffs[k] = 1;
-        Affine { coeffs, constant: 0 }
+        Affine {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Per-variable coefficients (outermost loop first).
@@ -176,11 +179,7 @@ impl fmt::Display for AffineDisplay<'_> {
             if c == 0 {
                 continue;
             }
-            let name = self
-                .names
-                .get(k)
-                .map(String::as_str)
-                .unwrap_or("?");
+            let name = self.names.get(k).map(String::as_str).unwrap_or("?");
             if wrote {
                 write!(f, " {} ", if c < 0 { "-" } else { "+" })?;
             } else if c < 0 {
@@ -265,10 +264,25 @@ mod tests {
     #[test]
     fn display_formats() {
         let ns = names(&["i", "j"]);
-        assert_eq!(Affine::new(vec![2, -3], 0).display_with(&ns).to_string(), "2*i - 3*j");
-        assert_eq!(Affine::new(vec![1, 0], -1).display_with(&ns).to_string(), "i - 1");
-        assert_eq!(Affine::new(vec![0, 0], 5).display_with(&ns).to_string(), "5");
-        assert_eq!(Affine::new(vec![0, 0], 0).display_with(&ns).to_string(), "0");
-        assert_eq!(Affine::new(vec![-1, 1], 2).display_with(&ns).to_string(), "-i + j + 2");
+        assert_eq!(
+            Affine::new(vec![2, -3], 0).display_with(&ns).to_string(),
+            "2*i - 3*j"
+        );
+        assert_eq!(
+            Affine::new(vec![1, 0], -1).display_with(&ns).to_string(),
+            "i - 1"
+        );
+        assert_eq!(
+            Affine::new(vec![0, 0], 5).display_with(&ns).to_string(),
+            "5"
+        );
+        assert_eq!(
+            Affine::new(vec![0, 0], 0).display_with(&ns).to_string(),
+            "0"
+        );
+        assert_eq!(
+            Affine::new(vec![-1, 1], 2).display_with(&ns).to_string(),
+            "-i + j + 2"
+        );
     }
 }

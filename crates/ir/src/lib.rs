@@ -46,5 +46,5 @@ pub use bounds::{Bound, Loop};
 pub use expr::Affine;
 pub use nest::{LoopNest, NestError, Statement};
 pub use parser::{parse, ParseError};
-pub use program::{parse_program, Program, ProgramError};
 pub use printer::{print_nest, print_program};
+pub use program::{parse_program, Program, ProgramError};

@@ -72,7 +72,11 @@ impl fmt::Display for NestError {
                 "bound of loop {loop_index} references a non-outer loop variable"
             ),
             NestError::UnknownArray(id) => write!(f, "reference to undeclared {id}"),
-            NestError::RankMismatch { array, declared, used } => write!(
+            NestError::RankMismatch {
+                array,
+                declared,
+                used,
+            } => write!(
                 f,
                 "{array} declared with rank {declared} but referenced with {used} subscripts"
             ),
@@ -284,8 +288,8 @@ impl LoopNest {
 mod tests {
     use super::*;
     use crate::access::AccessKind;
-    use crate::expr::Affine;
     use crate::bounds::Bound;
+    use crate::expr::Affine;
     use loopmem_linalg::IMat;
 
     fn simple_ref(kind: AccessKind) -> ArrayRef {
@@ -327,12 +331,8 @@ mod tests {
 
     #[test]
     fn no_statements_rejected() {
-        let err = LoopNest::new(
-            vec![Loop::rectangular("i", 1, 1, 10)],
-            vec![],
-            vec![],
-        )
-        .unwrap_err();
+        let err =
+            LoopNest::new(vec![Loop::rectangular("i", 1, 1, 10)], vec![], vec![]).unwrap_err();
         assert_eq!(err, NestError::NoStatements);
     }
 

@@ -191,7 +191,10 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 });
             }
             other => {
-                return Err(ParseError::new(line, format!("unexpected character '{other}'")));
+                return Err(ParseError::new(
+                    line,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
@@ -289,7 +292,10 @@ impl Parser {
         let line = self.line();
         match self.next_tok() {
             Some(Tok::Sym(s)) if s == c => Ok(()),
-            other => Err(ParseError::new(line, format!("expected '{c}', found {other:?}"))),
+            other => Err(ParseError::new(
+                line,
+                format!("expected '{c}', found {other:?}"),
+            )),
         }
     }
 
@@ -297,7 +303,10 @@ impl Parser {
         let line = self.line();
         match self.next_tok() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(ParseError::new(line, format!("expected identifier, found {other:?}"))),
+            other => Err(ParseError::new(
+                line,
+                format!("expected identifier, found {other:?}"),
+            )),
         }
     }
 
@@ -305,7 +314,10 @@ impl Parser {
         let line = self.line();
         match self.next_tok() {
             Some(Tok::Ident(s)) if s == kw => Ok(()),
-            other => Err(ParseError::new(line, format!("expected '{kw}', found {other:?}"))),
+            other => Err(ParseError::new(
+                line,
+                format!("expected '{kw}', found {other:?}"),
+            )),
         }
     }
 
@@ -322,7 +334,10 @@ impl Parser {
         let arrays = self.parse_array_decls()?;
         let nest = self.parse_one_nest(&arrays)?;
         if self.pos != self.toks.len() {
-            return Err(ParseError::new(self.line(), "trailing input after loop nest"));
+            return Err(ParseError::new(
+                self.line(),
+                "trailing input after loop nest",
+            ));
         }
         Ok(nest)
     }
@@ -356,10 +371,16 @@ impl Parser {
                 self.expect_sym(']')?;
             }
             if dims.is_empty() {
-                return Err(ParseError::new(self.line(), "array declaration needs extents"));
+                return Err(ParseError::new(
+                    self.line(),
+                    "array declaration needs extents",
+                ));
             }
             if arrays.iter().any(|a| a.name == name) {
-                return Err(ParseError::new(self.line(), format!("array '{name}' redeclared")));
+                return Err(ParseError::new(
+                    self.line(),
+                    format!("array '{name}' redeclared"),
+                ));
             }
             arrays.push(ArrayDecl::new(name, dims));
         }
@@ -407,7 +428,13 @@ impl Parser {
     #[allow(clippy::type_complexity)]
     fn parse_for(
         &mut self,
-    ) -> Result<(Vec<(String, SymExpr, SymExpr, usize)>, Vec<PendingStatement>), ParseError> {
+    ) -> Result<
+        (
+            Vec<(String, SymExpr, SymExpr, usize)>,
+            Vec<PendingStatement>,
+        ),
+        ParseError,
+    > {
         let line = self.line();
         self.expect_keyword("for")?;
         let var = self.expect_ident()?;
@@ -464,7 +491,10 @@ impl Parser {
                     }
                     Some(Tok::Ident(_)) => {
                         // Array access iff followed by '['.
-                        if matches!(self.toks.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Sym('['))) {
+                        if matches!(
+                            self.toks.get(self.pos + 1).map(|t| &t.tok),
+                            Some(Tok::Sym('['))
+                        ) {
                             refs.push(self.parse_access(AccessKind::Read)?);
                         } else {
                             self.pos += 1; // scalar variable: ignore
@@ -492,7 +522,10 @@ impl Parser {
             self.expect_sym(']')?;
         }
         if subs.is_empty() {
-            return Err(ParseError::new(line, format!("'{array}' used without subscripts")));
+            return Err(ParseError::new(
+                line,
+                format!("'{array}' used without subscripts"),
+            ));
         }
         Ok(PendingRef {
             array,
@@ -553,7 +586,9 @@ impl Parser {
                         Some(Tok::Int(n)) => Ok(SymExpr::var(&v, n)),
                         other => Err(ParseError::new(
                             line2,
-                            format!("non-affine term: expected integer after '{v} *', found {other:?}"),
+                            format!(
+                                "non-affine term: expected integer after '{v} *', found {other:?}"
+                            ),
                         )),
                     }
                 } else {
@@ -663,8 +698,7 @@ mod tests {
 
     #[test]
     fn unknown_variable_rejected() {
-        let err =
-            parse("array A[10]\nfor i = 1 to 10 { A[k]; }").unwrap_err();
+        let err = parse("array A[10]\nfor i = 1 to 10 { A[k]; }").unwrap_err();
         assert!(err.message.contains("unknown variable"), "{err}");
     }
 

@@ -116,7 +116,7 @@ mod tests {
     use super::*;
     use crate::bounds::{BoundPiece, Loop};
     use crate::expr::Affine;
-    use crate::{parse, ArrayDecl, ArrayId, ArrayRef, AccessKind, Statement};
+    use crate::{parse, AccessKind, ArrayDecl, ArrayId, ArrayRef, Statement};
     use loopmem_linalg::IMat;
 
     #[test]
@@ -135,8 +135,8 @@ mod tests {
 
     #[test]
     fn bare_read_statement_prints() {
-        let nest = parse("array X[100]\nfor i = 1 to 20 { for j = 1 to 30 { X[2i - 3j]; } }")
-            .unwrap();
+        let nest =
+            parse("array X[100]\nfor i = 1 to 20 { for j = 1 to 30 { X[2i - 3j]; } }").unwrap();
         let printed = print_nest(&nest);
         assert!(printed.contains("X[2*i - 3*j];"), "{printed}");
         assert_eq!(parse(&printed).unwrap(), nest);

@@ -9,8 +9,8 @@ use loopmem_linalg::Lcg;
 #[test]
 fn parser_never_panics_on_token_soup() {
     let tokens = [
-        "for", "array", "to", "{", "}", "[", "]", "=", ";", "+", "-", "*",
-        "i", "j", "abc", "x", "0", "7", "42", "199",
+        "for", "array", "to", "{", "}", "[", "]", "=", ";", "+", "-", "*", "i", "j", "abc", "x",
+        "0", "7", "42", "199",
     ];
     let mut rng = Lcg::new(0x21);
     for _ in 0..512 {
@@ -74,13 +74,19 @@ fn bound_evaluation_max_min_semantics() {
         let lower = Bound::from_pieces(
             pieces
                 .iter()
-                .map(|&(c, d)| BoundPiece { expr: Affine::new(vec![0], c), div: d })
+                .map(|&(c, d)| BoundPiece {
+                    expr: Affine::new(vec![0], c),
+                    div: d,
+                })
                 .collect(),
         );
         let upper = Bound::from_pieces(
             pieces
                 .iter()
-                .map(|&(c, d)| BoundPiece { expr: Affine::new(vec![0], c), div: d })
+                .map(|&(c, d)| BoundPiece {
+                    expr: Affine::new(vec![0], c),
+                    div: d,
+                })
                 .collect(),
         );
         let lo = lower.eval_lower(&[at]);
@@ -98,9 +104,8 @@ fn bound_evaluation_max_min_semantics() {
 fn roundtrip_with_triangular_bounds() {
     for n1 in 2i64..=9 {
         for n2 in 2i64..=9 {
-            let src = format!(
-                "array A[9][9]\nfor i = 1 to {n1} {{ for j = i to {n2} {{ A[i][j]; }} }}"
-            );
+            let src =
+                format!("array A[9][9]\nfor i = 1 to {n1} {{ for j = i to {n2} {{ A[i][j]; }} }}");
             let nest = parse(&src).expect("triangular source parses");
             let printed = loopmem_ir::print_nest(&nest);
             assert_eq!(parse(&printed).expect("printed source parses"), nest);
@@ -127,7 +132,10 @@ fn helpful_error_messages() {
     for (src, needle) in [
         ("array A[10]\nfor i = 1 to 10 { B[i]; }", "undeclared"),
         ("array A[10]\nfor i = 1 to 10 { A[x]; }", "unknown variable"),
-        ("array A[10]\narray A[10]\nfor i = 1 to 10 { A[i]; }", "redeclared"),
+        (
+            "array A[10]\narray A[10]\nfor i = 1 to 10 { A[i]; }",
+            "redeclared",
+        ),
         ("array A[0]\nfor i = 1 to 10 { A[i]; }", "positive"),
         ("for", "identifier"),
     ] {

@@ -75,7 +75,11 @@ pub fn column_echelon(a: &IMat) -> ColumnEchelon {
             c += 1;
         }
     }
-    ColumnEchelon { echelon: e, v, pivots }
+    ColumnEchelon {
+        echelon: e,
+        v,
+        pivots,
+    }
 }
 
 fn div_round(a: i64, b: i64) -> i64 {
@@ -179,10 +183,9 @@ pub fn complete_unimodular_rows(rows: &IMat) -> Option<IMat> {
     }
     // With M = [rows; S] and S = [0 | I] * v^{-1}, M*v = [[H,0],[0,I]] is
     // unimodular, hence so is M.
-    let v_inv = ce
-        .v
-        .unimodular_inverse()
-        .expect("column-op accumulator is unimodular");
+    let v_inv =
+        ce.v.unimodular_inverse()
+            .expect("column-op accumulator is unimodular");
     let mut out_rows: Vec<Vec<i64>> = (0..k).map(|i| rows.row(i).to_vec()).collect();
     for i in k..n {
         out_rows.push(v_inv.row(i).to_vec());
@@ -306,7 +309,12 @@ mod tests {
 
     #[test]
     fn complete_single_row_higher_dims() {
-        for row in [vec![2, 3, 5], vec![1, 0, 0, 0], vec![6, 10, 15], vec![0, 0, 1]] {
+        for row in [
+            vec![2, 3, 5],
+            vec![1, 0, 0, 0],
+            vec![6, 10, 15],
+            vec![0, 0, 1],
+        ] {
             let t = complete_unimodular(&row).unwrap();
             assert_eq!(t.row(0), row.as_slice());
             assert_eq!(t.det().abs(), 1);

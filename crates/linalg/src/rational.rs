@@ -163,7 +163,10 @@ impl Add for Rational {
             .checked_mul(rhs.den)
             .and_then(|l| rhs.num.checked_mul(self.den).and_then(|r| l.checked_add(r)))
             .expect("rational add overflow");
-        let den = self.den.checked_mul(rhs.den).expect("rational add overflow");
+        let den = self
+            .den
+            .checked_mul(rhs.den)
+            .expect("rational add overflow");
         Rational::new(num, den)
     }
 }
@@ -223,8 +226,14 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Rational) -> Ordering {
-        let l = self.num.checked_mul(other.den).expect("rational cmp overflow");
-        let r = other.num.checked_mul(self.den).expect("rational cmp overflow");
+        let l = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational cmp overflow");
+        let r = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational cmp overflow");
         l.cmp(&r)
     }
 }

@@ -81,18 +81,24 @@ mod tests {
 
     #[test]
     fn streams_are_deterministic_and_seed_sensitive() {
-        let a: Vec<u64> = (0..8).map({
-            let mut r = Lcg::new(1);
-            move |_| r.next_u64()
-        }).collect();
-        let b: Vec<u64> = (0..8).map({
-            let mut r = Lcg::new(1);
-            move |_| r.next_u64()
-        }).collect();
-        let c: Vec<u64> = (0..8).map({
-            let mut r = Lcg::new(2);
-            move |_| r.next_u64()
-        }).collect();
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = Lcg::new(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = Lcg::new(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map({
+                let mut r = Lcg::new(2);
+                move |_| r.next_u64()
+            })
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -93,12 +93,7 @@ fn floor_ceil_consistent() {
 fn rational_field_axioms() {
     let mut rng = Lcg::new(0x15);
     for _ in 0..500 {
-        let mut q = || {
-            Rational::new(
-                rng.range_i64(-40, 39) as i128,
-                rng.range_i64(1, 8) as i128,
-            )
-        };
+        let mut q = || Rational::new(rng.range_i64(-40, 39) as i128, rng.range_i64(1, 8) as i128);
         let (a, b, c) = (q(), q(), q());
         assert_eq!(a + b, b + a);
         assert_eq!((a + b) + c, a + (b + c));
@@ -151,7 +146,11 @@ fn nullspace_annihilates() {
             assert!(g <= 1, "case {case}: kernel vector {v:?} not primitive");
         }
         // Kernel dimension + rank = #columns.
-        assert_eq!(integer_nullspace(&a).len() + a.rank(), a.ncols(), "case {case}");
+        assert_eq!(
+            integer_nullspace(&a).len() + a.rank(),
+            a.ncols(),
+            "case {case}"
+        );
     }
 }
 

@@ -8,8 +8,8 @@
 
 use crate::constraint::Polyhedron;
 use crate::fm::project_prefix;
-use loopmem_ir::{Affine, Bound, Loop};
 use loopmem_ir::bounds::BoundPiece;
+use loopmem_ir::{Affine, Bound, Loop};
 use std::error::Error;
 use std::fmt;
 

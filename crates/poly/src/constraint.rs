@@ -227,10 +227,15 @@ mod tests {
 
     #[test]
     fn from_nest_matches_manual_box() {
-        let nest = parse("array A[10][20]\nfor i = 1 to 10 { for j = 1 to 20 { A[i][j]; } }")
-            .unwrap();
+        let nest =
+            parse("array A[10][20]\nfor i = 1 to 10 { for j = 1 to 20 { A[i][j]; } }").unwrap();
         let p = Polyhedron::from_nest(&nest);
-        for (pt, expect) in [([1, 1], true), ([10, 20], true), ([0, 5], false), ([5, 21], false)] {
+        for (pt, expect) in [
+            ([1, 1], true),
+            ([10, 20], true),
+            ([0, 5], false),
+            ([5, 21], false),
+        ] {
             assert_eq!(p.contains(&pt), expect, "{pt:?}");
         }
     }
@@ -245,8 +250,8 @@ mod tests {
     #[test]
     fn var_range_triangular() {
         // i in 1..=10, j in i..=10: j's full range is 1..=10, i's is 1..=10.
-        let nest = parse("array A[10][10]\nfor i = 1 to 10 { for j = i to 10 { A[i][j]; } }")
-            .unwrap();
+        let nest =
+            parse("array A[10][10]\nfor i = 1 to 10 { for j = i to 10 { A[i][j]; } }").unwrap();
         let p = Polyhedron::from_nest(&nest);
         assert_eq!(p.var_range(0), Some((1, 10)));
         assert_eq!(p.var_range(1), Some((1, 10)));

@@ -70,8 +70,8 @@ mod tests {
     fn example4_exact_count_is_80() {
         // A[2i+5j+1] over 20x10: the paper's formula says A_d = 80 and
         // claims exactness for uniformly generated references.
-        let nest = parse("array A[111]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }")
-            .unwrap();
+        let nest =
+            parse("array A[111]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }").unwrap();
         assert_eq!(distinct_accesses_for(&nest, ArrayId(0)), 80);
     }
 

@@ -100,10 +100,7 @@ mod tests {
         p.add(Constraint::new(vec![0, 1], -1));
         p.add(Constraint::new(vec![0, -1], 2));
         let pts = collect(&p);
-        assert_eq!(
-            pts,
-            vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]
-        );
+        assert_eq!(pts, vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]);
     }
 
     #[test]

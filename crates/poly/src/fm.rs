@@ -122,6 +122,9 @@ mod tests {
         p.add(Constraint::new(vec![1], -10)); // x >= 10
         p.add(Constraint::new(vec![-1], 5)); // x <= 5
         let s = eliminate(&p, 0);
-        assert!(s.constraints().iter().any(|c| c.is_trivial() && c.constant < 0));
+        assert!(s
+            .constraints()
+            .iter()
+            .any(|c| c.is_trivial() && c.constant < 0));
     }
 }

@@ -14,10 +14,7 @@ fn random_poly_2d(rng: &mut Lcg) -> Polyhedron {
     p.add(Constraint::new(vec![0, 1], 6));
     p.add(Constraint::new(vec![0, -1], 6));
     for _ in 0..rng.range_usize(0, 3) {
-        p.add(Constraint::new(
-            rng.ivec(2, -3, 3),
-            rng.range_i64(-12, 12),
-        ));
+        p.add(Constraint::new(rng.ivec(2, -3, 3), rng.range_i64(-12, 12)));
     }
     p
 }

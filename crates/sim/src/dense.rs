@@ -18,11 +18,15 @@
 //!
 //! * **Parallelism.** The validator guarantees outermost bounds are
 //!   constants, so the outer loop range splits into contiguous chunks that
-//!   partition the lexicographic iteration stream. Each chunk is swept by a
-//!   scoped thread with chunk-local 32-bit time; tables merge in chunk
-//!   order with cumulative time offsets (`first` keeps the earliest chunk's
-//!   value, `last` the latest), which makes the result bit-identical for
-//!   every thread count.
+//!   partition the lexicographic iteration stream. Chunk boundaries are
+//!   placed by *estimated iteration volume* (not outer-value count), so
+//!   triangular nests get balanced chunks, and workers pull chunk indices
+//!   from an atomic queue — finished threads steal the remaining chunks
+//!   instead of idling behind the largest one. Each chunk is swept with
+//!   chunk-local 32-bit time; tables merge strictly in chunk order with
+//!   cumulative time offsets (`first` keeps the earliest chunk's value,
+//!   `last` the latest), which makes the result bit-identical for every
+//!   thread count and every steal order.
 //!
 //! * **Pass 2 (window sweep).** First/last events become a difference
 //!   array (`+1` at `first`, `-1` at `last`) whose prefix sum is the live
@@ -33,10 +37,22 @@ use crate::exec::{for_each_iteration_outer, outer_range};
 use crate::window::{ArrayStats, SimResult};
 use loopmem_ir::{ArrayId, ArrayRef, ElementBox, LoopNest};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Chunk-local "never touched" sentinel for the `first` slot.
-const UNTOUCHED: u32 = u32::MAX;
+pub(crate) const UNTOUCHED: u32 = u32::MAX;
+
+/// Work-stealing granularity: chunks per worker thread. More chunks mean
+/// better balance on skewed (e.g. triangular) nests but more table merges;
+/// 4 keeps merge traffic below a few percent of sweep time.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Outer spans wider than this skip the per-value volume scan and fall
+/// back to even splitting (a span this wide dwarfs the u32 iteration
+/// budget anyway, so balance is moot).
+const VOLUME_SCAN_LIMIT: u128 = 1 << 20;
 
 /// Memory budget in bytes for all concurrently live dense touch tables.
 const DENSE_BUDGET_BYTES: u128 = 768 << 20;
@@ -93,11 +109,9 @@ struct Plan {
 fn estimated_iterations(nest: &LoopNest) -> u128 {
     match nest.var_ranges() {
         None => 0,
-        Some(vr) => vr
-            .iter()
-            .fold(1u128, |acc, &(l, h)| {
-                acc.saturating_mul((h.saturating_sub(l).saturating_add(1)).max(0) as u128)
-            }),
+        Some(vr) => vr.iter().fold(1u128, |acc, &(l, h)| {
+            acc.saturating_mul((h.saturating_sub(l).saturating_add(1)).max(0) as u128)
+        }),
     }
 }
 
@@ -157,16 +171,22 @@ fn make_plan(nest: &LoopNest, threads: usize) -> Plan {
                 }
             }
         }
-        // Up to `threads` chunk-local tables plus the merged base are live
-        // at once; split the byte budget across them (8 bytes per cell).
+        // Steady state keeps one chunk-local table set per worker plus the
+        // merged base live (the in-order fold retires out-of-order
+        // stragglers as soon as the gap closes); split the byte budget
+        // across them (8 bytes per cell).
         let budget_cells = DENSE_BUDGET_BYTES / (8 * (threads as u128 + 1));
         let mut used: u128 = 0;
         for a in 0..narrays {
-            let Some(ranges) = &arr_ranges[a] else { continue };
+            let Some(ranges) = &arr_ranges[a] else {
+                continue;
+            };
             let bx = ElementBox::new(ranges);
             let cells = bx.cells();
             let max_touched = est_iters.saturating_mul(ref_count[a]);
-            let sparsity_cap = max_touched.saturating_mul(SPARSITY_FACTOR).saturating_add(4096);
+            let sparsity_cap = max_touched
+                .saturating_mul(SPARSITY_FACTOR)
+                .saturating_add(4096);
             if cells == 0 || cells > budget_cells.saturating_sub(used) || cells > sparsity_cap {
                 continue;
             }
@@ -293,47 +313,72 @@ fn sweep_chunk(nest: &LoopNest, plan: &Plan, lo: i64, hi: i64) -> ChunkOut {
     }
 }
 
-/// Folds chunk outputs (in chunk = time order) into the first chunk's
-/// tables, rebasing each chunk's local times by the cumulative iteration
-/// count. Earlier chunks always hold the earlier `first`, later chunks the
+/// Folds one chunk's output (the *next* chunk in time order) into `base`,
+/// rebasing the chunk's local times by the cumulative iteration count.
+/// The earlier side always holds the earlier `first`, the later side the
 /// later `last`, so the merge is a pair of conditional stores per cell.
-fn merge(mut chunks: Vec<ChunkOut>) -> ChunkOut {
-    let mut base = chunks.remove(0);
-    for c in chunks {
-        let off64 = base.iters;
-        base.iters += c.iters;
-        assert!(
-            base.iters <= UNTOUCHED as u64,
-            "nest exceeds the engine's u32 iteration budget"
-        );
-        let off = off64 as u32;
-        for (total, add) in base.accesses.iter_mut().zip(&c.accesses) {
-            *total += add;
-        }
-        for (bt, ct) in base.dense.iter_mut().zip(c.dense) {
-            for (bc, cc) in bt.iter_mut().zip(ct) {
-                if cc.0 == UNTOUCHED {
-                    continue;
-                }
-                if bc.0 == UNTOUCHED {
-                    *bc = (cc.0 + off, cc.1 + off);
-                } else {
-                    bc.1 = cc.1 + off;
-                }
+fn merge_into(base: &mut ChunkOut, c: ChunkOut) {
+    let off64 = base.iters;
+    base.iters += c.iters;
+    assert!(
+        base.iters <= UNTOUCHED as u64,
+        "nest exceeds the engine's u32 iteration budget"
+    );
+    let off = off64 as u32;
+    for (total, add) in base.accesses.iter_mut().zip(&c.accesses) {
+        *total += add;
+    }
+    for (bt, ct) in base.dense.iter_mut().zip(c.dense) {
+        for (bc, cc) in bt.iter_mut().zip(ct) {
+            if cc.0 == UNTOUCHED {
+                continue;
+            }
+            if bc.0 == UNTOUCHED {
+                *bc = (cc.0 + off, cc.1 + off);
+            } else {
+                bc.1 = cc.1 + off;
             }
         }
-        for (bm, cm) in base.sparse.iter_mut().zip(c.sparse) {
-            for (k, v) in cm {
-                match bm.entry(k) {
-                    Entry::Occupied(mut e) => e.get_mut().1 = v.1 + off,
-                    Entry::Vacant(e) => {
-                        e.insert((v.0 + off, v.1 + off));
-                    }
+    }
+    for (bm, cm) in base.sparse.iter_mut().zip(c.sparse) {
+        for (k, v) in cm {
+            match bm.entry(k) {
+                Entry::Occupied(mut e) => e.get_mut().1 = v.1 + off,
+                Entry::Vacant(e) => {
+                    e.insert((v.0 + off, v.1 + off));
                 }
             }
         }
     }
-    base
+}
+
+/// Chunk outputs folded into a growing prefix, strictly in chunk order.
+/// Workers deposit out-of-order results in `pending`; whoever deposits the
+/// next needed chunk folds the ready run, so memory stays bounded by the
+/// worker count plus the occasional straggler gap instead of the full
+/// chunk count.
+struct MergeState {
+    /// Chunks `[0, upto)` are already folded into `base`.
+    upto: usize,
+    base: Option<ChunkOut>,
+    pending: BTreeMap<usize, ChunkOut>,
+}
+
+impl MergeState {
+    fn deposit(&mut self, k: usize, out: ChunkOut) {
+        self.pending.insert(k, out);
+        loop {
+            let next = self.upto;
+            let Some(c) = self.pending.remove(&next) else {
+                break;
+            };
+            self.upto += 1;
+            match &mut self.base {
+                None => self.base = Some(c),
+                Some(b) => merge_into(b, c),
+            }
+        }
+    }
 }
 
 /// Pass 2: difference arrays over iteration time. An element first touched
@@ -405,6 +450,8 @@ fn finish(narrays: usize, merged: ChunkOut, want_profile: bool) -> SimResult {
     }
 }
 
+/// Even split of the outer range into at most `parts` contiguous chunks —
+/// the fallback when no volume information is available.
 fn split_range(lo: i64, hi: i64, parts: usize) -> Vec<(i64, i64)> {
     if lo > hi || parts <= 1 {
         return vec![(lo, hi)];
@@ -421,6 +468,67 @@ fn split_range(lo: i64, hi: i64, parts: usize) -> Vec<(i64, i64)> {
     out
 }
 
+/// Estimated iteration volume of one outermost-loop value: the product of
+/// conservative inner-range lengths with the outermost variable pinned to
+/// `v` (the same interval enclosure as [`LoopNest::var_ranges`], one level
+/// sharper). Exact for rectangular and outer-dependent triangular bounds;
+/// only load balance depends on it, never results.
+fn outer_volume(nest: &LoopNest, v: i64) -> u128 {
+    let n = nest.depth();
+    let mut ranges = vec![(0i64, 0i64); n];
+    ranges[0] = (v, v);
+    let mut vol: u128 = 1;
+    for k in 1..n {
+        let l = &nest.loops()[k];
+        let (lo, _) = l.lower.value_range(&ranges);
+        let (_, hi) = l.upper.value_range(&ranges);
+        if lo > hi {
+            return 0;
+        }
+        ranges[k] = (lo, hi);
+        vol = vol.saturating_mul((hi.saturating_sub(lo).saturating_add(1)) as u128);
+    }
+    vol
+}
+
+/// Splits the outer range into at most `parts` contiguous chunks whose
+/// *estimated iteration volumes* are balanced. An even split of outer
+/// values gives a triangular nest (`for j = i to N`) chunks whose work
+/// differs by the triangle's aspect ratio; cutting by cumulative volume
+/// keeps every chunk within one outer value's volume of the ideal share.
+fn chunk_ranges(nest: &LoopNest, lo: i64, hi: i64, parts: usize) -> Vec<(i64, i64)> {
+    if lo > hi || parts <= 1 {
+        return vec![(lo, hi)];
+    }
+    let span = (hi as i128 - lo as i128 + 1) as u128;
+    if span > VOLUME_SCAN_LIMIT {
+        return split_range(lo, hi, parts);
+    }
+    let parts = parts.min(span as usize);
+    let vols: Vec<u128> = (lo..=hi).map(|v| outer_volume(nest, v).max(1)).collect();
+    let total: u128 = vols.iter().fold(0u128, |a, &b| a.saturating_add(b));
+    let mut out = Vec::with_capacity(parts);
+    let mut start = lo;
+    let mut acc: u128 = 0;
+    for (i, &w) in vols.iter().enumerate() {
+        acc = acc.saturating_add(w);
+        let v = lo + i as i64;
+        // Close the current chunk once the cumulative volume reaches the
+        // next ideal cut `total·(k+1)/parts` (cross-multiplied to stay in
+        // integers), keeping the final chunk open through `hi`.
+        let produced = out.len() as u128;
+        if v < hi
+            && out.len() + 1 < parts
+            && acc.saturating_mul(parts as u128) >= total.saturating_mul(produced + 1)
+        {
+            out.push((start, v));
+            start = v + 1;
+        }
+    }
+    out.push((start, hi));
+    out
+}
+
 /// Worker-thread count for a nest when the caller did not pin one:
 /// [`thread_count`] workers, except that small nests stay serial.
 pub(crate) fn auto_threads(nest: &LoopNest) -> usize {
@@ -431,32 +539,85 @@ pub(crate) fn auto_threads(nest: &LoopNest) -> usize {
     }
 }
 
-/// Runs the dense engine with exactly the given worker-thread count.
-/// Results are bit-identical for every `threads` value and to the legacy
-/// hashmap engine.
-pub(crate) fn run(nest: &LoopNest, want_profile: bool, threads: usize) -> SimResult {
-    let narrays = nest.arrays().len();
+/// Pass 1 over the whole nest: plan, chunk, sweep (work-stealing when
+/// `threads > 1`), and fold the chunks strictly in chunk order. The
+/// returned tables are bit-identical for every `threads` value.
+fn sweep_all(nest: &LoopNest, threads: usize) -> (Plan, ChunkOut) {
     let (olo, ohi) = outer_range(nest);
     let threads = threads.max(1);
     let plan = make_plan(nest, threads);
-    let chunks = split_range(olo, ohi, threads);
-    let outs: Vec<ChunkOut> = if chunks.len() <= 1 {
-        let (lo, hi) = chunks[0];
-        vec![sweep_chunk(nest, &plan, lo, hi)]
+    let chunks = if threads == 1 {
+        vec![(olo, ohi)]
     } else {
-        let plan = &plan;
-        std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|&(lo, hi)| s.spawn(move || sweep_chunk(nest, plan, lo, hi)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("simulator worker panicked"))
-                .collect()
-        })
+        chunk_ranges(nest, olo, ohi, threads * CHUNKS_PER_THREAD)
     };
-    finish(narrays, merge(outs), want_profile)
+    if chunks.len() <= 1 {
+        let (lo, hi) = chunks[0];
+        let out = sweep_chunk(nest, &plan, lo, hi);
+        return (plan, out);
+    }
+    let workers = threads.min(chunks.len());
+    let next = AtomicUsize::new(0);
+    let state = Mutex::new(MergeState {
+        upto: 0,
+        base: None,
+        pending: BTreeMap::new(),
+    });
+    {
+        let (plan, chunks, next, state) = (&plan, &chunks, &next, &state);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= chunks.len() {
+                        break;
+                    }
+                    let (lo, hi) = chunks[k];
+                    let out = sweep_chunk(nest, plan, lo, hi);
+                    state.lock().expect("merge state poisoned").deposit(k, out);
+                });
+            }
+        });
+    }
+    let st = state.into_inner().expect("merge state poisoned");
+    debug_assert_eq!(st.upto, chunks.len(), "every chunk merged");
+    let merged = st.base.expect("at least one chunk swept");
+    (plan, merged)
+}
+
+/// Merged pass-1 touch tables of one nest in nest-local 32-bit time —
+/// everything the program engine needs to rebase the nest onto a global
+/// timeline. `boxes[a]` is the dense box backing `dense[a]`; elements the
+/// planner demoted to the hashmap path sit in `sparse[a]`.
+pub(crate) struct NestPass1 {
+    pub iters: u64,
+    pub accesses: Vec<u64>,
+    pub boxes: Vec<Option<ElementBox>>,
+    pub dense: Vec<Vec<(u32, u32)>>,
+    pub sparse: Vec<HashMap<Vec<i64>, (u32, u32)>>,
+}
+
+/// Runs pass 1 only and hands the merged tables to the caller.
+pub(crate) fn pass1(nest: &LoopNest, threads: usize) -> NestPass1 {
+    let (plan, merged) = sweep_all(nest, threads);
+    NestPass1 {
+        iters: merged.iters,
+        accesses: merged.accesses,
+        boxes: plan.boxes,
+        dense: merged.dense,
+        sparse: merged.sparse,
+    }
+}
+
+/// Runs the dense engine with exactly the given worker-thread count.
+/// Results are bit-identical for every `threads` value and to the legacy
+/// hashmap engine: chunks partition the lexicographic iteration stream in
+/// order, and [`MergeState`] folds them strictly in chunk order no matter
+/// which worker swept which chunk.
+pub(crate) fn run(nest: &LoopNest, want_profile: bool, threads: usize) -> SimResult {
+    let narrays = nest.arrays().len();
+    let (_, merged) = sweep_all(nest, threads);
+    finish(narrays, merged, want_profile)
 }
 
 #[cfg(test)]
@@ -487,10 +648,9 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_results() {
-        let nest = parse(
-            "array A[64][64]\nfor i = 2 to 60 { for j = 1 to 60 { A[i][j] = A[i-1][j]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[64][64]\nfor i = 2 to 60 { for j = 1 to 60 { A[i][j] = A[i-1][j]; } }")
+                .unwrap();
         let one = run(&nest, true, 1);
         for threads in [2, 3, 5, 16] {
             assert_same(&run(&nest, true, threads), &one);
@@ -500,10 +660,9 @@ mod tests {
     #[test]
     fn sparse_fallback_is_exact() {
         // Subscript stride so large the dense box fails the sparsity test.
-        let nest = parse(
-            "array X[2000000000]\nfor i = 1 to 20 { for j = 1 to 5 { X[100000000i + j]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array X[2000000000]\nfor i = 1 to 20 { for j = 1 to 5 { X[100000000i + j]; } }")
+                .unwrap();
         let plan = make_plan(&nest, 1);
         assert!(plan.boxes.iter().all(Option::is_none), "expected fallback");
         assert_same(&run(&nest, true, 1), &simulate_hashmap_with_profile(&nest));
@@ -523,5 +682,77 @@ mod tests {
         assert_eq!(split_range(1, 10, 3), vec![(1, 3), (4, 6), (7, 10)]);
         assert_eq!(split_range(1, 2, 8), vec![(1, 1), (2, 2)]);
         assert_eq!(split_range(5, 4, 4), vec![(5, 4)]);
+    }
+
+    /// Chunk lists always partition `[lo, hi]` into consecutive ranges.
+    fn assert_partitions(chunks: &[(i64, i64)], lo: i64, hi: i64) {
+        assert_eq!(chunks.first().unwrap().0, lo);
+        assert_eq!(chunks.last().unwrap().1, hi);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].1 + 1, w[1].0, "{chunks:?}");
+        }
+    }
+
+    #[test]
+    fn volume_chunks_balance_triangular_nests() {
+        // for j = i to 100: per-value volume 101-i, front-loaded. An even
+        // split's first chunk carries ~44% of the work; volume cuts keep
+        // every chunk near 25%.
+        let nest =
+            parse("array A[101][101]\nfor i = 1 to 100 { for j = i to 100 { A[i][j]; } }").unwrap();
+        let chunks = chunk_ranges(&nest, 1, 100, 4);
+        assert_partitions(&chunks, 1, 100);
+        assert!(chunks.len() >= 2, "{chunks:?}");
+        let total: u128 = (1..=100).map(|v| outer_volume(&nest, v)).sum();
+        let ideal = total / chunks.len() as u128;
+        for &(lo, hi) in &chunks {
+            let vol: u128 = (lo..=hi).map(|v| outer_volume(&nest, v)).sum();
+            assert!(
+                vol <= ideal * 2 && vol * 3 >= ideal,
+                "chunk {lo}..={hi} holds {vol} of ideal {ideal}: {chunks:?}"
+            );
+        }
+        // The triangle's exact volume: interval analysis is sharp here.
+        assert_eq!(total, 5050);
+        assert_eq!(outer_volume(&nest, 1), 100);
+        assert_eq!(outer_volume(&nest, 100), 1);
+    }
+
+    #[test]
+    fn volume_chunks_are_even_for_rectangular_nests() {
+        let nest =
+            parse("array A[40][40]\nfor i = 1 to 40 { for j = 1 to 40 { A[i][j]; } }").unwrap();
+        let chunks = chunk_ranges(&nest, 1, 40, 4);
+        assert_partitions(&chunks, 1, 40);
+        assert_eq!(chunks, vec![(1, 10), (11, 20), (21, 30), (31, 40)]);
+    }
+
+    #[test]
+    fn work_stealing_matches_serial_on_triangular_nests() {
+        for src in [
+            "array A[80][80]\nfor i = 1 to 78 { for j = i to 78 { A[i][j] = A[j][i]; } }",
+            "array A[64][64]\nfor i = 1 to 60 { for j = 1 to i { A[i][j] = A[i-1][j]; } }",
+            "array X[400]\nfor i = 1 to 40 { for j = i to 40 { for k = j to 40 { X[i + j + k]; } } }",
+        ] {
+            let nest = parse(src).unwrap();
+            let one = run(&nest, true, 1);
+            for threads in [2, 3, 4, 8] {
+                assert_same(&run(&nest, true, threads), &one);
+            }
+            assert_same(&one, &simulate_hashmap_with_profile(&nest));
+        }
+    }
+
+    #[test]
+    fn empty_inner_ranges_have_zero_volume() {
+        // j = i to 10 is empty for i > 10; outer i runs to 20.
+        let nest =
+            parse("array A[32][32]\nfor i = 1 to 20 { for j = i to 10 { A[i][j]; } }").unwrap();
+        assert_eq!(outer_volume(&nest, 15), 0);
+        assert_eq!(outer_volume(&nest, 10), 1);
+        let one = run(&nest, true, 1);
+        for threads in [2, 5] {
+            assert_same(&run(&nest, true, threads), &one);
+        }
     }
 }

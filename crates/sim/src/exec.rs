@@ -81,14 +81,10 @@ mod tests {
 
     #[test]
     fn rectangular_count_and_order() {
-        let nest =
-            parse("array A[4]\nfor i = 1 to 2 { for j = 1 to 2 { A[i]; } }").unwrap();
+        let nest = parse("array A[4]\nfor i = 1 to 2 { for j = 1 to 2 { A[i]; } }").unwrap();
         let mut seen = Vec::new();
         for_each_iteration(&nest, |it| seen.push(it.to_vec()));
-        assert_eq!(
-            seen,
-            vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]
-        );
+        assert_eq!(seen, vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]);
         assert_eq!(count_iterations(&nest), 4);
     }
 
@@ -101,17 +97,15 @@ mod tests {
 
     #[test]
     fn empty_range_runs_zero() {
-        let nest =
-            parse("array A[10]\nfor i = 5 to 4 { A[i]; }").unwrap();
+        let nest = parse("array A[10]\nfor i = 5 to 4 { A[i]; }").unwrap();
         assert_eq!(count_iterations(&nest), 0);
     }
 
     #[test]
     fn matches_iteration_count_accessor() {
-        let nest = parse(
-            "array A[100]\nfor i = 1 to 10 { for j = 1 to 20 { for k = 1 to 3 { A[i]; } } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[100]\nfor i = 1 to 10 { for j = 1 to 20 { for k = 1 to 3 { A[i]; } } }")
+                .unwrap();
         assert_eq!(Some(count_iterations(&nest) as i64), nest.iteration_count());
     }
 }

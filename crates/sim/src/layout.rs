@@ -112,11 +112,7 @@ pub struct LineStats {
 /// # Panics
 ///
 /// Panics if `line_words == 0` or the layouts mismatch the declarations.
-pub fn line_analysis(
-    nest: &LoopNest,
-    layouts: &[Layout],
-    line_words: i64,
-) -> (LineStats, Trace) {
+pub fn line_analysis(nest: &LoopNest, layouts: &[Layout], line_words: i64) -> (LineStats, Trace) {
     assert!(line_words > 0, "line size must be positive");
     let map = AddressMap::new(nest, layouts);
 
@@ -173,10 +169,9 @@ mod tests {
 
     #[test]
     fn line_size_one_matches_element_analysis() {
-        let nest = parse(
-            "array A[20][20]\nfor i = 2 to 18 { for j = 1 to 18 { A[i][j] = A[i-1][j]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse("array A[20][20]\nfor i = 2 to 18 { for j = 1 to 18 { A[i][j] = A[i-1][j]; } }")
+                .unwrap();
         let sim = crate::window::simulate(&nest);
         let (stats, _) = line_analysis(&nest, &[Layout::RowMajor], 1);
         assert_eq!(stats.distinct_lines, sim.distinct_total());
@@ -192,7 +187,7 @@ mod tests {
         let (cm, cm_trace) = line_analysis(&nest, &[Layout::ColMajor], 8);
         assert_eq!(rm.distinct_lines, 32);
         assert_eq!(cm.distinct_lines, 32); // same footprint…
-        // …but a tiny line buffer thrashes only under the bad layout.
+                                           // …but a tiny line buffer thrashes only under the bad layout.
         let rm_misses = misses(&rm_trace, 2, Policy::Lru);
         let cm_misses = misses(&cm_trace, 2, Policy::Lru);
         assert_eq!(rm_misses, 32, "row-major: one miss per line");
@@ -209,10 +204,7 @@ mod tests {
 
     #[test]
     fn arrays_never_share_lines() {
-        let nest = parse(
-            "array A[8]\narray B[8]\nfor i = 1 to 8 { A[i] = B[i]; }",
-        )
-        .unwrap();
+        let nest = parse("array A[8]\narray B[8]\nfor i = 1 to 8 { A[i] = B[i]; }").unwrap();
         let (stats, _) = line_analysis(&nest, &[Layout::RowMajor, Layout::RowMajor], 4);
         // 8 words at line size 4, two arrays: 2-3 lines each, never merged.
         assert!(stats.distinct_lines >= 4, "{stats:?}");

@@ -41,7 +41,7 @@ pub use dense::thread_count;
 pub use exec::{count_iterations, for_each_iteration, for_each_iteration_outer, outer_range};
 pub use layout::{line_analysis, AddressMap, Layout, LineStats};
 pub use memory::{MemoryReport, ScratchpadModel};
-pub use program::{simulate_program, ProgramSimResult};
+pub use program::{simulate_program, simulate_program_with_threads, ProgramSimResult};
 pub use replacement::{min_perfect_capacity, miss_curve, misses, Policy, Trace};
 pub use reuse_distance::ReuseHistogram;
 pub use window::{

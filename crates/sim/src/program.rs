@@ -5,10 +5,39 @@
 //! the same first/last-touch sweep over the concatenated execution and
 //! additionally reports the live set at every nest boundary — the minimum
 //! inter-phase buffer.
+//!
+//! Pass 1 (touch recording) is *sharded across nests*: each nest runs the
+//! dense engine's pass 1 ([`crate::dense::pass1`] — flat touch tables,
+//! work-stealing chunks) in nest-local time, so a scoped-thread pool can
+//! sweep the nests concurrently — workers pull nest indices from an
+//! atomic queue, exactly like the dense engine's chunk queue. The
+//! per-nest tables then fold into per-array *global* tables in execution
+//! order with cumulative time offsets (the earliest nest keeps `first`,
+//! the latest overwrites `last`), which reproduces the serial global-time
+//! sweep bit for bit regardless of the worker count. Each global table is
+//! a dense lane over the union of the nest boxes when that union stays
+//! within budget; touches outside it (hashmap-fallback arrays, wildly
+//! disjoint nest boxes) land in a per-array overflow map keyed by
+//! coordinates.
 
-use crate::exec::for_each_iteration;
-use loopmem_ir::{ArrayId, Program};
+use crate::dense::{self, NestPass1, UNTOUCHED};
+use loopmem_ir::{ArrayId, ElementBox, Program};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global-time "never touched" sentinel for the `first` slot.
+const NEVER: u64 = u64::MAX;
+
+/// Byte budget for all global dense tables of one program (16 bytes per
+/// cell: a `(u64, u64)` first/last pair).
+const GLOBAL_DENSE_BUDGET_BYTES: u128 = 768 << 20;
+
+/// A union box may be at most this many times larger than the summed
+/// per-nest table sizes; beyond that the nests touch far-apart regions
+/// and the overflow map is both smaller and not meaningfully slower.
+const UNION_SPARSITY_FACTOR: u128 = 64;
 
 /// Result of simulating a program.
 #[derive(Clone, Debug)]
@@ -35,47 +64,266 @@ impl ProgramSimResult {
     }
 }
 
-/// Simulates the program (every nest in order) with exact window
-/// tracking across nest boundaries.
-pub fn simulate_program(program: &Program) -> ProgramSimResult {
-    struct Touch {
-        first: u64,
-        last: u64,
+/// Pass 1 over every nest, sharded on a scoped-thread pool. Workers steal
+/// nest indices from an atomic queue; outputs land in their nest's slot,
+/// so downstream merging is independent of completion order. A
+/// single-nest program hands the whole pool to that nest's chunk queue;
+/// otherwise leftover threads (`threads > nests`) split evenly across the
+/// nest sweeps.
+fn sweep_nests_sharded(program: &Program, threads: usize) -> Vec<NestPass1> {
+    let nests = program.nests();
+    let threads = threads.max(1);
+    if threads == 1 {
+        return nests.iter().map(|n| dense::pass1(n, 1)).collect();
     }
-    let mut touches: HashMap<(usize, Vec<i64>), Touch> = HashMap::new();
+    if nests.len() == 1 {
+        return vec![dense::pass1(&nests[0], threads)];
+    }
+    let workers = threads.min(nests.len());
+    let per_nest = (threads / workers).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<NestPass1>>> = nests.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= nests.len() {
+                    break;
+                }
+                let out = dense::pass1(&nests[k], per_nest);
+                *slots[k].lock().expect("slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("every nest swept")
+        })
+        .collect()
+}
+
+/// Global first/last table of one array: a dense lane over the union of
+/// the nest boxes (when affordable) plus an overflow map for everything
+/// outside it. Times are global (u64) — a program may exceed the per-nest
+/// u32 iteration budget.
+struct GlobalTable {
+    bx: Option<ElementBox>,
+    cells: Vec<(u64, u64)>,
+    overflow: HashMap<Vec<i64>, (u64, u64)>,
+}
+
+impl GlobalTable {
+    fn touch_cell(&mut self, off: usize, f: u64, l: u64) {
+        let cell = &mut self.cells[off];
+        if cell.0 == NEVER {
+            *cell = (f, l);
+        } else {
+            cell.1 = l;
+        }
+    }
+
+    fn touch_coords(&mut self, coords: Vec<i64>, f: u64, l: u64) {
+        if let Some(off) = self.bx.as_ref().and_then(|bx| bx.flatten(&coords)) {
+            self.touch_cell(off, f, l);
+            return;
+        }
+        match self.overflow.entry(coords) {
+            Entry::Occupied(mut e) => e.get_mut().1 = l,
+            Entry::Vacant(e) => {
+                e.insert((f, l));
+            }
+        }
+    }
+}
+
+/// Chooses each array's global box: the per-dimension union of the nest
+/// boxes, unless the union blows the byte budget or is far sparser than
+/// the tables it absorbs (disjoint nest boxes) — then `None`, and every
+/// touch of the array goes through the overflow map.
+fn plan_global_tables(narrays: usize, per_nest: &[NestPass1]) -> Vec<GlobalTable> {
+    let mut budget = GLOBAL_DENSE_BUDGET_BYTES / 16;
+    (0..narrays)
+        .map(|a| {
+            let mut union: Option<Vec<(i64, i64)>> = None;
+            let mut absorbed: u128 = 0;
+            for np in per_nest {
+                let Some(bx) = &np.boxes[a] else { continue };
+                absorbed += bx.cells();
+                let ranges: Vec<(i64, i64)> = bx
+                    .lo()
+                    .iter()
+                    .zip(bx.extents())
+                    .map(|(&l, &e)| (l, l + e - 1))
+                    .collect();
+                match &mut union {
+                    slot @ None => *slot = Some(ranges),
+                    Some(acc) => {
+                        for (u, r) in acc.iter_mut().zip(&ranges) {
+                            u.0 = u.0.min(r.0);
+                            u.1 = u.1.max(r.1);
+                        }
+                    }
+                }
+            }
+            let bx = union.as_deref().map(ElementBox::new).filter(|bx| {
+                let cells = bx.cells();
+                cells > 0
+                    && cells <= budget
+                    && cells
+                        <= absorbed
+                            .saturating_mul(UNION_SPARSITY_FACTOR)
+                            .saturating_add(4096)
+            });
+            let cells = match &bx {
+                Some(bx) => {
+                    budget -= bx.cells();
+                    vec![(NEVER, 0u64); bx.cells() as usize]
+                }
+                None => Vec::new(),
+            };
+            GlobalTable {
+                bx,
+                cells,
+                overflow: HashMap::new(),
+            }
+        })
+        .collect()
+}
+
+/// Folds one nest's dense table (over `nest_bx`, nest-local time) into the
+/// array's global table, rebasing times by `t0`. The nest box is a
+/// sub-box of the global box by construction, so the walk keeps a running
+/// global offset like an odometer — no per-cell division.
+fn fold_dense_table(nest_bx: &ElementBox, table: &[(u32, u32)], g: &mut GlobalTable, t0: u64) {
+    let gbx =
+        g.bx.as_ref()
+            .expect("dense fold target must have a global box");
+    let rank = nest_bx.lo().len();
+    let ext = nest_bx.extents();
+    let gs = gbx.strides();
+    let mut goff: usize = 0;
+    for ((&nlo, &glo), &s) in nest_bx.lo().iter().zip(gbx.lo()).zip(gs) {
+        goff += (nlo - glo) as usize * s as usize;
+    }
+    let cells = &mut g.cells;
+    let mut idx = vec![0i64; rank];
+    for &(f, l) in table {
+        if f != UNTOUCHED {
+            let cell = &mut cells[goff];
+            if cell.0 == NEVER {
+                *cell = (f as u64 + t0, l as u64 + t0);
+            } else {
+                cell.1 = l as u64 + t0;
+            }
+        }
+        let mut d = rank - 1;
+        loop {
+            idx[d] += 1;
+            goff += gs[d] as usize;
+            if idx[d] < ext[d] {
+                break;
+            }
+            goff -= ext[d] as usize * gs[d] as usize;
+            idx[d] = 0;
+            if d == 0 {
+                break;
+            }
+            d -= 1;
+        }
+    }
+}
+
+/// Simulates the program (every nest in order) with exact window
+/// tracking across nest boundaries. Uses every available worker thread
+/// ([`crate::thread_count`]); results are bit-identical for any count.
+pub fn simulate_program(program: &Program) -> ProgramSimResult {
+    simulate_program_with_threads(program, crate::dense::thread_count())
+}
+
+/// [`simulate_program`] with a pinned worker-thread count. Pass-1 sweeps
+/// shard across nests; the fold and pass-2 sweep are serial, so the result
+/// is bit-identical for every `threads` value.
+pub fn simulate_program_with_threads(program: &Program, threads: usize) -> ProgramSimResult {
+    let narrays = program.arrays().len();
+    let per_nest = sweep_nests_sharded(program, threads);
+
+    // Fold the per-nest tables in execution order, rebasing nest-local
+    // times by the cumulative iteration count: an element's `first` comes
+    // from the earliest nest touching it, `last` from the latest.
+    let mut tables = plan_global_tables(narrays, &per_nest);
     let mut per_nest_iterations = Vec::with_capacity(program.len());
     let mut nest_end = Vec::with_capacity(program.len()); // global t after each nest
     let mut t = 0u64;
-    for nest in program.nests() {
-        let start = t;
-        for_each_iteration(nest, |it| {
-            for r in nest.refs() {
-                touches
-                    .entry((r.array.0, r.index_at(it)))
-                    .and_modify(|e| e.last = t)
-                    .or_insert(Touch { first: t, last: t });
+    for np in per_nest {
+        for (a, g) in tables.iter_mut().enumerate() {
+            if np.accesses[a] == 0 {
+                continue;
             }
-            t += 1;
-        });
-        per_nest_iterations.push(t - start);
+            if let Some(nest_bx) = &np.boxes[a] {
+                if g.bx.is_some() {
+                    fold_dense_table(nest_bx, &np.dense[a], g, t);
+                } else {
+                    // Union box rejected: decode the touched cells back to
+                    // coordinates for the overflow map.
+                    let mut coords = vec![0i64; nest_bx.lo().len()];
+                    for (off, &(f, l)) in np.dense[a].iter().enumerate() {
+                        if f == UNTOUCHED {
+                            continue;
+                        }
+                        let mut rest = off;
+                        for (d, c) in coords.iter_mut().enumerate() {
+                            let s = nest_bx.strides()[d] as usize;
+                            *c = nest_bx.lo()[d] + (rest / s) as i64;
+                            rest %= s;
+                        }
+                        g.touch_coords(coords.clone(), f as u64 + t, l as u64 + t);
+                    }
+                }
+            }
+            for (coords, &(f, l)) in &np.sparse[a] {
+                g.touch_coords(coords.clone(), f as u64 + t, l as u64 + t);
+            }
+        }
+        t += np.iters;
+        per_nest_iterations.push(np.iters);
         nest_end.push(t);
     }
     let iterations = t as usize;
 
-    // Sweep.
-    let mut add = vec![0i64; iterations.max(1)];
-    let mut rem = vec![0i64; iterations.max(1)];
-    for touch in touches.values() {
-        add[touch.first as usize] += 1;
-        rem[touch.last as usize] += 1;
+    // Sweep: one difference lane over global time (`+1` at `first`, `-1`
+    // at `last`, cancelling in place when they coincide), plus per-array
+    // distinct counts straight off the folded tables.
+    let mut diff = vec![0i32; iterations.max(1)];
+    let mut distinct: HashMap<ArrayId, u64> = HashMap::new();
+    for (a, g) in tables.iter().enumerate() {
+        let mut count = 0u64;
+        let mut mark = |f: u64, l: u64| {
+            count += 1;
+            diff[f as usize] += 1;
+            diff[l as usize] -= 1;
+        };
+        for &(f, l) in &g.cells {
+            if f != NEVER {
+                mark(f, l);
+            }
+        }
+        for &(f, l) in g.overflow.values() {
+            mark(f, l);
+        }
+        if count > 0 {
+            distinct.insert(ArrayId(a), count);
+        }
     }
     let mut cur = 0i64;
     let mut peak = 0i64;
     let mut peak_t = 0u64;
     let mut boundary_live = Vec::new();
     let mut next_boundary = 0usize;
-    for ti in 0..iterations {
-        cur += add[ti] - rem[ti];
+    for (ti, &d) in diff.iter().enumerate() {
+        cur += d as i64;
         if cur > peak {
             peak = cur;
             peak_t = ti as u64;
@@ -86,15 +334,8 @@ pub fn simulate_program(program: &Program) -> ProgramSimResult {
             next_boundary += 1;
         }
     }
-    let peak_nest = nest_end
-        .iter()
-        .position(|&end| peak_t < end)
-        .unwrap_or(0);
+    let peak_nest = nest_end.iter().position(|&end| peak_t < end).unwrap_or(0);
 
-    let mut distinct: HashMap<ArrayId, u64> = HashMap::new();
-    for (a, _) in touches.keys() {
-        *distinct.entry(ArrayId(*a)).or_insert(0) += 1;
-    }
     ProgramSimResult {
         per_nest_iterations,
         mws_total: peak as u64,
@@ -170,6 +411,26 @@ mod tests {
         assert_eq!(ps.boundary_live.len(), 2);
         assert_eq!(ps.boundary_live[0], 36, "B crosses boundary 0");
         assert_eq!(ps.boundary_live[1], 36, "C crosses boundary 1");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_program_results() {
+        let p = parse_program(
+            "array A[20][20]\narray B[20][20]\n\
+             for i = 1 to 20 { for j = 1 to 20 { A[i][j] = B[i][j]; } }\n\
+             for i = 1 to 20 { for j = i to 20 { B[i][j] = A[i][j]; } }\n\
+             for i = 2 to 20 { for j = 1 to 20 { A[i][j] = A[i-1][j]; } }",
+        )
+        .unwrap();
+        let one = simulate_program_with_threads(&p, 1);
+        for threads in [2, 3, 4, 8] {
+            let par = simulate_program_with_threads(&p, threads);
+            assert_eq!(par.per_nest_iterations, one.per_nest_iterations);
+            assert_eq!(par.mws_total, one.mws_total);
+            assert_eq!(par.boundary_live, one.boundary_live);
+            assert_eq!(par.distinct, one.distinct);
+            assert_eq!(par.peak_nest, one.peak_nest);
+        }
     }
 
     #[test]

@@ -207,9 +207,8 @@ mod tests {
 
     #[test]
     fn full_capacity_gives_cold_misses_only() {
-        let t = trace(
-            "array A[20][20]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j]; } }",
-        );
+        let t =
+            trace("array A[20][20]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j]; } }");
         for p in [Policy::Lru, Policy::Opt] {
             assert_eq!(misses(&t, t.distinct(), p), t.distinct() as u64, "{p:?}");
         }
@@ -274,9 +273,8 @@ mod tests {
 
     #[test]
     fn min_perfect_capacity_is_tight() {
-        let t = trace(
-            "array A[34][34]\nfor i = 2 to 33 { for j = 1 to 32 { A[i][j] = A[i-1][j]; } }",
-        );
+        let t =
+            trace("array A[34][34]\nfor i = 2 to 33 { for j = 1 to 32 { A[i][j] = A[i-1][j]; } }");
         for p in [Policy::Lru, Policy::Opt] {
             let c = min_perfect_capacity(&t, p);
             assert_eq!(misses(&t, c, p), t.distinct() as u64);

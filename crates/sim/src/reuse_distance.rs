@@ -67,11 +67,7 @@ impl ReuseHistogram {
     /// LRU misses at capacity `C`, derived from the histogram: cold
     /// accesses plus every reuse at distance `>= C`.
     pub fn lru_misses(&self, capacity: usize) -> u64 {
-        let far: u64 = self
-            .counts
-            .iter()
-            .skip(capacity)
-            .sum();
+        let far: u64 = self.counts.iter().skip(capacity).sum();
         self.cold + far
     }
 
@@ -93,9 +89,8 @@ mod tests {
 
     #[test]
     fn histogram_totals() {
-        let t = trace(
-            "array A[20][20]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j]; } }",
-        );
+        let t =
+            trace("array A[20][20]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j]; } }");
         let h = ReuseHistogram::from_trace(&t);
         assert_eq!(h.total_accesses(), t.len() as u64);
         assert_eq!(h.cold(), t.distinct() as u64);

@@ -103,8 +103,7 @@ fn run_hashmap(nest: &LoopNest, want_profile: bool) -> SimResult {
         last: u64,
     }
     let narrays = nest.arrays().len();
-    let mut touches: Vec<HashMap<Vec<i64>, Touch>> =
-        (0..narrays).map(|_| HashMap::new()).collect();
+    let mut touches: Vec<HashMap<Vec<i64>, Touch>> = (0..narrays).map(|_| HashMap::new()).collect();
     let mut accesses = vec![0u64; narrays];
     let mut t = 0u64;
     for_each_iteration(nest, |iter| {
@@ -213,8 +212,7 @@ mod tests {
         // A[i] reused across j: each element lives exactly through the j
         // loop of its i, so the window is 1 while inside a row, 0 after
         // the last reuse. Profile length equals iteration count.
-        let nest =
-            parse("array A[10]\nfor i = 1 to 10 { for j = 1 to 5 { A[i]; } }").unwrap();
+        let nest = parse("array A[10]\nfor i = 1 to 10 { for j = 1 to 5 { A[i]; } }").unwrap();
         let s = simulate_with_profile(&nest);
         let p = s.profile.as_ref().unwrap();
         assert_eq!(p.len(), 50);

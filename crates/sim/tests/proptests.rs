@@ -4,9 +4,7 @@
 
 use loopmem_ir::parse;
 use loopmem_linalg::Lcg;
-use loopmem_sim::{
-    min_perfect_capacity, misses, simulate, simulate_with_profile, Policy, Trace,
-};
+use loopmem_sim::{min_perfect_capacity, misses, simulate, simulate_with_profile, Policy, Trace};
 
 fn random_nest(rng: &mut Lcg) -> String {
     let n1 = rng.range_i64(3, 9);
@@ -125,6 +123,9 @@ fn per_array_windows_bound_the_total() {
         let sum: u64 = s.per_array.values().map(|a| a.mws).sum();
         let max: u64 = s.per_array.values().map(|a| a.mws).max().unwrap_or(0);
         assert!(s.mws_total <= sum, "total exceeds sum of peaks ({src})");
-        assert!(s.mws_total >= max, "total below largest per-array peak ({src})");
+        assert!(
+            s.mws_total >= max,
+            "total below largest per-array peak ({src})"
+        );
     }
 }

@@ -41,8 +41,15 @@ fn main() {
     let a = analyze_program(&program);
     println!("== image pipeline: blur -> downsample -> accumulate ==");
     println!("declared arrays     : {} words", a.default_words);
-    println!("distinct touched    : {} words", a.distinct.values().sum::<u64>());
-    println!("whole-program MWS   : {} words (peak inside phase {})", a.mws_exact, a.peak_nest + 1);
+    println!(
+        "distinct touched    : {} words",
+        a.distinct.values().sum::<u64>()
+    );
+    println!(
+        "whole-program MWS   : {} words (peak inside phase {})",
+        a.mws_exact,
+        a.peak_nest + 1
+    );
     for (k, live) in a.boundary_live.iter().enumerate() {
         println!("live across boundary {}->{}: {} words", k + 1, k + 2, live);
     }
@@ -52,10 +59,7 @@ fn main() {
     for (k, (b, aa)) in opt.per_nest.iter().enumerate() {
         println!("  phase {}: {} -> {}", k + 1, b, aa);
     }
-    println!(
-        "whole-program MWS: {} -> {}",
-        opt.mws_before, opt.mws_after
-    );
+    println!("whole-program MWS: {} -> {}", opt.mws_before, opt.mws_after);
     println!(
         "\nnote: the {}-word boundary sets are untouchable by loop reordering —\n\
          shrinking them needs loop *fusion* (our extension; the paper's future work).",

@@ -37,7 +37,10 @@ fn main() {
     println!("\nrasta_flt window profile (live words after each iteration, downsampled):");
     let step = (profile.len() / 20).max(1);
     for (t, w) in profile.iter().enumerate().step_by(step) {
-        println!("  t={t:>6}  {:<60} {w}", "#".repeat((*w as usize / 4).min(60)));
+        println!(
+            "  t={t:>6}  {:<60} {w}",
+            "#".repeat((*w as usize / 4).min(60))
+        );
     }
     println!("  peak = {} words (the MWS)", s.mws_total);
 }

@@ -39,7 +39,11 @@ fn main() {
         let decl = nest.array(id);
         println!(
             "  {:<2} declared {:>5}, distinct in [{}, {}] ({:?})",
-            decl.name, decl.size(), est.lower, est.upper, est.method
+            decl.name,
+            decl.size(),
+            est.lower,
+            est.upper,
+            est.method
         );
     }
 

@@ -28,10 +28,9 @@ fn main() {
     );
 
     heading("§3.1, Example 2: A[i][j] = A[i-1][j+2]");
-    let e2 = parse(
-        "array A[12][14]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2]; } }",
-    )
-    .expect("kernel parses");
+    let e2 =
+        parse("array A[12][14]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2]; } }")
+            .expect("kernel parses");
     let est = estimate_distinct(&e2)[&ArrayId(0)];
     println!(
         "formula A_d = 2N1N2 - (N1-1)(N2-2) = {} ; exact = {}",
@@ -105,14 +104,20 @@ fn main() {
     )
     .expect("kernel parses");
     let deps = analyze(&e8);
-    println!("distances: {:?} (paper: (3,-2), (2,0), (5,-2))", deps.distances(true));
+    println!(
+        "distances: {:?} (paper: (3,-2), (2,0), (5,-2))",
+        deps.distances(true)
+    );
     let bnb = branch_and_bound((2, 5), &deps, (25, 10), 6).expect("feasible");
     println!(
         "branch & bound: row {:?}, objective {} (paper: (2,3) with 22), {} nodes / {} pruned",
         bnb.row, bnb.objective, bnb.nodes_explored, bnb.nodes_pruned
     );
     let opt = minimize_mws(&e8, SearchMode::default()).expect("search succeeds");
-    println!("compound search: MWS {} -> {} (paper: actual 21)", opt.mws_before, opt.mws_after);
+    println!(
+        "compound search: MWS {} -> {} (paper: actual 21)",
+        opt.mws_before, opt.mws_after
+    );
     match minimize_mws(&e8, SearchMode::LiPingali) {
         Err(e) => println!("Li-Pingali: {e} (paper: no legal completion)"),
         Ok(o) => println!("Li-Pingali unexpectedly reached {}", o.mws_after),
@@ -127,6 +132,9 @@ fn main() {
         simulate(&e5).mws_total
     );
     let opt10 = minimize_mws(&e5, SearchMode::default()).expect("search succeeds");
-    println!("after access-matrix transformation: MWS {} (paper: 1)", opt10.mws_after);
+    println!(
+        "after access-matrix transformation: MWS {} (paper: 1)",
+        opt10.mws_after
+    );
     println!("\nTour complete — every number above is recomputed, not hard-coded.");
 }

@@ -9,8 +9,8 @@
 
 use loopmem::core::optimize::{minimize_mws, SearchMode};
 use loopmem::core::two_level_estimate;
-use loopmem::dep::legality::row_tileable;
 use loopmem::dep::analyze;
+use loopmem::dep::legality::row_tileable;
 use loopmem::ir::{parse, print_nest};
 use loopmem::sim::simulate;
 
@@ -32,12 +32,7 @@ fn main() {
     let deps = analyze(&nest);
     println!("dependences:");
     for d in deps.iter() {
-        println!(
-            "  {:?}  {} (level {})",
-            d.distance,
-            d.kind,
-            d.level()
-        );
+        println!("  {:?}  {} (level {})", d.distance, d.kind, d.level());
     }
 
     // 2. Candidate leading rows and their legality/objective.
@@ -56,8 +51,7 @@ fn main() {
 
     // 3. Full searches.
     let compound = minimize_mws(&nest, SearchMode::default()).expect("compound search");
-    let baseline =
-        minimize_mws(&nest, SearchMode::InterchangeReversal).expect("baseline search");
+    let baseline = minimize_mws(&nest, SearchMode::InterchangeReversal).expect("baseline search");
     println!("\n== results ==");
     println!(
         "original MWS: {}  (simulator: {})",

@@ -6,11 +6,16 @@
 //! loopmem optimize <file.loop> [--mode M]  search for a window-minimizing T
 //! loopmem simulate <file.loop> [--profile] exact window simulation
 //! loopmem formulas <file.loop>             symbolic distinct-access formulas
+//! loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize]
 //! loopmem print    <file.loop> [--transform a,b,c,d]
 //! ```
 //!
 //! Modes: `compound` (default), `interchange`, `li-pingali`.
-//! Kernel files use the DSL documented in `loopmem_ir::parser`.
+//! `pipeline` analyzes a multi-nest program with the sharded batch engine
+//! (`--threads N` pins the worker count; default: available parallelism);
+//! `--optimize` additionally runs the batch window-minimizing search over
+//! every nest. Kernel files use the DSL documented in
+//! `loopmem_ir::parser`.
 
 use loopmem::core::optimize::{minimize_mws, SearchMode};
 use loopmem::core::{analyze_memory, apply_transform, estimate_distinct};
@@ -49,7 +54,7 @@ const USAGE: &str = "usage:
   loopmem optimize <file.loop> [--mode compound|interchange|li-pingali]
   loopmem simulate <file.loop> [--profile]
   loopmem formulas <file.loop>
-  loopmem pipeline <file.loop> [--fuse k]
+  loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize [--mode M]]
   loopmem print    <file.loop> [--transform a,b,c,d]";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -96,7 +101,10 @@ fn parse_transform(rest: &[String]) -> Result<Option<IMat>, String> {
     let nums = nums.map_err(|e| format!("--transform: {e}"))?;
     let n = (nums.len() as f64).sqrt() as usize;
     if n * n != nums.len() || n == 0 {
-        return Err(format!("--transform needs a square matrix, got {} entries", nums.len()));
+        return Err(format!(
+            "--transform needs a square matrix, got {} entries",
+            nums.len()
+        ));
     }
     let rows: Vec<Vec<i64>> = nums.chunks(n).map(|c| c.to_vec()).collect();
     Ok(Some(IMat::from_rows(&rows)))
@@ -111,7 +119,10 @@ fn cmd_analyze(nest: &LoopNest) -> Result<(), String> {
         println!("MWS closed form  : {est} words (paper formulas; upper estimate)");
     }
     println!();
-    println!("{:<12} {:>9} {:>16} {:>8}  method", "array", "declared", "distinct", "MWS");
+    println!(
+        "{:<12} {:>9} {:>16} {:>8}  method",
+        "array", "declared", "distinct", "MWS"
+    );
     for (id, est) in estimate_distinct(nest) {
         let decl = nest.array(id);
         let distinct = if est.is_exact() {
@@ -131,22 +142,33 @@ fn cmd_analyze(nest: &LoopNest) -> Result<(), String> {
     }
     let model = ScratchpadModel::new();
     println!();
-    println!("scratchpad sized to declared arrays: {}", model.report(m.default_words.max(1) as u64));
-    println!("scratchpad sized to exact MWS      : {}", model.report(m.mws_exact.max(1)));
+    println!(
+        "scratchpad sized to declared arrays: {}",
+        model.report(m.default_words.max(1) as u64)
+    );
+    println!(
+        "scratchpad sized to exact MWS      : {}",
+        model.report(m.mws_exact.max(1))
+    );
     Ok(())
 }
 
 fn cmd_deps(nest: &LoopNest) -> Result<(), String> {
     let deps = analyze(nest);
-    println!("{} dependences, {} non-uniform pairs", deps.len(), deps.nonuniform_pair_count());
+    println!(
+        "{} dependences, {} non-uniform pairs",
+        deps.len(),
+        deps.nonuniform_pair_count()
+    );
     for d in deps.iter() {
+        let endpoints = format!("S{}#{} to S{}#{}", d.src.0, d.src.1, d.dst.0, d.dst.1);
         println!(
             "  {:<22} {:<7} level {}  {} -> {}",
             format!("{:?}", d.distance),
             d.kind.to_string(),
             d.level(),
             nest.array(d.array).name,
-            format!("S{}#{} to S{}#{}", d.src.0, d.src.1, d.dst.0, d.dst.1),
+            endpoints,
         );
     }
     println!("\nreuse vectors (null spaces):");
@@ -191,7 +213,10 @@ fn cmd_simulate(nest: &LoopNest, profile: bool) -> Result<(), String> {
     };
     println!("iterations : {}", s.iterations);
     println!("total MWS  : {}", s.mws_total);
-    println!("{:<12} {:>10} {:>10} {:>8}", "array", "accesses", "distinct", "MWS");
+    println!(
+        "{:<12} {:>10} {:>10} {:>8}",
+        "array", "accesses", "distinct", "MWS"
+    );
     let mut ids: Vec<_> = s.per_array.keys().copied().collect();
     ids.sort();
     for id in ids {
@@ -221,7 +246,10 @@ fn cmd_formulas(nest: &LoopNest) -> Result<(), String> {
         println!("no closed-form distinct-access formula applies (bounds/enumeration cases)");
         return Ok(());
     }
-    println!("distinct-access formulas over the loop extents N1..N{}:", nest.depth());
+    println!(
+        "distinct-access formulas over the loop extents N1..N{}:",
+        nest.depth()
+    );
     let mut ids: Vec<_> = formulas.keys().copied().collect();
     ids.sort();
     for id in ids {
@@ -258,6 +286,16 @@ fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
         .ok_or("missing <file.loop> argument")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut program = loopmem::ir::parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+    let threads = match rest.iter().position(|a| a == "--threads") {
+        None => loopmem::sim::thread_count(),
+        Some(pos) => rest
+            .get(pos + 1)
+            .ok_or("--threads needs a positive count")?
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--threads needs a positive count")?,
+    };
     if let Some(pos) = rest.iter().position(|a| a == "--fuse") {
         let k: usize = rest
             .get(pos + 1)
@@ -268,22 +306,56 @@ fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
         println!("fused nests {k} and {}:", k + 1);
         println!("{}", loopmem::ir::print_program(&program));
     }
-    let a = loopmem::core::analyze_program(&program);
-    println!("nests             : {}", program.len());
-    println!("declared storage  : {} words", a.default_words);
-    println!("distinct touched  : {} words", a.distinct.values().sum::<u64>());
+    // Batch analysis: pass 1 shards across nests on `threads` workers;
+    // results are bit-identical for every worker count.
+    let sim = loopmem::sim::simulate_program_with_threads(&program, threads);
+    println!(
+        "nests             : {} ({} worker threads)",
+        program.len(),
+        threads
+    );
+    println!("declared storage  : {} words", program.default_memory());
+    println!(
+        "distinct touched  : {} words",
+        sim.distinct.values().sum::<u64>()
+    );
     println!(
         "whole-program MWS : {} words (peak inside nest {})",
-        a.mws_exact, a.peak_nest
+        sim.mws_total, sim.peak_nest
     );
-    for (k, live) in a.boundary_live.iter().enumerate() {
+    for (k, live) in sim.boundary_live.iter().enumerate() {
         println!("boundary {}->{}      : {} words live", k, k + 1, live);
+    }
+    println!("\n{:<7} {:>12} {:>10}", "nest", "iterations", "MWS");
+    for (k, nest) in program.nests().iter().enumerate() {
+        // Memoized: a kernel repeated across the pipeline (even under
+        // renamed loop variables) is simulated once.
+        let mws = loopmem::core::nest_mws_memoized(nest);
+        println!(
+            "{:<7} {:>12} {:>10}",
+            format!("nest{k}"),
+            sim.per_nest_iterations[k],
+            mws
+        );
     }
     // Point out fusable adjacent pairs.
     for k in 0..program.len().saturating_sub(1) {
         match loopmem::core::fuse(&program, k) {
             Ok(_) => println!("nests {k}+{}: fusable (try --fuse {k})", k + 1),
             Err(e) => println!("nests {k}+{}: not fusable ({e})", k + 1),
+        }
+    }
+    if rest.iter().any(|a| a == "--optimize") {
+        let mode = parse_mode(rest)?;
+        let opt = loopmem::core::optimize_program_with_threads(&program, mode, threads)
+            .map_err(|e| e.to_string())?;
+        println!();
+        println!(
+            "batch optimize    : whole-program MWS {} -> {}",
+            opt.mws_before, opt.mws_after
+        );
+        for (k, (before, after)) in opt.per_nest.iter().enumerate() {
+            println!("  nest{k}: single-nest MWS {before} -> {after}");
         }
     }
     Ok(())

@@ -41,12 +41,7 @@ fn deps_lists_paper_distances() {
 
 #[test]
 fn print_applies_a_transform() {
-    let (ok, stdout, _) = run(&[
-        "print",
-        "kernels/example8.loop",
-        "--transform",
-        "2,3,1,1",
-    ]);
+    let (ok, stdout, _) = run(&["print", "kernels/example8.loop", "--transform", "2,3,1,1"]);
     assert!(ok);
     assert!(stdout.contains("max("), "{stdout}");
 }
@@ -90,9 +85,45 @@ fn li_pingali_mode_reports_failure_on_example8() {
 fn pipeline_reports_boundary_and_fusion() {
     let (ok, stdout, _) = run(&["pipeline", "kernels/pipeline.loop"]);
     assert!(ok);
-    assert!(stdout.contains("boundary 0->1      : 256 words live"), "{stdout}");
+    assert!(
+        stdout.contains("boundary 0->1      : 256 words live"),
+        "{stdout}"
+    );
     assert!(stdout.contains("fusable (try --fuse 0)"), "{stdout}");
     let (ok, stdout, _) = run(&["pipeline", "kernels/pipeline.loop", "--fuse", "0"]);
     assert!(ok);
     assert!(stdout.contains("whole-program MWS : 0 words"), "{stdout}");
+}
+
+#[test]
+fn pipeline_batch_flags_are_thread_count_invariant() {
+    let (ok, one, _) = run(&["pipeline", "kernels/pipeline.loop", "--threads", "1"]);
+    assert!(ok);
+    assert!(one.contains("(1 worker threads)"), "{one}");
+    let (ok, four, _) = run(&["pipeline", "kernels/pipeline.loop", "--threads", "4"]);
+    assert!(ok);
+    // Same analysis modulo the reported worker count: the sharded engine
+    // is bit-identical for every thread count.
+    assert_eq!(
+        one.replace("(1 worker threads)", ""),
+        four.replace("(4 worker threads)", "")
+    );
+    assert!(one.contains("nest0"), "per-nest MWS table missing: {one}");
+
+    let (ok, stdout, _) = run(&[
+        "pipeline",
+        "kernels/pipeline.loop",
+        "--threads",
+        "2",
+        "--optimize",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("batch optimize"), "{stdout}");
+
+    let (ok, _, stderr) = run(&["pipeline", "kernels/pipeline.loop", "--threads", "0"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--threads needs a positive count"),
+        "{stderr}"
+    );
 }

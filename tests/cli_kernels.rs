@@ -21,12 +21,14 @@ fn all_kernel_files_parse() {
         if path.extension().is_some_and(|e| e == "loop") {
             let src = fs::read_to_string(&path).expect("readable");
             // parse_program accepts both single nests and sequences.
-            loopmem::ir::parse_program(&src)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            loopmem::ir::parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
             count += 1;
         }
     }
-    assert!(count >= 4, "expected the shipped kernel files, found {count}");
+    assert!(
+        count >= 4,
+        "expected the shipped kernel files, found {count}"
+    );
 }
 
 #[test]

@@ -2,11 +2,11 @@
 //! symbolic formulas, inclusion–exclusion counting, programs, fusion,
 //! tiling, direction vectors, and the replacement/layout machinery.
 
+use loopmem::core::optimize::SearchMode;
 use loopmem::core::{
     analyze_program, distinct_formulas, estimate_distinct, estimate_distinct_exact,
     estimate_nest_mws, fuse, optimize_program, tile,
 };
-use loopmem::core::optimize::SearchMode;
 use loopmem::dep::{direction_vector, Direction};
 use loopmem::ir::{parse, parse_program, print_program, ArrayId};
 use loopmem::sim::{
@@ -31,18 +31,15 @@ fn improved_estimator_fixes_example3() {
 
 #[test]
 fn symbolic_formula_predicts_unseen_sizes() {
-    let nest = parse(
-        "array A[99][99]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-2][j+1]; } }",
-    )
-    .unwrap();
+    let nest =
+        parse("array A[99][99]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-2][j+1]; } }")
+            .unwrap();
     let est = distinct_formulas(&nest).remove(&ArrayId(0)).unwrap();
     // Check against a freshly parsed instance at a different size.
-    let bigger = parse(
-        "array A[99][99]\nfor i = 1 to 30 { for j = 1 to 17 { A[i][j] = A[i-2][j+1]; } }",
-    )
-    .unwrap();
-    let values: HashMap<String, i64> =
-        [("N1".to_string(), 30i64), ("N2".to_string(), 17)].into();
+    let bigger =
+        parse("array A[99][99]\nfor i = 1 to 30 { for j = 1 to 17 { A[i][j] = A[i-2][j+1]; } }")
+            .unwrap();
+    let values: HashMap<String, i64> = [("N1".to_string(), 30i64), ("N2".to_string(), 17)].into();
     assert_eq!(
         est.formula.eval(&values),
         estimate_distinct(&bigger)[&ArrayId(0)].upper
@@ -83,10 +80,8 @@ fn fusion_then_program_optimization_compose() {
 
 #[test]
 fn direction_vectors_on_transposed_pipeline() {
-    let nest = parse(
-        "array M[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { M[i][j] = M[j][i]; } }",
-    )
-    .unwrap();
+    let nest = parse("array M[10][10]\nfor i = 1 to 10 { for j = 1 to 10 { M[i][j] = M[j][i]; } }")
+        .unwrap();
     let refs: Vec<_> = nest.refs().collect();
     let dv = direction_vector(&nest, refs[0], refs[1]).expect("transposed refs collide");
     assert_eq!(dv.0, vec![Direction::Star, Direction::Star]);
@@ -110,10 +105,9 @@ fn tiled_nest_is_still_analyzable_end_to_end() {
 
 #[test]
 fn layout_analysis_for_a_program_nest() {
-    let nest = parse(
-        "array A[16][16]\nfor i = 1 to 16 { for j = 1 to 16 { A[i][j] = A[i][j] + 1; } }",
-    )
-    .unwrap();
+    let nest =
+        parse("array A[16][16]\nfor i = 1 to 16 { for j = 1 to 16 { A[i][j] = A[i][j] + 1; } }")
+            .unwrap();
     let (rm, _) = line_analysis(&nest, &[Layout::RowMajor], 4);
     assert_eq!(rm.distinct_lines, 64);
     assert!(rm.mws_lines <= 2, "streaming rows: at most one line live");

@@ -3,8 +3,8 @@
 
 use loopmem::core::optimize::{minimize_mws, OptimizeError, SearchMode};
 use loopmem::core::{
-    analyze_memory, apply_transform, estimate_distinct, three_level_estimate,
-    two_level_estimate, two_level_objective,
+    analyze_memory, apply_transform, estimate_distinct, three_level_estimate, two_level_estimate,
+    two_level_objective,
 };
 use loopmem::dep::{analyze, reuse_vectors};
 use loopmem::ir::{parse, ArrayId};
@@ -16,10 +16,9 @@ use loopmem::sim::simulate;
 fn example_1_reuse_area_is_56() {
     // Both 1(a) (2-D array) and 1(b) (1-D array) share dependence (3,2)
     // and reuse area (10-3)(10-2) = 56.
-    let a = parse(
-        "array A[14][14]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-3][j+2]; } }",
-    )
-    .unwrap();
+    let a =
+        parse("array A[14][14]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-3][j+2]; } }")
+            .unwrap();
     let b = parse("array A[51]\nfor i = 1 to 10 { for j = 1 to 10 { A[2i + 3j]; } }").unwrap();
     // 1(a): 2 refs, one dependence: accesses - distinct = reuse.
     let sa = simulate(&a);
@@ -31,13 +30,15 @@ fn example_1_reuse_area_is_56() {
 
 #[test]
 fn example_2_formula_and_truth_agree() {
-    let nest = parse(
-        "array A[12][14]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2]; } }",
-    )
-    .unwrap();
+    let nest =
+        parse("array A[12][14]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2]; } }")
+            .unwrap();
     let est = estimate_distinct(&nest)[&ArrayId(0)];
     assert_eq!(est.value(), Some(2 * 100 - 9 * 8));
-    assert_eq!(est.value().unwrap() as u64, distinct_accesses_for(&nest, ArrayId(0)));
+    assert_eq!(
+        est.value().unwrap() as u64,
+        distinct_accesses_for(&nest, ArrayId(0))
+    );
 }
 
 #[test]
@@ -58,8 +59,8 @@ fn example_3_paper_formula_vs_exact() {
 
 #[test]
 fn examples_4_and_5_nullspace_formula_is_exact() {
-    let e4 = parse("array A[111]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }")
-        .unwrap();
+    let e4 =
+        parse("array A[111]\nfor i = 1 to 20 { for j = 1 to 10 { A[2i + 5j + 1]; } }").unwrap();
     assert_eq!(estimate_distinct(&e4)[&ArrayId(0)].value(), Some(80));
     assert_eq!(distinct_accesses_for(&e4, ArrayId(0)), 80);
     assert_eq!(simulate(&e4).distinct_total(), 80);
@@ -89,8 +90,7 @@ fn example_6_bounds_bracket_the_truth() {
 
 #[test]
 fn example_7_compound_beats_interchange_and_reversal() {
-    let nest =
-        parse("array X[100]\nfor i = 1 to 20 { for j = 1 to 30 { X[2i - 3j]; } }").unwrap();
+    let nest = parse("array X[100]\nfor i = 1 to 20 { for j = 1 to 30 { X[2i - 3j]; } }").unwrap();
     // Eq. (2) estimates for the four elementary orders (paper: 89/41/86/36
     // under the Eisenbeis cost metric).
     assert_eq!(two_level_estimate((2, -3), (1, 0), (20, 30)), 90);
@@ -118,7 +118,10 @@ fn example_8_full_study() {
     assert_eq!(d, vec![vec![2, 0], vec![3, -2], vec![5, -2]]);
 
     // §4.2: objective at the optimum (a,b) = (2,3) is 22; actual MWS 21.
-    assert_eq!(two_level_objective((2, 5), (2, 3), (25, 10)), Rational::from(22));
+    assert_eq!(
+        two_level_objective((2, 5), (2, 3), (25, 10)),
+        Rational::from(22)
+    );
     let opt = minimize_mws(&nest, SearchMode::default()).unwrap();
     assert_eq!(opt.mws_after, 21);
     assert_eq!(opt.transform.row(0), &[2, 3], "the paper's leading row");

@@ -70,7 +70,11 @@ fn roundtrip_through_inverse_is_identity() {
         let nest = parse(&src).expect("generated source parses");
         let fwd = apply_transform(&nest, &t).expect("forward");
         let back = apply_transform(&fwd, &t.unimodular_inverse().unwrap()).expect("inverse");
-        assert_eq!(simulate(&back).mws_total, simulate(&nest).mws_total, "{src}");
+        assert_eq!(
+            simulate(&back).mws_total,
+            simulate(&nest).mws_total,
+            "{src}"
+        );
     }
 }
 
@@ -110,10 +114,9 @@ fn interchange_reversal_is_never_better_than_compound() {
 #[test]
 fn illegal_transformation_is_rejected_by_legality_not_by_apply() {
     // apply_transform is mechanical; legality lives in loopmem-dep.
-    let nest = parse(
-        "array A[20][20]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2]; } }",
-    )
-    .unwrap();
+    let nest =
+        parse("array A[20][20]\nfor i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2]; } }")
+            .unwrap();
     let deps = analyze(&nest);
     let interchange = IMat::from_rows(&[vec![0, 1], vec![1, 0]]);
     assert!(!is_legal(&interchange, &deps));
