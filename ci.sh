@@ -1,7 +1,68 @@
 #!/usr/bin/env bash
-# Offline CI: tier-1 build/test plus a smoke run of the performance suite.
+# Offline CI: tier-1 build/test plus a smoke run of the performance suite
+# and a robustness gate over pathological inputs.
+#
+# `./ci.sh robustness` builds the release CLI and runs only the
+# robustness step.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Runs the governed CLI on one pathological input and asserts (a) exit 0
+# and (b) an expected token in stdout. Every input here would hang,
+# overflow, or panic an ungoverned run.
+robustness_case() {
+    local expect="$1"
+    shift
+    local out
+    if ! out="$(./target/release/loopmem "$@" 2>&1)"; then
+        echo "FAIL (exit): loopmem $*"
+        echo "$out"
+        return 1
+    fi
+    if ! grep -qF "$expect" <<<"$out"; then
+        echo "FAIL (missing '$expect'): loopmem $*"
+        echo "$out"
+        return 1
+    fi
+    echo "ok   loopmem $* => '$expect'"
+}
+
+robustness_step() {
+    echo "== robustness: governed CLI on pathological corpus =="
+    local start
+    start=$(date +%s)
+    local c=tests/robustness
+    # ~10^12-iteration stencil: iteration cap degrades to bounds.
+    robustness_case "outcome    : bounded" simulate "$c/huge_iteration_space.loop" --max-iters 100000
+    # Subscript coefficients near i64::MAX: typed overflow, no abort.
+    robustness_case "outcome    : overflow" simulate "$c/overflow_coeffs.loop" --timeout-ms 5000
+    # Empty iteration space: still exact under a budget.
+    robustness_case "outcome    : exact" simulate "$c/empty_nest.loop" --timeout-ms 5000
+    # Rank-deficient access over a huge span: deadline degrades to bounds.
+    robustness_case "outcome    : bounded" simulate "$c/rank_deficient.loop" --timeout-ms 500
+    # Program whose middle nest panics (bound overflow): only that nest
+    # fails, the rest stay exact and the program answer is bounded.
+    robustness_case "nest1 : failed" pipeline "$c/panicking_program.loop" --timeout-ms 5000
+    robustness_case "nest0 : exact" pipeline "$c/panicking_program.loop" --timeout-ms 5000
+    robustness_case "outcome           : bounded" pipeline "$c/panicking_program.loop" --timeout-ms 5000
+    # Loop bound near i64::MAX: iteration cap trips instead of hanging.
+    robustness_case "outcome    : bounded" simulate "$c/near_max_bounds.loop" --max-iters 1000
+    # Governed optimizer search on the unsimulatable nest.
+    robustness_case "outcome    : bounded" optimize "$c/huge_iteration_space.loop" --max-iters 100000
+    local elapsed=$(( $(date +%s) - start ))
+    echo "robustness corpus completed in ${elapsed}s"
+    if [ "$elapsed" -ge 10 ]; then
+        echo "FAIL: robustness corpus took ${elapsed}s (budget: <10s)"
+        return 1
+    fi
+}
+
+if [ "${1:-}" = "robustness" ]; then
+    cargo build --release --offline -p loopmem
+    robustness_step
+    echo "== ci (robustness only) passed =="
+    exit 0
+fi
 
 echo "== tier-1: build =="
 cargo build --release --offline
@@ -11,6 +72,8 @@ cargo test -q --offline
 
 echo "== workspace tests =="
 cargo test -q --offline --workspace
+
+robustness_step
 
 echo "== perfsuite (smoke) =="
 rm -f BENCH_loopmem.json
@@ -26,7 +89,10 @@ assert d["suite"] == "loopmem-perfsuite", d.get("suite")
 assert isinstance(d["threads_default"], int) and d["threads_default"] >= 1
 assert d["results"], "no results recorded"
 for r in d["results"]:
-    assert {"bench", "subject", "threads", "millis", "iterations"} <= r.keys(), r
+    assert {"bench", "subject", "threads", "millis", "iterations", "outcome"} <= r.keys(), r
+governed = [r for r in d["results"] if r["bench"] == "governed"]
+assert governed, "no governed pathological row recorded"
+assert all(r["outcome"] == "bounded" for r in governed), governed
 assert any(k.endswith("dense1t_vs_hashmap") for k in d["speedups"]), d["speedups"]
 print(f"ok: {len(d['results'])} results, {len(d['speedups'])} speedups")
 EOF

@@ -26,7 +26,7 @@ use loopmem_core::optimize_program_with_threads;
 use loopmem_ir::{parse, parse_program, LoopNest, Program};
 use loopmem_sim::{
     simulate_hashmap, simulate_program_with_threads, simulate_with_profile, simulate_with_threads,
-    thread_count,
+    thread_count, try_simulate, AnalysisBudget,
 };
 use std::time::Instant;
 
@@ -38,6 +38,10 @@ struct Row {
     millis: f64,
     iterations: u64,
     mws_total: Option<u64>,
+    /// How the analysis ended: `exact` for a completed run, `bounded`
+    /// when a resource budget tripped and the answer degraded to
+    /// analytical bounds, `failed` for contained errors.
+    outcome: &'static str,
 }
 
 fn time_ms<T>(mut f: impl FnMut() -> T) -> (f64, T) {
@@ -130,13 +134,14 @@ fn write_json(
     out.push_str("  \"results\": [\n");
     for (k, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"bench\": \"{}\", \"subject\": \"{}\", \"threads\": {}, \"millis\": {:.3}, \"iterations\": {}, \"mws_total\": {}}}{}\n",
+            "    {{\"bench\": \"{}\", \"subject\": \"{}\", \"threads\": {}, \"millis\": {:.3}, \"iterations\": {}, \"mws_total\": {}, \"outcome\": \"{}\"}}{}\n",
             json_escape(&r.bench),
             json_escape(&r.subject),
             r.threads,
             r.millis,
             r.iterations,
             r.mws_total.map_or("null".to_string(), |m| m.to_string()),
+            r.outcome,
             if k + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -213,6 +218,7 @@ fn main() {
             millis,
             iterations,
             mws_total: mws,
+            outcome: "exact",
         });
     };
 
@@ -392,6 +398,40 @@ fn main() {
             );
         }
     }
+    // --- governed: a pathological nest under a budget ---------------------
+    // A ~10¹² iteration stencil is unsimulatable at any thread count; the
+    // governed path must return analytical bounds in (approximately) the
+    // time it takes to sweep the iteration cap, not hang.
+    {
+        let pathological = parse(
+            "array X[2000001]\n\
+             for i = 1 to 1000000 { for j = 1 to 1000000 { X[i + j] = X[i + j - 1]; } }",
+        )
+        .expect("pathological nest parses");
+        let budget = AnalysisBudget::unlimited().with_max_iterations(1_000_000);
+        let (ms, r) = time_ms(|| try_simulate(&pathological, &budget));
+        let (outcome, mws) = match &r {
+            Ok(s) => ("exact", Some(s.mws_total)),
+            Err(loopmem_ir::AnalysisError::Exhausted { partial, .. }) => {
+                ("bounded", Some(partial.upper))
+            }
+            Err(_) => ("failed", None),
+        };
+        println!(
+            "{:<34} {:>7} {:>12.3} {:>14}",
+            "governed/pathological-1e12", 1, ms, 1_000_000u64
+        );
+        rows.push(Row {
+            bench: "governed".to_string(),
+            subject: "pathological-1e12".to_string(),
+            threads: 1,
+            millis: ms,
+            iterations: 1_000_000,
+            mws_total: mws,
+            outcome,
+        });
+    }
+
     let (hits, misses) = loopmem_core::optimize::memo_stats();
     println!();
     println!("optimizer memo: {hits} hits / {misses} misses");

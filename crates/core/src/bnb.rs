@@ -22,8 +22,10 @@
 use crate::mws::two_level_objective;
 use loopmem_dep::legality::row_tileable;
 use loopmem_dep::DependenceSet;
+use loopmem_ir::{AnalysisError, Bounds, BoundsMethod, TripReason};
 use loopmem_linalg::gcd::gcd_i64;
 use loopmem_linalg::Rational;
+use loopmem_sim::{AnalysisBudget, BudgetTracker};
 
 /// Outcome of the branch-and-bound search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,6 +92,61 @@ pub fn branch_and_bound(
 ) -> Option<BnbResult> {
     assert!(bound > 0, "search bound must be positive");
     assert!(extents.0 > 0 && extents.1 > 0, "extents must be positive");
+    let tracker = BudgetTracker::unlimited();
+    bnb_impl(alpha, deps, extents, bound, &tracker)
+        .unwrap_or_else(|_| unreachable!("unlimited budget tripped"))
+}
+
+/// Governed [`branch_and_bound`]: never panics and charges one search node
+/// per box examined against `budget`
+/// ([`AnalysisBudget::with_max_search_nodes`] and the deadline both
+/// apply). Invalid arguments report [`AnalysisError::Invalid`] instead of
+/// panicking. On a trip the `Exhausted` payload bounds the *objective*
+/// (not an MWS): the best feasible value seen so far bounds it from above
+/// (rounded up; `u64::MAX` when none was reached), zero always bounds it
+/// from below.
+pub fn try_branch_and_bound(
+    alpha: (i64, i64),
+    deps: &DependenceSet,
+    extents: (i64, i64),
+    bound: i64,
+    budget: &AnalysisBudget,
+) -> Result<Option<BnbResult>, AnalysisError> {
+    if bound <= 0 {
+        return Err(AnalysisError::Invalid {
+            message: format!("search bound must be positive, got {bound}"),
+        });
+    }
+    if extents.0 <= 0 || extents.1 <= 0 {
+        return Err(AnalysisError::Invalid {
+            message: format!("loop extents must be positive, got {extents:?}"),
+        });
+    }
+    let tracker = BudgetTracker::new(budget);
+    bnb_impl(alpha, deps, extents, bound, &tracker).map_err(|(reason, best)| {
+        let upper = best
+            .map(|obj| obj.ceil().clamp(0, i128::from(u64::MAX)) as u64)
+            .unwrap_or(u64::MAX);
+        AnalysisError::Exhausted {
+            reason,
+            partial: Bounds {
+                lower: 0,
+                upper,
+                method: BoundsMethod::ClosedForm,
+            },
+        }
+    })
+}
+
+/// The branch-and-bound loop, polling `tracker` once per popped box. A
+/// trip returns the reason plus the best objective reached so far.
+fn bnb_impl(
+    alpha: (i64, i64),
+    deps: &DependenceSet,
+    extents: (i64, i64),
+    bound: i64,
+    tracker: &BudgetTracker,
+) -> Result<Option<BnbResult>, (TripReason, Option<Rational>)> {
     let root = Box2 {
         alo: -bound,
         ahi: bound,
@@ -101,6 +158,9 @@ pub fn branch_and_bound(
     let mut pruned = 0u64;
     let mut stack = vec![root];
     while let Some(bx) = stack.pop() {
+        if let Err(reason) = tracker.charge_search_nodes(1) {
+            return Err((reason, best.map(|(_, obj)| obj)));
+        }
         explored += 1;
         // Infeasibility pruning: a tiling half-plane violated everywhere.
         if box_infeasible(&bx, deps) {
@@ -130,12 +190,12 @@ pub fn branch_and_bound(
             stack.push(r);
         }
     }
-    best.map(|(row, objective)| BnbResult {
+    Ok(best.map(|(row, objective)| BnbResult {
         row,
         objective,
         nodes_explored: explored,
         nodes_pruned: pruned,
-    })
+    }))
 }
 
 /// `true` when some tiling constraint `a·d₁ + b·d₂ ≥ 0` is violated by

@@ -22,7 +22,7 @@
 use crate::nonuniform;
 use loopmem_dep::uniform::{uniform_groups, UniformGroup};
 use loopmem_dep::vectors::lex_positive;
-use loopmem_ir::{ArrayId, LoopNest};
+use loopmem_ir::{ArrayId, Bounds, BoundsMethod, LoopNest};
 use loopmem_linalg::hnf::solve_diophantine;
 use loopmem_linalg::integer_nullspace;
 use std::collections::HashMap;
@@ -137,6 +137,120 @@ fn estimate_impl(nest: &LoopNest, exact_multiref: bool) -> HashMap<ArrayId, Dist
         out.insert(id, est);
     }
     out
+}
+
+/// Distinct-access estimates from the §3 closed forms *only* — no
+/// enumeration fallback, ever. Returns `None` when the nest is not
+/// rectangular, when any referenced array's reference shape falls outside
+/// the formulas, or when the numbers are large enough that the formulas'
+/// `i64` products could overflow.
+///
+/// The cost is polynomial in the nest *description*, never in the
+/// iteration count, so budget-governed callers use it to produce
+/// degradation bounds for nests far too large to sweep or enumerate.
+pub fn estimate_distinct_closed_form(
+    nest: &LoopNest,
+) -> Option<HashMap<ArrayId, DistinctEstimate>> {
+    let ranges = nest.rectangular_ranges()?;
+    // Overflow guards: the closed forms multiply loop extents and sum one
+    // term per reference, so cap the iteration volume (times the widest
+    // group) well inside i64, and keep subscript coefficients and offsets
+    // small enough that dependence-distance arithmetic stays exact.
+    let volume: i128 = ranges.iter().fold(1i128, |acc, &(lo, hi)| {
+        acc.saturating_mul((i128::from(hi) - i128::from(lo) + 1).max(0))
+    });
+    let groups = uniform_groups(nest);
+    let widest = groups.iter().map(|g| g.len() as i128).max().unwrap_or(1);
+    if volume.saturating_mul(widest + 1) >= 1 << 62 {
+        return None;
+    }
+    let small = |v: i64| v.abs() <= 1 << 31;
+    let tame = groups.iter().all(|g| {
+        (0..g.matrix.nrows()).all(|r| g.matrix.row(r).iter().copied().all(small))
+            && g.members
+                .iter()
+                .all(|(_, o, _)| o.iter().copied().all(small))
+    });
+    if !tame {
+        return None;
+    }
+    let mut out = HashMap::new();
+    for (a, _) in nest.arrays().iter().enumerate() {
+        let id = ArrayId(a);
+        let my: Vec<&UniformGroup> = groups.iter().filter(|g| g.array == id).collect();
+        if my.is_empty() {
+            continue;
+        }
+        let [g] = my.as_slice() else { return None };
+        out.insert(id, closed_form_single_group(nest, g, &ranges)?);
+    }
+    Some(out)
+}
+
+/// [`estimate_single_group`] restricted to the pure closed forms: `None`
+/// exactly where that function would fall back to enumeration.
+fn closed_form_single_group(
+    nest: &LoopNest,
+    g: &UniformGroup,
+    ranges: &[(i64, i64)],
+) -> Option<DistinctEstimate> {
+    let extents: Vec<i64> = ranges
+        .iter()
+        .map(|&(lo, hi)| (hi - lo + 1).max(0))
+        .collect();
+    let iter_count: i64 = extents.iter().product();
+    let r = g.len() as i64;
+    if g.matrix.rank() == nest.depth() {
+        if r == 1 {
+            return Some(DistinctEstimate::exact(iter_count, Method::FullRankFormula));
+        }
+        let reuse = full_rank_reuse(g, &extents)?;
+        return Some(DistinctEstimate::exact(
+            r * iter_count - reuse,
+            Method::FullRankFormula,
+        ));
+    }
+    let kernel = integer_nullspace(&g.matrix);
+    let mut offsets: Vec<&Vec<i64>> = g.members.iter().map(|(_, o, _)| o).collect();
+    offsets.sort();
+    offsets.dedup();
+    if offsets.len() > 1 {
+        return None; // the paper's omitted multi-offset case: needs enumeration
+    }
+    if kernel.len() == 1 {
+        let reuse = reuse_volume(&extents, &kernel[0]);
+        return Some(DistinctEstimate::exact(
+            iter_count - reuse,
+            Method::NullspaceFormula,
+        ));
+    }
+    separable_product(g, ranges)
+}
+
+/// Guaranteed MWS bounds without running anything: a nest's reference
+/// window can never exceed the distinct elements it touches, so the summed
+/// closed-form distinct uppers ([`estimate_distinct_closed_form`]) bound
+/// the MWS from above whenever the §3 formulas apply; otherwise the
+/// interval-analysis union-box enclosure
+/// ([`loopmem_sim::analytic_nest_bounds`]) stands. Governed searches
+/// return these bounds when a budget trips before the exact answer lands.
+pub fn analytic_mws_bounds(nest: &LoopNest) -> Bounds {
+    let base = loopmem_sim::analytic_nest_bounds(nest);
+    let Some(ests) = estimate_distinct_closed_form(nest) else {
+        return base;
+    };
+    let upper = ests
+        .values()
+        .fold(0u64, |acc, e| acc.saturating_add(e.upper.max(0) as u64));
+    if upper < base.upper {
+        Bounds {
+            lower: 0,
+            upper,
+            method: BoundsMethod::ClosedForm,
+        }
+    } else {
+        base
+    }
 }
 
 /// Estimate for one array that the nest references (panics otherwise).

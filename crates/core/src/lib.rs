@@ -60,17 +60,21 @@ pub mod tile;
 pub mod transform;
 pub mod union_count;
 
-pub use bnb::{branch_and_bound, BnbResult};
-pub use distinct::{estimate_distinct, estimate_distinct_exact, DistinctEstimate, Method};
+pub use bnb::{branch_and_bound, try_branch_and_bound, BnbResult};
+pub use distinct::{
+    analytic_mws_bounds, estimate_distinct, estimate_distinct_closed_form, estimate_distinct_exact,
+    DistinctEstimate, Method,
+};
 pub use estimator::{analyze_memory, MemoryAnalysis};
 pub use fusion::{fuse, FusionError};
 pub use mws::{estimate_nest_mws, three_level_estimate, two_level_estimate, two_level_objective};
 pub use optimize::{
-    memo_stats, minimize_mws, minimize_mws_with_threads, nest_mws_memoized, Optimization,
-    OptimizeError, SearchMode,
+    memo_stats, minimize_mws, minimize_mws_with_threads, nest_mws_memoized, try_minimize_mws,
+    try_minimize_mws_with_threads, Optimization, OptimizeError, SearchMode,
 };
 pub use program_opt::{
-    analyze_program, optimize_program, optimize_program_with_threads, ProgramAnalysis,
+    analyze_program, optimize_program, optimize_program_with_threads, try_optimize_program,
+    try_optimize_program_with_threads, GovernedProgramOptimization, ProgramAnalysis,
     ProgramOptimization,
 };
 pub use symbolic::{distinct_formulas, Poly, SymbolicEstimate};

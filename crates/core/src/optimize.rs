@@ -24,12 +24,16 @@ use loopmem_dep::legality::{is_legal, is_tileable, row_tileable};
 use loopmem_dep::uniform::uniform_groups;
 use loopmem_dep::{analyze, DependenceSet};
 use loopmem_ir::LoopNest;
+use loopmem_ir::{AnalysisError, TripReason};
 use loopmem_linalg::gcd::{extended_gcd, gcd_i64};
 use loopmem_linalg::{complete_unimodular_rows, IMat};
-use loopmem_sim::simulate_with_threads;
+use loopmem_sim::{
+    panic_message, simulate_with_threads, try_simulate_tracked, AnalysisBudget, BudgetTracker,
+};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -227,30 +231,7 @@ pub fn minimize_mws_with_threads(
     threads: usize,
 ) -> Result<Optimization, OptimizeError> {
     let deps = analyze(nest);
-    let n = nest.depth();
-    let candidates = match mode {
-        SearchMode::Compound {
-            max_coeff,
-            simulate_top,
-        } => {
-            let mut cands = if n == 2 {
-                two_level_candidates(nest, &deps, max_coeff)
-            } else {
-                deep_candidates(nest, &deps)
-            };
-            rank_and_truncate(nest, &deps, &mut cands, simulate_top);
-            cands
-        }
-        SearchMode::InterchangeReversal => {
-            let mut cands: Vec<IMat> = signed_permutations(n)
-                .into_iter()
-                .filter(|t| is_legal(t, &deps))
-                .collect();
-            rank_and_truncate(nest, &deps, &mut cands, 16);
-            cands
-        }
-        SearchMode::LiPingali => li_pingali_candidates(nest, &deps),
-    };
+    let candidates = generate_candidates(nest, &deps, mode);
     if candidates.is_empty() {
         return Err(OptimizeError::NoLegalTransform);
     }
@@ -334,7 +315,246 @@ fn evaluate_candidates(
     results.into_inner().expect("results poisoned")
 }
 
+// ------------------------------------------------------- governed search --
+
+/// The search's degradation payload: closed-form §3 MWS bounds when they
+/// apply, the union-box enclosure otherwise. Always computed on the
+/// *original* nest — the identity candidate makes the search's answer
+/// subject to the same bounds, and a payload that never depends on which
+/// candidate tripped keeps the governed search deterministic across
+/// thread counts and steal orders.
+fn exhausted(nest: &LoopNest, reason: TripReason) -> AnalysisError {
+    AnalysisError::Exhausted {
+        reason,
+        partial: crate::distinct::analytic_mws_bounds(nest),
+    }
+}
+
+/// Rebases any `Exhausted` payload onto the original nest's analytical
+/// bounds (see [`exhausted`]); other errors pass through.
+fn normalize_error(nest: &LoopNest, e: AnalysisError) -> AnalysisError {
+    match e {
+        AnalysisError::Exhausted { reason, .. } => exhausted(nest, reason),
+        other => other,
+    }
+}
+
+/// Exact iteration count of a rectangular nest (`None` when bounds are not
+/// rectangular). Cheap — used for budget pre-flight, not execution.
+fn exact_iteration_count(nest: &LoopNest) -> Option<u128> {
+    nest.rectangular_ranges().map(|rs| {
+        rs.iter().fold(1u128, |acc, &(lo, hi)| {
+            acc.saturating_mul((i128::from(hi) - i128::from(lo) + 1).max(0) as u128)
+        })
+    })
+}
+
+/// Governed [`minimize_mws`]: auto thread count, see
+/// [`try_minimize_mws_with_threads`].
+pub fn try_minimize_mws(
+    nest: &LoopNest,
+    mode: SearchMode,
+    budget: &AnalysisBudget,
+) -> Result<Optimization, AnalysisError> {
+    try_minimize_mws_with_threads(nest, mode, loopmem_sim::thread_count(), budget)
+}
+
+/// Governed [`minimize_mws_with_threads`]: never panics and respects
+/// `budget`, which governs the *whole* search — one deadline, one
+/// cumulative iteration count across every candidate simulation, and one
+/// search node charged per candidate (capped by
+/// [`AnalysisBudget::with_max_search_nodes`]).
+///
+/// On a budget trip the error degrades to analytical MWS bounds on the
+/// original nest ([`crate::distinct::analytic_mws_bounds`]). An empty
+/// candidate space or an inapplicable transformation reports
+/// [`AnalysisError::Invalid`]; contained panics surface as
+/// [`AnalysisError::NestPanicked`]. The governed path skips the process
+/// -wide simulation memo so repeated calls charge the same work and trip
+/// (or not) reproducibly; `cache_hits` is therefore always 0.
+pub fn try_minimize_mws_with_threads(
+    nest: &LoopNest,
+    mode: SearchMode,
+    threads: usize,
+    budget: &AnalysisBudget,
+) -> Result<Optimization, AnalysisError> {
+    let tracker = BudgetTracker::new(budget);
+    try_minimize_mws_tracked(0, nest, mode, threads, &tracker, budget)
+}
+
+/// Tracker-sharing variant backing the program-level governed optimizer:
+/// `nest_index` tags [`AnalysisError::NestPanicked`] with the nest's
+/// position in its program.
+pub(crate) fn try_minimize_mws_tracked(
+    nest_index: usize,
+    nest: &LoopNest,
+    mode: SearchMode,
+    threads: usize,
+    tracker: &BudgetTracker,
+    budget: &AnalysisBudget,
+) -> Result<Optimization, AnalysisError> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        try_minimize_impl(nest, mode, threads, tracker, budget)
+    })) {
+        Ok(r) => r.map_err(|e| match e {
+            // Panics contained deeper in the stack (inside a single-nest
+            // simulation) report nest 0 — rebase onto the caller's index.
+            AnalysisError::NestPanicked { message, .. } => AnalysisError::NestPanicked {
+                nest: nest_index,
+                message,
+            },
+            other => other,
+        }),
+        Err(payload) => Err(AnalysisError::NestPanicked {
+            nest: nest_index,
+            message: panic_message(payload),
+        }),
+    }
+}
+
+fn try_minimize_impl(
+    nest: &LoopNest,
+    mode: SearchMode,
+    threads: usize,
+    tracker: &BudgetTracker,
+    budget: &AnalysisBudget,
+) -> Result<Optimization, AnalysisError> {
+    // Pre-flight: a rectangular nest's iteration count is exact and free,
+    // so refuse immediately when even one candidate simulation would blow
+    // the iteration cap (unimodular transformations preserve the count).
+    if let (Some(cap), Some(n)) = (budget.max_iterations(), exact_iteration_count(nest)) {
+        if n > u128::from(cap) {
+            return Err(exhausted(nest, TripReason::MaxIterations));
+        }
+    }
+    tracker.check().map_err(|r| exhausted(nest, r))?;
+    let deps = analyze(nest);
+    let candidates = generate_candidates(nest, &deps, mode);
+    if candidates.is_empty() {
+        return Err(AnalysisError::Invalid {
+            message: "no legal transformation in the search space".into(),
+        });
+    }
+    let simulate = |n: &LoopNest| -> Result<u64, AnalysisError> {
+        try_simulate_tracked(n, false, 1, tracker, budget.max_table_bytes()).map(|s| s.mws_total)
+    };
+    let mws_before = simulate(nest).map_err(|e| normalize_error(nest, e))?;
+    let considered = candidates.len();
+
+    let eval_one = |t: &IMat| -> Result<u64, AnalysisError> {
+        tracker
+            .charge_search_nodes(1)
+            .map_err(|r| exhausted(nest, r))?;
+        let out = apply_transform(nest, t).map_err(|e| AnalysisError::Invalid {
+            message: e.to_string(),
+        })?;
+        simulate(&out)
+    };
+    let workers = threads.max(1).min(candidates.len());
+    let evals: Vec<(usize, Result<u64, AnalysisError>)> = if workers <= 1 {
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(rank, t)| (rank, eval_one(t)))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let results = Mutex::new(Vec::with_capacity(candidates.len()));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let rank = next.fetch_add(1, Ordering::Relaxed);
+                    if rank >= candidates.len() {
+                        break;
+                    }
+                    let r = eval_one(&candidates[rank]);
+                    results.lock().expect("results poisoned").push((rank, r));
+                });
+            }
+        });
+        results.into_inner().expect("results poisoned")
+    };
+
+    // Budget trips dominate other failures (once the shared counters trip,
+    // *which* candidates observe it depends on scheduling — the normalized
+    // error does not); among equals the earliest candidate wins.
+    let pick = |errs: &[(usize, &AnalysisError)]| -> Option<AnalysisError> {
+        errs.iter()
+            .min_by_key(|(rank, _)| *rank)
+            .map(|(_, e)| (*e).clone())
+    };
+    let trips: Vec<(usize, &AnalysisError)> = evals
+        .iter()
+        .filter_map(|(rank, r)| match r {
+            Err(e @ AnalysisError::Exhausted { .. }) => Some((*rank, e)),
+            _ => None,
+        })
+        .collect();
+    let others: Vec<(usize, &AnalysisError)> = evals
+        .iter()
+        .filter_map(|(rank, r)| match r {
+            Err(e) if !matches!(e, AnalysisError::Exhausted { .. }) => Some((*rank, e)),
+            _ => None,
+        })
+        .collect();
+    if let Some(e) = pick(&trips).or_else(|| pick(&others)) {
+        return Err(normalize_error(nest, e));
+    }
+
+    let (mws_after, rank) = evals
+        .into_iter()
+        .map(|(rank, r)| {
+            let mws = r.expect("errors were handled above");
+            (mws, rank)
+        })
+        .min()
+        .expect("candidates were non-empty");
+    let transform = candidates.into_iter().nth(rank).expect("rank is in range");
+    let transformed = apply_transform(nest, &transform).map_err(|e| AnalysisError::Invalid {
+        message: e.to_string(),
+    })?;
+    Ok(Optimization {
+        transform,
+        transformed,
+        mws_before,
+        mws_after,
+        candidates_considered: considered,
+        cache_hits: 0,
+    })
+}
+
 // ------------------------------------------------------------ candidates --
+
+/// The mode's full (ranked, truncated) candidate list. The identity is
+/// always a member for [`SearchMode::Compound`] and
+/// [`SearchMode::InterchangeReversal`]; [`SearchMode::LiPingali`] may come
+/// back empty.
+fn generate_candidates(nest: &LoopNest, deps: &DependenceSet, mode: SearchMode) -> Vec<IMat> {
+    let n = nest.depth();
+    match mode {
+        SearchMode::Compound {
+            max_coeff,
+            simulate_top,
+        } => {
+            let mut cands = if n == 2 {
+                two_level_candidates(nest, deps, max_coeff)
+            } else {
+                deep_candidates(nest, deps)
+            };
+            rank_and_truncate(nest, deps, &mut cands, simulate_top);
+            cands
+        }
+        SearchMode::InterchangeReversal => {
+            let mut cands: Vec<IMat> = signed_permutations(n)
+                .into_iter()
+                .filter(|t| is_legal(t, deps))
+                .collect();
+            rank_and_truncate(nest, deps, &mut cands, 16);
+            cands
+        }
+        SearchMode::LiPingali => li_pingali_candidates(nest, deps),
+    }
+}
 
 /// 2-deep compound candidates: coprime tileable leading rows completed to
 /// tileable unimodular matrices (§4.2). The identity is always included.

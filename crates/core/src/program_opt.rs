@@ -7,10 +7,14 @@
 //! The analysis reports both numbers so the gap is visible.
 
 use crate::optimize::{
-    minimize_mws_with_threads, nest_mws_memoized, Optimization, OptimizeError, SearchMode,
+    minimize_mws_with_threads, nest_mws_memoized, try_minimize_mws_tracked, Optimization,
+    OptimizeError, SearchMode,
 };
-use loopmem_ir::{ArrayId, Program};
-use loopmem_sim::{simulate_program, simulate_program_with_threads, ProgramSimResult};
+use loopmem_ir::{AnalysisError, ArrayId, Bounds, Program};
+use loopmem_sim::{
+    simulate_program, simulate_program_with_threads, try_simulate_program_tracked, AnalysisBudget,
+    BudgetTracker, ProgramSimResult,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -161,6 +165,146 @@ fn optimize_nests_sharded(
         }
     });
     // Earliest failing nest wins, as in the serial scan.
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("every nest searched")
+        })
+        .collect()
+}
+
+// --------------------------------------------------- governed optimizer --
+
+/// Outcome of a governed program optimization: every nest either improved
+/// or kept its original form with a typed reason, and the whole-program
+/// numbers are bounds that stay honest when some nest degraded.
+#[derive(Debug)]
+pub struct GovernedProgramOptimization {
+    /// The program with every accepted per-nest transformation applied
+    /// (nests whose search failed, or whose acceptance check could not be
+    /// completed exactly, keep their original form).
+    pub transformed: Program,
+    /// Whole-program MWS bounds before optimization (a point interval
+    /// when the baseline simulation was exact for every nest).
+    pub mws_before: Bounds,
+    /// Whole-program MWS bounds of `transformed`.
+    pub mws_after: Bounds,
+    /// Per nest, in program order: `(before, after)` single-nest windows
+    /// of its §4 search, or why that nest's search was abandoned.
+    pub per_nest: Vec<Result<(u64, u64), AnalysisError>>,
+}
+
+/// Governed [`optimize_program`]: auto thread count, see
+/// [`try_optimize_program_with_threads`].
+pub fn try_optimize_program(
+    program: &Program,
+    mode: SearchMode,
+    budget: &AnalysisBudget,
+) -> Result<GovernedProgramOptimization, AnalysisError> {
+    try_optimize_program_with_threads(program, mode, loopmem_sim::thread_count(), budget)
+}
+
+/// Governed [`optimize_program_with_threads`]: never panics and runs the
+/// whole pipeline — baseline simulation, per-nest §4 searches, greedy
+/// accept re-simulations — under one [`BudgetTracker`] (one deadline, one
+/// cumulative iteration count, one search-node count).
+///
+/// Per-nest failures are contained: a nest whose search trips the budget,
+/// overflows, or panics keeps its original form and reports the typed
+/// error in `per_nest` while every other nest completes. A candidate
+/// acceptance is taken only when its governed program re-simulation is
+/// exact and does not worsen the current upper bound, so `mws_after.upper
+/// <= mws_before.upper` always holds. The top-level `Err` is reserved for
+/// whole-program failures of the *baseline* simulation (e.g. the global
+/// table fold exceeding `max_table_bytes`).
+pub fn try_optimize_program_with_threads(
+    program: &Program,
+    mode: SearchMode,
+    threads: usize,
+    budget: &AnalysisBudget,
+) -> Result<GovernedProgramOptimization, AnalysisError> {
+    let tracker = BudgetTracker::new(budget);
+    let table_cap = budget.max_table_bytes();
+    let baseline = try_simulate_program_tracked(program, threads, &tracker, table_cap)?;
+    let mws_before = baseline.mws_bounds;
+
+    let searches = try_optimize_nests_sharded(program, mode, threads, &tracker, budget);
+
+    let mut current = program.clone();
+    let mut current_bounds = mws_before;
+    let mut per_nest = Vec::with_capacity(program.len());
+    for (k, search) in searches.into_iter().enumerate() {
+        let opt = match search {
+            Ok(o) => o,
+            Err(e) => {
+                per_nest.push(Err(e));
+                continue;
+            }
+        };
+        per_nest.push(Ok((opt.mws_before, opt.mws_after)));
+        let Ok(candidate) = current.with_nest(k, opt.transformed) else {
+            continue; // transformation changed the array table: reject
+        };
+        // Keep the per-nest transformation only when the whole program
+        // verifiably does not regress: the governed re-simulation must be
+        // exact (a degraded candidate cannot be compared) and its MWS must
+        // not exceed the current upper bound.
+        if let Ok(gov) = try_simulate_program_tracked(&candidate, threads, &tracker, table_cap) {
+            if gov.all_exact() && gov.mws_bounds.upper <= current_bounds.upper {
+                current = candidate;
+                current_bounds = gov.mws_bounds;
+            }
+        }
+    }
+    Ok(GovernedProgramOptimization {
+        transformed: current,
+        mws_before,
+        mws_after: current_bounds,
+        per_nest,
+    })
+}
+
+/// Governed sibling of [`optimize_nests_sharded`]: same sharding, but
+/// failures stay in their nest's slot instead of aborting the batch, and
+/// every search charges the shared tracker.
+fn try_optimize_nests_sharded(
+    program: &Program,
+    mode: SearchMode,
+    threads: usize,
+    tracker: &BudgetTracker,
+    budget: &AnalysisBudget,
+) -> Vec<Result<Optimization, AnalysisError>> {
+    let nests = program.nests();
+    if nests.len() == 1 {
+        return vec![try_minimize_mws_tracked(
+            0, &nests[0], mode, threads, tracker, budget,
+        )];
+    }
+    let workers = threads.max(1).min(nests.len());
+    if workers <= 1 {
+        return nests
+            .iter()
+            .enumerate()
+            .map(|(k, n)| try_minimize_mws_tracked(k, n, mode, 1, tracker, budget))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<Optimization, AnalysisError>>>> =
+        nests.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= nests.len() {
+                    break;
+                }
+                let r = try_minimize_mws_tracked(k, &nests[k], mode, 1, tracker, budget);
+                *slots[k].lock().expect("slot poisoned") = Some(r);
+            });
+        }
+    });
     slots
         .into_iter()
         .map(|m| {

@@ -1,0 +1,110 @@
+//! Governance semantics of the core search entry points: the `try_*`
+//! optimizer and branch-and-bound must degrade deterministically, and a
+//! poisoned nest inside a program must not sink the whole batch search.
+
+use loopmem_core::optimize::{minimize_mws, try_minimize_mws_with_threads, SearchMode};
+use loopmem_core::{try_branch_and_bound, try_minimize_mws, try_optimize_program};
+use loopmem_dep::analyze;
+use loopmem_ir::{parse, parse_program, AnalysisError, TripReason};
+use loopmem_sim::AnalysisBudget;
+
+fn example8() -> loopmem_ir::LoopNest {
+    parse("array X[200]\nfor i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }")
+        .unwrap()
+}
+
+#[test]
+fn unlimited_governed_search_matches_legacy() {
+    let nest = example8();
+    let legacy = minimize_mws(&nest, SearchMode::default()).unwrap();
+    let governed = try_minimize_mws(&nest, SearchMode::default(), &AnalysisBudget::unlimited())
+        .expect("unlimited governed search succeeds");
+    assert_eq!(governed.mws_before, legacy.mws_before);
+    assert_eq!(governed.mws_after, legacy.mws_after);
+    assert_eq!(governed.mws_after, 21, "the paper's actual minimum MWS");
+}
+
+#[test]
+fn tripped_search_returns_the_original_nest_bounds_deterministically() {
+    // The candidate sweep shares one cumulative iteration budget; which
+    // candidate observes the trip is scheduling-dependent, but the error
+    // value must not be: it always carries the ORIGINAL nest's analytic
+    // bounds, so every thread count returns the identical error.
+    let nest = example8();
+    let budget = AnalysisBudget::unlimited().with_max_iterations(40);
+    let errors: Vec<AnalysisError> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| {
+            try_minimize_mws_with_threads(&nest, SearchMode::default(), t, &budget).unwrap_err()
+        })
+        .collect();
+    let AnalysisError::Exhausted { reason, partial } = &errors[0] else {
+        panic!("expected Exhausted, got {:?}", errors[0]);
+    };
+    assert_eq!(*reason, TripReason::MaxIterations);
+    // Validity: the true optimal-order MWS (21) and the original-order
+    // MWS (44) both lie inside the degraded answer.
+    assert!(partial.lower <= 21 && 44 <= partial.upper);
+    assert_eq!(errors[0], errors[1]);
+    assert_eq!(errors[0], errors[2]);
+}
+
+#[test]
+fn search_node_cap_trips_branch_and_bound() {
+    let deps = analyze(&example8());
+    let exact = loopmem_core::branch_and_bound((2, 5), &deps, (25, 10), 6)
+        .expect("feasible row exists")
+        .objective;
+    let budget = AnalysisBudget::unlimited().with_max_search_nodes(2);
+    let err = try_branch_and_bound((2, 5), &deps, (25, 10), 6, &budget).unwrap_err();
+    let AnalysisError::Exhausted { reason, partial } = err else {
+        panic!("expected Exhausted");
+    };
+    assert_eq!(reason, TripReason::MaxSearchNodes);
+    // The objective bound brackets the true optimum (22).
+    let exact_u64 = exact.ceil() as u64;
+    assert!(partial.lower <= exact_u64 && exact_u64 <= partial.upper);
+}
+
+#[test]
+fn bnb_invalid_arguments_do_not_panic() {
+    let deps = analyze(&example8());
+    let unlimited = AnalysisBudget::unlimited();
+    for (extents, bound) in [((25, 10), 0), ((25, 10), -3), ((0, 10), 6), ((25, -1), 6)] {
+        let err = try_branch_and_bound((2, 5), &deps, extents, bound, &unlimited).unwrap_err();
+        assert!(
+            matches!(err, AnalysisError::Invalid { .. }),
+            "expected Invalid for extents {extents:?} bound {bound}, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn program_search_skips_the_poisoned_nest() {
+    // Nest 1 panics during simulation (bound overflow); the batch search
+    // must keep nest 0's improvement and report nest 1 as failed.
+    let program = parse_program(
+        "array X[200]\narray B[10]\n\
+         for i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }\n\
+         for i = 800 to 900 { for j = i + 9223372036854775000 to 9223372036854775807 { B[1]; } }",
+    )
+    .unwrap();
+    let opt = try_optimize_program(
+        &program,
+        SearchMode::default(),
+        &AnalysisBudget::unlimited(),
+    )
+    .expect("batch search itself must not fail");
+    assert_eq!(opt.per_nest.len(), 2);
+    assert!(opt.per_nest[0].is_ok(), "healthy nest still optimizes");
+    assert!(
+        matches!(
+            opt.per_nest[1],
+            Err(AnalysisError::NestPanicked { nest: 1, .. })
+        ),
+        "poisoned nest reports NestPanicked, got {:?}",
+        opt.per_nest[1]
+    );
+    assert!(opt.mws_before.lower <= opt.mws_before.upper);
+    assert!(opt.mws_after.upper <= opt.mws_before.upper);
+}

@@ -77,10 +77,16 @@ pub struct ElementBox {
 
 impl ElementBox {
     /// Builds a box from inclusive per-dimension ranges. Empty (inverted)
-    /// ranges produce a zero-cell box that flattens nothing.
+    /// ranges produce a zero-cell box that flattens nothing. Extents wider
+    /// than `i64` (ranges spanning most of the type's domain) saturate to
+    /// `i64::MAX`; such boxes are far beyond any simulator's table budget
+    /// and only their (saturated) `cells` count is ever consulted.
     pub fn new(ranges: &[(i64, i64)]) -> Self {
         let lo: Vec<i64> = ranges.iter().map(|&(l, _)| l).collect();
-        let extents: Vec<i64> = ranges.iter().map(|&(l, h)| (h - l + 1).max(0)).collect();
+        let extents: Vec<i64> = ranges
+            .iter()
+            .map(|&(l, h)| (h as i128 - l as i128 + 1).clamp(0, i64::MAX as i128) as i64)
+            .collect();
         let mut strides = vec![0i64; ranges.len()];
         let mut cells: u128 = 1;
         for d in (0..ranges.len()).rev() {
@@ -219,12 +225,15 @@ impl ArrayRef {
     /// Conservative per-dimension subscript ranges over a per-variable
     /// box: evaluating the reference anywhere inside `var_ranges` yields an
     /// index inside the returned box. Exact over non-empty boxes (affine
-    /// extrema sit at corners); the dense simulator engine uses this to
-    /// size flat touch tables.
+    /// extrema sit at corners) whose subscripts stay inside `i64`;
+    /// overflowing endpoints saturate to `i64::MIN`/`i64::MAX`. The dense
+    /// simulator engine uses this to size flat touch tables — a saturated
+    /// (oversized) box is demoted to the sparse path by the planner's own
+    /// per-reference `i64` re-verification, never under-sized.
     pub fn index_ranges(&self, var_ranges: &[(i64, i64)]) -> Vec<(i64, i64)> {
         self.subscripts()
             .iter()
-            .map(|s| s.eval_interval(var_ranges))
+            .map(|s| s.eval_interval_saturating(var_ranges))
             .collect()
     }
 

@@ -84,12 +84,15 @@ impl Bound {
     /// every `eval_lower`/`eval_upper` result at a point of the box lies in
     /// the returned `(min, max)`. Used by the dense simulator engine to
     /// size its touch tables; looseness only costs memory, never
-    /// correctness.
+    /// correctness. Saturates (rather than panics) when an endpoint leaves
+    /// `i64`: callers only use the result to size conservative boxes, and a
+    /// clamped endpoint can only arise when actual bound evaluation would
+    /// overflow-panic first.
     pub fn value_range(&self, ranges: &[(i64, i64)]) -> (i64, i64) {
         let mut lo = i64::MAX;
         let mut hi = i64::MIN;
         for p in &self.pieces {
-            let (elo, ehi) = p.expr.eval_interval(ranges);
+            let (elo, ehi) = p.expr.eval_interval_saturating(ranges);
             lo = lo.min(loopmem_linalg::gcd::div_floor(elo, p.div));
             hi = hi.max(loopmem_linalg::gcd::div_ceil(ehi, p.div));
         }

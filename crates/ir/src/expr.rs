@@ -113,6 +113,32 @@ impl Affine {
         )
     }
 
+    /// Like [`Affine::eval_interval`], but clamps an overflowing endpoint to
+    /// `i64::MIN`/`i64::MAX` instead of panicking. The returned interval is
+    /// computed exactly in `i128` and only narrowed by the final clamp, so it
+    /// still encloses every representable value the expression attains over
+    /// the box; values outside `i64` cannot be produced by [`Affine::eval`]
+    /// anyway (it panics first). Planning code uses this so that pathological
+    /// coefficients degrade to oversized (then demoted) boxes rather than
+    /// aborting the analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranges.len() != self.nvars()` or any range is inverted.
+    pub fn eval_interval_saturating(&self, ranges: &[(i64, i64)]) -> (i64, i64) {
+        assert_eq!(ranges.len(), self.coeffs.len(), "range vector length");
+        let mut lo = self.constant as i128;
+        let mut hi = self.constant as i128;
+        for (&c, &(rlo, rhi)) in self.coeffs.iter().zip(ranges) {
+            assert!(rlo <= rhi, "inverted range {rlo}..={rhi}");
+            let (a, b) = ((c as i128) * (rlo as i128), (c as i128) * (rhi as i128));
+            lo += a.min(b);
+            hi += a.max(b);
+        }
+        let clamp = |v: i128| v.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        (clamp(lo), clamp(hi))
+    }
+
     /// Sum of two expressions over the same variables.
     pub fn add(&self, other: &Affine) -> Affine {
         assert_eq!(self.nvars(), other.nvars(), "variable-count mismatch");

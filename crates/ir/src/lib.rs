@@ -35,6 +35,7 @@
 
 pub mod access;
 pub mod bounds;
+pub mod error;
 pub mod expr;
 pub mod nest;
 pub mod parser;
@@ -43,6 +44,7 @@ pub mod program;
 
 pub use access::{AccessKind, ArrayDecl, ArrayId, ArrayRef, ElementBox};
 pub use bounds::{Bound, Loop};
+pub use error::{AnalysisError, Bounds, BoundsMethod, TripReason};
 pub use expr::Affine;
 pub use nest::{LoopNest, NestError, Statement};
 pub use parser::{parse, ParseError};

@@ -201,6 +201,10 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
     Ok(out)
 }
 
+/// Hard cap on loop-nest depth accepted by the parser (stack-safety bound
+/// for the recursive-descent `for` parser).
+const MAX_NEST_DEPTH: usize = 64;
+
 // ------------------------------------------------------ symbolic affine --
 
 /// Affine expression over named variables, resolved to positional
@@ -225,18 +229,35 @@ impl SymExpr {
         SymExpr { terms, constant: 0 }
     }
 
-    fn add(&mut self, other: SymExpr, sign: i64) {
+    /// Folds `sign * other` into `self` with checked arithmetic; `Err(())`
+    /// on coefficient overflow (the caller attaches the source line). The
+    /// lexer already rejects out-of-range literals, but repeated terms like
+    /// `9000000000000000000i + 9000000000000000000i` can still overflow the
+    /// merged coefficient.
+    fn add(&mut self, other: SymExpr, sign: i64) -> Result<(), ()> {
         for (k, v) in other.terms {
-            *self.terms.entry(k).or_insert(0) += sign * v;
+            let slot = self.terms.entry(k).or_insert(0);
+            *slot = sign
+                .checked_mul(v)
+                .and_then(|sv| slot.checked_add(sv))
+                .ok_or(())?;
         }
-        self.constant += sign * other.constant;
+        self.constant = sign
+            .checked_mul(other.constant)
+            .and_then(|sc| self.constant.checked_add(sc))
+            .ok_or(())?;
+        Ok(())
     }
 
     fn resolve(&self, vars: &[String], line: usize) -> Result<Affine, ParseError> {
         let mut coeffs = vec![0i64; vars.len()];
         for (name, &c) in &self.terms {
             match vars.iter().position(|v| v == name) {
-                Some(k) => coeffs[k] += c,
+                Some(k) => {
+                    coeffs[k] = coeffs[k].checked_add(c).ok_or_else(|| {
+                        ParseError::new(line, format!("coefficient overflow on '{name}'"))
+                    })?
+                }
                 None => {
                     return Err(ParseError::new(
                         line,
@@ -389,7 +410,7 @@ impl Parser {
 
     fn parse_one_nest(&mut self, arrays: &[ArrayDecl]) -> Result<LoopNest, ParseError> {
         let line = self.line();
-        let (loops_sym, statements_sym) = self.parse_for()?;
+        let (loops_sym, statements_sym) = self.parse_for(0)?;
 
         // Resolve symbolic expressions against the final variable order.
         let vars: Vec<String> = loops_sym.iter().map(|l| l.0.clone()).collect();
@@ -428,6 +449,7 @@ impl Parser {
     #[allow(clippy::type_complexity)]
     fn parse_for(
         &mut self,
+        depth: usize,
     ) -> Result<
         (
             Vec<(String, SymExpr, SymExpr, usize)>,
@@ -436,6 +458,15 @@ impl Parser {
         ParseError,
     > {
         let line = self.line();
+        // Recursion depth bound: no real kernel nests anywhere near this
+        // deep, and an unbounded descent on adversarial input would blow the
+        // stack (an abort, not a catchable error).
+        if depth >= MAX_NEST_DEPTH {
+            return Err(ParseError::new(
+                line,
+                format!("nest deeper than {MAX_NEST_DEPTH} loops"),
+            ));
+        }
         self.expect_keyword("for")?;
         let var = self.expect_ident()?;
         self.expect_sym('=')?;
@@ -447,7 +478,7 @@ impl Parser {
         let mut loops = vec![(var, lo, hi, line)];
         let mut statements = Vec::new();
         if self.peek() == Some(&Tok::Ident("for".to_string())) {
-            let (inner_loops, inner_stmts) = self.parse_for()?;
+            let (inner_loops, inner_stmts) = self.parse_for(depth + 1)?;
             loops.extend(inner_loops);
             statements = inner_stmts;
             if !matches!(self.peek(), Some(Tok::Sym('}'))) {
@@ -547,8 +578,11 @@ impl Parser {
             let _ = self.eat_sym('+');
         }
         loop {
+            let line = self.line();
             let term = self.parse_affine_term()?;
-            out.add(term, sign);
+            out.add(term, sign).map_err(|()| {
+                ParseError::new(line, "affine expression coefficient overflows i64")
+            })?;
             if self.eat_sym('+') {
                 sign = 1;
             } else if self.eat_sym('-') {

@@ -1,0 +1,129 @@
+//! Parser fuzz stress: mutated and adversarial inputs must never panic.
+//!
+//! The governed pipeline promises "panic-free analysis" end to end, and
+//! the parser is the first stage every untrusted `.loop` file hits. This
+//! test drives `parse`/`parse_program` over thousands of byte-level
+//! mutations of valid kernels (seeded [`Lcg`] stream, reproducible by
+//! seed) plus hand-written adversarial inputs. The only acceptable
+//! failure mode is a `ParseError` value — any panic escapes the
+//! `catch_unwind` and fails the test with the offending input.
+
+use loopmem_ir::{parse, parse_program};
+use loopmem_linalg::rng::Lcg;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Valid sources used as mutation seeds — one per DSL feature family.
+const SEEDS: &[&str] = &[
+    "array X[200]\nfor i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }",
+    "array A[102][102]\nfor t = 1 to 2 { for i = 2 to 100 { for j = 1 to 100 { A[i][j] = A[i-1][j]; } } }",
+    "array B[64]\nfor i = 1 to 8 { for j = i to 8 { B[i + j]; } }",
+    "array A[40][40]\narray B[40][40]\n\
+     for i = 1 to 30 { for j = 1 to 30 { A[i][j] = B[j][i]; } }\n\
+     for p = 1 to 30 { for q = 1 to 30 { B[p][q] = A[p][q]; } }",
+    "array X[100]\nfor i = 1 to 20 { for j = 1 to 30 { X[2i - 3j]; } }",
+];
+
+/// Hand-written adversarial inputs: coefficient/bound overflow, deep
+/// nesting, unterminated constructs, junk bytes.
+fn adversarial() -> Vec<String> {
+    let mut v = vec![
+        // Coefficients and bounds far past i64.
+        "array X[10]\nfor i = 1 to 99999999999999999999999 { X[i]; }".to_string(),
+        "array X[10]\nfor i = 1 to 5 { X[99999999999999999999999i]; }".to_string(),
+        format!("array X[10]\nfor i = {0} to {0} {{ X[i]; }}", i64::MAX),
+        format!("array X[{}]\nfor i = 1 to 2 {{ X[i]; }}", u128::MAX),
+        // Unterminated / unbalanced.
+        "array X[10]\nfor i = 1 to 5 { X[i];".to_string(),
+        "array X[10]\nfor i = 1 to 5 } X[i]; {".to_string(),
+        "array".to_string(),
+        String::new(),
+        // Junk.
+        "\u{0}\u{1}\u{2}for for for".to_string(),
+        "🦀🦀🦀 array 🦀[🦀]".to_string(),
+    ];
+    // 256 nested for-loops: recursion depth must be bounded or iterative.
+    let mut deep = String::from("array X[10]\n");
+    for k in 0..256 {
+        deep.push_str(&format!("for i{k} = 1 to 2 {{ "));
+    }
+    deep.push_str("X[i0];");
+    deep.push_str(&"} ".repeat(256));
+    v.push(deep);
+    // A 64-dimensional reference.
+    v.push(format!(
+        "array X{}\nfor i = 1 to 2 {{ X{}; }}",
+        "[2]".repeat(64),
+        "[i]".repeat(64)
+    ));
+    v
+}
+
+/// Applies 1..=8 random byte-level mutations to `src`.
+fn mutate(src: &str, rng: &mut Lcg) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    let edits = rng.range_usize(1, 8);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            bytes.push(rng.next_u64() as u8);
+            continue;
+        }
+        let pos = rng.range_usize(0, bytes.len() - 1);
+        match rng.range_usize(0, 3) {
+            0 => bytes[pos] = rng.next_u64() as u8,
+            1 => bytes.insert(pos, rng.next_u64() as u8),
+            2 => {
+                bytes.remove(pos);
+            }
+            // Duplicate a short slice (grows digit runs into overflowing
+            // literals and unbalances brackets).
+            _ => {
+                let end = (pos + rng.range_usize(1, 16)).min(bytes.len());
+                let slice: Vec<u8> = bytes[pos..end].to_vec();
+                bytes.splice(pos..pos, slice);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Parses `src` with both entry points; panics (test failure) only if the
+/// parser itself panics.
+fn assert_no_panic(src: &str) {
+    let owned = src.to_string();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let _ = parse(&owned);
+        let _ = parse_program(&owned);
+    }));
+    assert!(
+        r.is_ok(),
+        "parser panicked on input ({} bytes): {:?}",
+        src.len(),
+        &src[..src.len().min(400)]
+    );
+}
+
+#[test]
+fn mutated_inputs_never_panic() {
+    let mut rng = Lcg::new(0x5EED_F00D);
+    for trial in 0..2000 {
+        let seed = SEEDS[trial % SEEDS.len()];
+        let mutated = mutate(seed, &mut rng);
+        assert_no_panic(&mutated);
+    }
+}
+
+#[test]
+fn adversarial_inputs_never_panic() {
+    for src in adversarial() {
+        assert_no_panic(&src);
+    }
+}
+
+#[test]
+fn seeds_still_parse() {
+    // The mutation corpus must start from valid inputs, or the fuzz run
+    // only ever exercises the error path's first line.
+    for seed in SEEDS {
+        parse_program(seed).expect("seed source is valid");
+    }
+}

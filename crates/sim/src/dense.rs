@@ -33,13 +33,30 @@
 //!   count after each iteration — so computing the full per-iteration
 //!   profile costs one `i32` lane instead of per-array add/remove tables.
 
-use crate::exec::{for_each_iteration_outer, outer_range};
+use crate::budget::{
+    analytic_nest_bounds, estimated_iterations_of, panic_message, AnalysisBudget, BudgetTracker,
+    POLL_INTERVAL,
+};
+use crate::exec::{outer_range, try_for_each_iteration_outer};
 use crate::window::{ArrayStats, SimResult};
-use loopmem_ir::{ArrayId, ArrayRef, ElementBox, LoopNest};
+use loopmem_ir::{AnalysisError, ArrayId, ArrayRef, ElementBox, LoopNest, TripReason};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Why a governed sweep stopped early, before being mapped to a public
+/// [`AnalysisError`] (the mapping is where the analytical fallback bounds
+/// are attached).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SweepError {
+    /// A resource budget tripped.
+    Trip(TripReason),
+    /// Intermediate arithmetic left `i64`/`u32` range.
+    Overflow(String),
+}
 
 /// Chunk-local "never touched" sentinel for the `first` slot.
 pub(crate) const UNTOUCHED: u32 = u32::MAX;
@@ -105,14 +122,9 @@ struct Plan {
 }
 
 /// Conservative upper bound on the iteration count: the volume of the
-/// per-variable range box (`None` when the nest provably never runs).
+/// per-variable range box (`0` when the nest provably never runs).
 fn estimated_iterations(nest: &LoopNest) -> u128 {
-    match nest.var_ranges() {
-        None => 0,
-        Some(vr) => vr.iter().fold(1u128, |acc, &(l, h)| {
-            acc.saturating_mul((h.saturating_sub(l).saturating_add(1)).max(0) as u128)
-        }),
-    }
+    estimated_iterations_of(nest)
 }
 
 /// Builds the flattened linear index form of `r` into `bx`, or `None`
@@ -147,7 +159,12 @@ fn dense_form(r: &ArrayRef, bx: &ElementBox, vr: &[(i64, i64)]) -> Option<(Vec<i
     Some((coeffs.iter().map(|&c| c as i64).collect(), constant as i64))
 }
 
-fn make_plan(nest: &LoopNest, threads: usize) -> Plan {
+/// Plans dense vs. sparse representation per array. `max_table_bytes`
+/// tightens the built-in [`DENSE_BUDGET_BYTES`] cap: arrays whose box would
+/// exceed the caller's byte budget are demoted to the hashmap (sparse)
+/// path, which is in turn governed by the iteration budget during the
+/// sweep.
+fn make_plan(nest: &LoopNest, threads: usize, max_table_bytes: Option<u64>) -> Plan {
     let refs: Vec<ArrayRef> = nest.refs().cloned().collect();
     let narrays = nest.arrays().len();
     let max_rank = refs.iter().map(ArrayRef::rank).max().unwrap_or(0).max(1);
@@ -175,7 +192,11 @@ fn make_plan(nest: &LoopNest, threads: usize) -> Plan {
         // merged base live (the in-order fold retires out-of-order
         // stragglers as soon as the gap closes); split the byte budget
         // across them (8 bytes per cell).
-        let budget_cells = DENSE_BUDGET_BYTES / (8 * (threads as u128 + 1));
+        let budget_bytes = match max_table_bytes {
+            Some(cap) => DENSE_BUDGET_BYTES.min(cap as u128),
+            None => DENSE_BUDGET_BYTES,
+        };
+        let budget_cells = budget_bytes / (8 * (threads as u128 + 1));
         let mut used: u128 = 0;
         for a in 0..narrays {
             let Some(ranges) = &arr_ranges[a] else {
@@ -252,7 +273,19 @@ struct ChunkOut {
     sparse: Vec<HashMap<Vec<i64>, (u32, u32)>>,
 }
 
-fn sweep_chunk(nest: &LoopNest, plan: &Plan, lo: i64, hi: i64) -> ChunkOut {
+/// Sweeps one chunk under governance: every [`POLL_INTERVAL`] iterations
+/// the locally counted work is charged to the shared tracker and the
+/// budget polled, so cancellation and budget trips are observed well
+/// within a chunk. Sparse-path subscripts are evaluated with checked
+/// arithmetic (the dense path needs none: the planner's `dense_form`
+/// already verified every reachable partial sum fits `i64`).
+fn sweep_chunk(
+    nest: &LoopNest,
+    plan: &Plan,
+    lo: i64,
+    hi: i64,
+    tracker: &BudgetTracker,
+) -> Result<ChunkOut, SweepError> {
     let narrays = nest.arrays().len();
     let mut dense: Vec<Vec<(u32, u32)>> = plan
         .boxes
@@ -267,7 +300,8 @@ fn sweep_chunk(nest: &LoopNest, plan: &Plan, lo: i64, hi: i64) -> ChunkOut {
     let mut accesses = vec![0u64; narrays];
     let mut idx_buf = vec![0i64; plan.max_rank];
     let mut t: u32 = 0;
-    for_each_iteration_outer(nest, lo, hi, &mut |iter| {
+    let mut unpolled: u32 = 0;
+    let flow = try_for_each_iteration_outer(nest, lo, hi, &mut |iter| {
         for rp in &plan.refs {
             accesses[rp.array] += 1;
             match &rp.mode {
@@ -286,11 +320,19 @@ fn sweep_chunk(nest: &LoopNest, plan: &Plan, lo: i64, hi: i64) -> ChunkOut {
                 RefMode::Sparse => {
                     let d = rp.r.rank();
                     for (dim, slot) in idx_buf[..d].iter_mut().enumerate() {
-                        let mut s = rp.r.offset[dim];
+                        let mut s = rp.r.offset[dim] as i128;
                         for (&c, &x) in rp.r.matrix.row(dim).iter().zip(iter) {
-                            s += c * x;
+                            s += (c as i128) * (x as i128);
                         }
-                        *slot = s;
+                        match i64::try_from(s) {
+                            Ok(v) => *slot = v,
+                            Err(_) => {
+                                return ControlFlow::Break(SweepError::Overflow(format!(
+                                    "subscript of array '{}' overflows i64 at iteration {iter:?}",
+                                    nest.arrays()[rp.array].name
+                                )));
+                            }
+                        }
                     }
                     match sparse[rp.array].get_mut(&idx_buf[..d]) {
                         Some(cell) => cell.1 = t,
@@ -301,16 +343,37 @@ fn sweep_chunk(nest: &LoopNest, plan: &Plan, lo: i64, hi: i64) -> ChunkOut {
                 }
             }
         }
-        t = t
-            .checked_add(1)
-            .expect("chunk exceeds the engine's u32 iteration budget");
+        t = match t.checked_add(1) {
+            Some(next) => next,
+            None => {
+                return ControlFlow::Break(SweepError::Overflow(
+                    "chunk exceeds the engine's u32 iteration budget".to_string(),
+                ));
+            }
+        };
+        unpolled += 1;
+        if unpolled >= POLL_INTERVAL {
+            if let Err(reason) = tracker.charge_iterations(unpolled as u64) {
+                return ControlFlow::Break(SweepError::Trip(reason));
+            }
+            unpolled = 0;
+        }
+        ControlFlow::Continue(())
     });
-    ChunkOut {
+    if let ControlFlow::Break(err) = flow {
+        return Err(err);
+    }
+    if unpolled > 0 {
+        tracker
+            .charge_iterations(unpolled as u64)
+            .map_err(SweepError::Trip)?;
+    }
+    Ok(ChunkOut {
         iters: t as u64,
         accesses,
         dense,
         sparse,
-    }
+    })
 }
 
 /// Folds one chunk's output (the *next* chunk in time order) into `base`,
@@ -461,9 +524,13 @@ fn split_range(lo: i64, hi: i64, parts: usize) -> Vec<(i64, i64)> {
     let mut out = Vec::with_capacity(parts as usize);
     let mut start = lo;
     for p in 1..=parts {
-        let end = lo + ((span * p / parts) as i64) - 1;
+        // The prefix width `span·p/parts` can exceed `i64` for spans wider
+        // than `i64::MAX` (e.g. bounds near the `i64` limits), so the chunk
+        // end is computed in `i128`; the result is always in `[lo, hi]` and
+        // casts back losslessly.
+        let end = (lo as i128 + (span * p / parts) as i128 - 1) as i64;
         out.push((start, end));
-        start = end + 1;
+        start = end.saturating_add(1);
     }
     out
 }
@@ -541,11 +608,20 @@ pub(crate) fn auto_threads(nest: &LoopNest) -> usize {
 
 /// Pass 1 over the whole nest: plan, chunk, sweep (work-stealing when
 /// `threads > 1`), and fold the chunks strictly in chunk order. The
-/// returned tables are bit-identical for every `threads` value.
-fn sweep_all(nest: &LoopNest, threads: usize) -> (Plan, ChunkOut) {
+/// returned tables are bit-identical for every `threads` value. On a
+/// budget trip or overflow, the error with the smallest chunk index wins
+/// (workers stop pulling chunks once any error is recorded), matching the
+/// error a serial sweep reports when the failing computation is
+/// deterministic.
+fn sweep_all(
+    nest: &LoopNest,
+    threads: usize,
+    tracker: &BudgetTracker,
+    max_table_bytes: Option<u64>,
+) -> Result<(Plan, ChunkOut), SweepError> {
     let (olo, ohi) = outer_range(nest);
     let threads = threads.max(1);
-    let plan = make_plan(nest, threads);
+    let plan = make_plan(nest, threads, max_table_bytes);
     let chunks = if threads == 1 {
         vec![(olo, ohi)]
     } else {
@@ -553,36 +629,53 @@ fn sweep_all(nest: &LoopNest, threads: usize) -> (Plan, ChunkOut) {
     };
     if chunks.len() <= 1 {
         let (lo, hi) = chunks[0];
-        let out = sweep_chunk(nest, &plan, lo, hi);
-        return (plan, out);
+        let out = sweep_chunk(nest, &plan, lo, hi, tracker)?;
+        return Ok((plan, out));
     }
     let workers = threads.min(chunks.len());
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let failure: Mutex<Option<(usize, SweepError)>> = Mutex::new(None);
     let state = Mutex::new(MergeState {
         upto: 0,
         base: None,
         pending: BTreeMap::new(),
     });
     {
-        let (plan, chunks, next, state) = (&plan, &chunks, &next, &state);
+        let (plan, chunks, next, stop, failure, state) =
+            (&plan, &chunks, &next, &stop, &failure, &state);
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(move || loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= chunks.len() {
                         break;
                     }
                     let (lo, hi) = chunks[k];
-                    let out = sweep_chunk(nest, plan, lo, hi);
-                    state.lock().expect("merge state poisoned").deposit(k, out);
+                    match sweep_chunk(nest, plan, lo, hi, tracker) {
+                        Ok(out) => state.lock().expect("merge state poisoned").deposit(k, out),
+                        Err(e) => {
+                            let mut slot = failure.lock().expect("failure slot poisoned");
+                            if slot.as_ref().is_none_or(|(prev, _)| k < *prev) {
+                                *slot = Some((k, e));
+                            }
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
                 });
             }
         });
     }
+    if let Some((_, e)) = failure.into_inner().expect("failure slot poisoned") {
+        return Err(e);
+    }
     let st = state.into_inner().expect("merge state poisoned");
     debug_assert_eq!(st.upto, chunks.len(), "every chunk merged");
     let merged = st.base.expect("at least one chunk swept");
-    (plan, merged)
+    Ok((plan, merged))
 }
 
 /// Merged pass-1 touch tables of one nest in nest-local 32-bit time —
@@ -599,13 +692,53 @@ pub(crate) struct NestPass1 {
 
 /// Runs pass 1 only and hands the merged tables to the caller.
 pub(crate) fn pass1(nest: &LoopNest, threads: usize) -> NestPass1 {
-    let (plan, merged) = sweep_all(nest, threads);
-    NestPass1 {
-        iters: merged.iters,
-        accesses: merged.accesses,
-        boxes: plan.boxes,
-        dense: merged.dense,
-        sparse: merged.sparse,
+    let tracker = BudgetTracker::unlimited();
+    match sweep_all(nest, threads, &tracker, None) {
+        Ok((plan, merged)) => NestPass1 {
+            iters: merged.iters,
+            accesses: merged.accesses,
+            boxes: plan.boxes,
+            dense: merged.dense,
+            sparse: merged.sparse,
+        },
+        // An unlimited tracker never trips; overflow keeps the legacy
+        // contract (panic) for callers without a governed path.
+        Err(SweepError::Trip(_)) => unreachable!("unlimited budget tripped"),
+        Err(SweepError::Overflow(msg)) => panic!("{msg}"),
+    }
+}
+
+/// Governed pass 1 of one nest: panics are contained with `catch_unwind`
+/// (a poisoned nest yields [`AnalysisError::NestPanicked`] tagged with
+/// `nest_index`), budget trips degrade to [`analytic_nest_bounds`], and
+/// overflow reports [`AnalysisError::Overflow`].
+pub(crate) fn try_pass1(
+    nest_index: usize,
+    nest: &LoopNest,
+    threads: usize,
+    tracker: &BudgetTracker,
+    max_table_bytes: Option<u64>,
+) -> Result<NestPass1, AnalysisError> {
+    let swept = catch_unwind(AssertUnwindSafe(|| {
+        sweep_all(nest, threads, tracker, max_table_bytes)
+    }));
+    match swept {
+        Ok(Ok((plan, merged))) => Ok(NestPass1 {
+            iters: merged.iters,
+            accesses: merged.accesses,
+            boxes: plan.boxes,
+            dense: merged.dense,
+            sparse: merged.sparse,
+        }),
+        Ok(Err(SweepError::Trip(reason))) => Err(AnalysisError::Exhausted {
+            reason,
+            partial: analytic_nest_bounds(nest),
+        }),
+        Ok(Err(SweepError::Overflow(context))) => Err(AnalysisError::Overflow { context }),
+        Err(payload) => Err(AnalysisError::NestPanicked {
+            nest: nest_index,
+            message: panic_message(payload),
+        }),
     }
 }
 
@@ -616,8 +749,62 @@ pub(crate) fn pass1(nest: &LoopNest, threads: usize) -> NestPass1 {
 /// which worker swept which chunk.
 pub(crate) fn run(nest: &LoopNest, want_profile: bool, threads: usize) -> SimResult {
     let narrays = nest.arrays().len();
-    let (_, merged) = sweep_all(nest, threads);
-    finish(narrays, merged, want_profile)
+    let tracker = BudgetTracker::unlimited();
+    match sweep_all(nest, threads, &tracker, None) {
+        Ok((_, merged)) => finish(narrays, merged, want_profile),
+        Err(SweepError::Trip(_)) => unreachable!("unlimited budget tripped"),
+        Err(SweepError::Overflow(msg)) => panic!("{msg}"),
+    }
+}
+
+/// Governed dense-engine run: like [`run`], but never panics and never
+/// exceeds `budget`. On a budget trip the result degrades to analytical
+/// bounds carried inside [`AnalysisError::Exhausted`]; the payload depends
+/// only on the nest (interval analysis), not on sweep progress, so it is
+/// bit-identical for every thread count and steal order.
+pub(crate) fn try_run(
+    nest: &LoopNest,
+    want_profile: bool,
+    threads: usize,
+    budget: &AnalysisBudget,
+) -> Result<SimResult, AnalysisError> {
+    let tracker = BudgetTracker::new(budget);
+    try_run_tracked(
+        nest,
+        want_profile,
+        threads,
+        &tracker,
+        budget.max_table_bytes(),
+    )
+}
+
+/// [`try_run`] charging an externally owned tracker, so a caller running
+/// many simulations (the optimizer's candidate sweep) shares one deadline
+/// and one cumulative iteration count across all of them.
+pub(crate) fn try_run_tracked(
+    nest: &LoopNest,
+    want_profile: bool,
+    threads: usize,
+    tracker: &BudgetTracker,
+    max_table_bytes: Option<u64>,
+) -> Result<SimResult, AnalysisError> {
+    let narrays = nest.arrays().len();
+    let swept = catch_unwind(AssertUnwindSafe(|| {
+        let (_, merged) = sweep_all(nest, threads, tracker, max_table_bytes)?;
+        Ok(finish(narrays, merged, want_profile))
+    }));
+    match swept {
+        Ok(Ok(res)) => Ok(res),
+        Ok(Err(SweepError::Trip(reason))) => Err(AnalysisError::Exhausted {
+            reason,
+            partial: analytic_nest_bounds(nest),
+        }),
+        Ok(Err(SweepError::Overflow(context))) => Err(AnalysisError::Overflow { context }),
+        Err(payload) => Err(AnalysisError::NestPanicked {
+            nest: 0,
+            message: panic_message(payload),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -663,7 +850,7 @@ mod tests {
         let nest =
             parse("array X[2000000000]\nfor i = 1 to 20 { for j = 1 to 5 { X[100000000i + j]; } }")
                 .unwrap();
-        let plan = make_plan(&nest, 1);
+        let plan = make_plan(&nest, 1, None);
         assert!(plan.boxes.iter().all(Option::is_none), "expected fallback");
         assert_same(&run(&nest, true, 1), &simulate_hashmap_with_profile(&nest));
     }
@@ -682,6 +869,32 @@ mod tests {
         assert_eq!(split_range(1, 10, 3), vec![(1, 3), (4, 6), (7, 10)]);
         assert_eq!(split_range(1, 2, 8), vec![(1, 1), (2, 2)]);
         assert_eq!(split_range(5, 4, 4), vec![(5, 4)]);
+    }
+
+    /// Regression: spans wider than `i64::MAX` used to truncate the
+    /// `u128` prefix width through an `i64` cast, producing chunk ends far
+    /// outside `[lo, hi]` (and panicking in debug builds).
+    #[test]
+    fn chunk_split_survives_near_max_bounds() {
+        for (lo, hi) in [
+            (i64::MIN, i64::MAX),
+            (i64::MIN + 1, i64::MAX - 1),
+            (-9_223_372_036_854_775_000, 9_223_372_036_854_775_000),
+            (0, i64::MAX),
+        ] {
+            for parts in [2, 3, 7] {
+                let chunks = split_range(lo, hi, parts);
+                assert_eq!(chunks.first().unwrap().0, lo);
+                assert_eq!(chunks.last().unwrap().1, hi);
+                for w in chunks.windows(2) {
+                    assert!(w[0].1 < w[1].0, "{chunks:?}");
+                    assert_eq!(w[0].1 + 1, w[1].0, "{chunks:?}");
+                }
+                for &(a, b) in &chunks {
+                    assert!(lo <= a && a <= b && b <= hi, "{chunks:?}");
+                }
+            }
+        }
     }
 
     /// Chunk lists always partition `[lo, hi]` into consecutive ranges.

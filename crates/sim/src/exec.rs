@@ -1,6 +1,7 @@
 //! Lexicographic execution of a loop nest.
 
 use loopmem_ir::LoopNest;
+use std::ops::ControlFlow;
 
 /// Calls `f` once per iteration, in execution (lexicographic) order, with
 /// the iteration vector. Bounds are evaluated exactly, including the
@@ -40,31 +41,56 @@ pub fn for_each_iteration_outer<F: FnMut(&[i64])>(
     outer_hi: i64,
     f: &mut F,
 ) {
+    // The adapter closure never breaks, so the result is always `Continue`.
+    let _ = try_for_each_iteration_outer::<(), _>(nest, outer_lo, outer_hi, &mut |it| {
+        f(it);
+        ControlFlow::Continue(())
+    });
+}
+
+/// Early-exiting variant of [`for_each_iteration_outer`]: the callback
+/// returns [`ControlFlow`], and a `Break` stops the sweep immediately (the
+/// governed engines use this to bail out when a budget trips or a subscript
+/// overflows). Returns the first `Break`, or `Continue(())` after the full
+/// stream.
+pub fn try_for_each_iteration_outer<B, F: FnMut(&[i64]) -> ControlFlow<B>>(
+    nest: &LoopNest,
+    outer_lo: i64,
+    outer_hi: i64,
+    f: &mut F,
+) -> ControlFlow<B> {
     let n = nest.depth();
     let mut iter = vec![0i64; n];
     for v in outer_lo..=outer_hi {
         iter[0] = v;
         if n == 1 {
-            f(&iter);
+            f(&iter)?;
         } else {
-            descend(nest, &mut iter, 1, f);
+            descend(nest, &mut iter, 1, f)?;
         }
     }
+    ControlFlow::Continue(())
 }
 
-fn descend<F: FnMut(&[i64])>(nest: &LoopNest, iter: &mut Vec<i64>, k: usize, f: &mut F) {
+fn descend<B, F: FnMut(&[i64]) -> ControlFlow<B>>(
+    nest: &LoopNest,
+    iter: &mut Vec<i64>,
+    k: usize,
+    f: &mut F,
+) -> ControlFlow<B> {
     let l = &nest.loops()[k];
     let lo = l.lower.eval_lower(iter);
     let hi = l.upper.eval_upper(iter);
     for v in lo..=hi {
         iter[k] = v;
         if k + 1 == nest.depth() {
-            f(iter);
+            f(iter)?;
         } else {
-            descend(nest, iter, k + 1, f);
+            descend(nest, iter, k + 1, f)?;
         }
     }
     iter[k] = 0; // outer bounds must not observe stale inner values
+    ControlFlow::Continue(())
 }
 
 /// Number of iterations the nest executes.

@@ -28,6 +28,7 @@
 //! assert_eq!(stats.mws_total, 44); // the closed form estimates 50
 //! ```
 
+pub mod budget;
 pub mod dense;
 pub mod exec;
 pub mod layout;
@@ -37,14 +38,26 @@ pub mod replacement;
 pub mod reuse_distance;
 pub mod window;
 
+pub use budget::{
+    analytic_nest_bounds, analytic_program_bounds, panic_message, AnalysisBudget, BudgetTracker,
+    CancelToken,
+};
 pub use dense::thread_count;
-pub use exec::{count_iterations, for_each_iteration, for_each_iteration_outer, outer_range};
+pub use exec::{
+    count_iterations, for_each_iteration, for_each_iteration_outer, outer_range,
+    try_for_each_iteration_outer,
+};
 pub use layout::{line_analysis, AddressMap, Layout, LineStats};
 pub use memory::{MemoryReport, ScratchpadModel};
-pub use program::{simulate_program, simulate_program_with_threads, ProgramSimResult};
+pub use program::{
+    simulate_program, simulate_program_with_threads, try_simulate_program,
+    try_simulate_program_tracked, try_simulate_program_with_threads, GovernedProgramSim,
+    ProgramSimResult,
+};
 pub use replacement::{min_perfect_capacity, miss_curve, misses, Policy, Trace};
 pub use reuse_distance::ReuseHistogram;
 pub use window::{
     simulate, simulate_hashmap, simulate_hashmap_with_profile, simulate_with_profile,
-    simulate_with_threads, ArrayStats, SimResult,
+    simulate_with_threads, try_simulate, try_simulate_tracked, try_simulate_with_threads,
+    ArrayStats, SimResult,
 };

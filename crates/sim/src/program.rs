@@ -20,8 +20,9 @@
 //! disjoint nest boxes) land in a per-array overflow map keyed by
 //! coordinates.
 
+use crate::budget::{analytic_nest_bounds, analytic_program_bounds, AnalysisBudget, BudgetTracker};
 use crate::dense::{self, NestPass1, UNTOUCHED};
-use loopmem_ir::{ArrayId, ElementBox, Program};
+use loopmem_ir::{AnalysisError, ArrayId, Bounds, BoundsMethod, ElementBox, Program, TripReason};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -105,6 +106,62 @@ fn sweep_nests_sharded(program: &Program, threads: usize) -> Vec<NestPass1> {
         .collect()
 }
 
+/// Governed pass 1 over every nest: same sharding as
+/// [`sweep_nests_sharded`], but each nest runs through
+/// [`dense::try_pass1`], which contains panics with `catch_unwind` and
+/// polls the shared tracker — so one poisoned or over-budget nest yields a
+/// per-nest error while the remaining nests complete.
+fn try_sweep_nests_sharded(
+    program: &Program,
+    threads: usize,
+    tracker: &BudgetTracker,
+    max_table_bytes: Option<u64>,
+) -> Vec<Result<NestPass1, AnalysisError>> {
+    let nests = program.nests();
+    let threads = threads.max(1);
+    if threads == 1 {
+        return nests
+            .iter()
+            .enumerate()
+            .map(|(k, n)| dense::try_pass1(k, n, 1, tracker, max_table_bytes))
+            .collect();
+    }
+    if nests.len() == 1 {
+        return vec![dense::try_pass1(
+            0,
+            &nests[0],
+            threads,
+            tracker,
+            max_table_bytes,
+        )];
+    }
+    let workers = threads.min(nests.len());
+    let per_nest = (threads / workers).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<NestPass1, AnalysisError>>>> =
+        nests.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= nests.len() {
+                    break;
+                }
+                let out = dense::try_pass1(k, &nests[k], per_nest, tracker, max_table_bytes);
+                *slots[k].lock().expect("slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("every nest swept")
+        })
+        .collect()
+}
+
 /// Global first/last table of one array: a dense lane over the union of
 /// the nest boxes (when affordable) plus an overflow map for everything
 /// outside it. Times are global (u64) — a program may exceed the per-nest
@@ -143,20 +200,32 @@ impl GlobalTable {
 /// boxes, unless the union blows the byte budget or is far sparser than
 /// the tables it absorbs (disjoint nest boxes) — then `None`, and every
 /// touch of the array goes through the overflow map.
-fn plan_global_tables(narrays: usize, per_nest: &[NestPass1]) -> Vec<GlobalTable> {
-    let mut budget = GLOBAL_DENSE_BUDGET_BYTES / 16;
+fn plan_global_tables(
+    narrays: usize,
+    per_nest: &[Option<NestPass1>],
+    max_table_bytes: Option<u64>,
+) -> Vec<GlobalTable> {
+    let budget_bytes = match max_table_bytes {
+        Some(cap) => GLOBAL_DENSE_BUDGET_BYTES.min(cap as u128),
+        None => GLOBAL_DENSE_BUDGET_BYTES,
+    };
+    let mut budget = budget_bytes / 16;
     (0..narrays)
         .map(|a| {
             let mut union: Option<Vec<(i64, i64)>> = None;
             let mut absorbed: u128 = 0;
-            for np in per_nest {
+            for np in per_nest.iter().flatten() {
                 let Some(bx) = &np.boxes[a] else { continue };
                 absorbed += bx.cells();
+                // A nest box always has extents >= 1 per dimension, but the
+                // upper corner `lo + extent - 1` can still leave `i64` for
+                // planner-saturated boxes; saturate rather than overflow
+                // (the union is only used conservatively).
                 let ranges: Vec<(i64, i64)> = bx
                     .lo()
                     .iter()
                     .zip(bx.extents())
-                    .map(|(&l, &e)| (l, l + e - 1))
+                    .map(|(&l, &e)| (l, l.saturating_add(e.saturating_sub(1))))
                     .collect();
                 match &mut union {
                     slot @ None => *slot = Some(ranges),
@@ -249,15 +318,33 @@ pub fn simulate_program(program: &Program) -> ProgramSimResult {
 pub fn simulate_program_with_threads(program: &Program, threads: usize) -> ProgramSimResult {
     let narrays = program.arrays().len();
     let per_nest = sweep_nests_sharded(program, threads);
+    assemble(narrays, per_nest.into_iter().map(Some).collect(), None)
+}
 
+/// Fold + pass-2 sweep over per-nest pass-1 tables. `None` slots are nests
+/// whose governed sweep failed: they contribute zero iterations and no
+/// touches, so the result is the exact simulation of the program restricted
+/// to the successful nests (a valid lower bound on the full program's MWS —
+/// dropping accesses only shrinks windows).
+fn assemble(
+    narrays: usize,
+    per_nest: Vec<Option<NestPass1>>,
+    max_table_bytes: Option<u64>,
+) -> ProgramSimResult {
     // Fold the per-nest tables in execution order, rebasing nest-local
     // times by the cumulative iteration count: an element's `first` comes
     // from the earliest nest touching it, `last` from the latest.
-    let mut tables = plan_global_tables(narrays, &per_nest);
-    let mut per_nest_iterations = Vec::with_capacity(program.len());
-    let mut nest_end = Vec::with_capacity(program.len()); // global t after each nest
+    let nnests = per_nest.len();
+    let mut tables = plan_global_tables(narrays, &per_nest, max_table_bytes);
+    let mut per_nest_iterations = Vec::with_capacity(nnests);
+    let mut nest_end = Vec::with_capacity(nnests); // global t after each nest
     let mut t = 0u64;
-    for np in per_nest {
+    for np_slot in per_nest {
+        let Some(np) = np_slot else {
+            per_nest_iterations.push(0);
+            nest_end.push(t);
+            continue;
+        };
         for (a, g) in tables.iter_mut().enumerate() {
             if np.accesses[a] == 0 {
                 continue;
@@ -343,6 +430,132 @@ pub fn simulate_program_with_threads(program: &Program, threads: usize) -> Progr
         distinct,
         peak_nest,
     }
+}
+
+/// Outcome of a governed program simulation: per-nest results, the exact
+/// simulation of the successful subset, and analytical bounds on the full
+/// program's MWS.
+#[derive(Debug)]
+pub struct GovernedProgramSim {
+    /// Per nest, in program order: iterations swept, or why the nest's
+    /// analysis failed (`Exhausted` entries carry that nest's own
+    /// analytical MWS bounds).
+    pub per_nest: Vec<Result<u64, AnalysisError>>,
+    /// Exact window tracking over the successful nests only. Equal to the
+    /// full [`simulate_program_with_threads`] result when
+    /// [`all_exact`](GovernedProgramSim::all_exact) holds.
+    pub sim: ProgramSimResult,
+    /// Bounds on the *full* program's MWS. A point interval when every
+    /// nest succeeded; otherwise `[subset MWS, subset MWS + Σ failed-nest
+    /// distinct-element uppers]` — removing a nest's accesses can only
+    /// shrink windows (lower), and restoring them can grow the window by at
+    /// most the elements that nest touches (upper).
+    pub mws_bounds: Bounds,
+}
+
+impl GovernedProgramSim {
+    /// True when every nest simulated exactly.
+    pub fn all_exact(&self) -> bool {
+        self.per_nest.iter().all(Result::is_ok)
+    }
+}
+
+/// Governed [`simulate_program`]: auto thread count, see
+/// [`try_simulate_program_with_threads`].
+pub fn try_simulate_program(
+    program: &Program,
+    budget: &AnalysisBudget,
+) -> Result<GovernedProgramSim, AnalysisError> {
+    try_simulate_program_with_threads(program, crate::dense::thread_count(), budget)
+}
+
+/// Governed whole-program simulation. Each nest's pass 1 is wrapped in
+/// `catch_unwind` (a poisoned nest yields [`AnalysisError::NestPanicked`]
+/// for that nest while the rest of the program completes) and polls the
+/// shared budget tracker. Per-nest failures degrade that nest to
+/// analytical bounds; the program-level result composes the exact subset
+/// simulation with those bounds. The top-level `Err` is reserved for
+/// whole-program failures (the global fold itself exceeding
+/// `max_table_bytes`).
+pub fn try_simulate_program_with_threads(
+    program: &Program,
+    threads: usize,
+    budget: &AnalysisBudget,
+) -> Result<GovernedProgramSim, AnalysisError> {
+    let tracker = BudgetTracker::new(budget);
+    try_simulate_program_tracked(program, threads, &tracker, budget.max_table_bytes())
+}
+
+/// [`try_simulate_program_with_threads`] charging an externally owned
+/// tracker, so a caller interleaving program simulations with other
+/// governed work (the program-level optimizer's greedy accept loop) shares
+/// one deadline and one cumulative iteration count across all of it.
+pub fn try_simulate_program_tracked(
+    program: &Program,
+    threads: usize,
+    tracker: &BudgetTracker,
+    max_table_bytes: Option<u64>,
+) -> Result<GovernedProgramSim, AnalysisError> {
+    let narrays = program.arrays().len();
+    let results = try_sweep_nests_sharded(program, threads, tracker, max_table_bytes);
+
+    // The pass-2 difference lane costs 4 bytes per global iteration; gate
+    // it on the same byte budget as the touch tables before allocating.
+    let total_iters: u64 = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok().map(|np| np.iters))
+        .fold(0, u64::saturating_add);
+    if let Some(cap) = max_table_bytes {
+        if total_iters.saturating_mul(4) > cap {
+            return Err(AnalysisError::Exhausted {
+                reason: TripReason::MaxTableBytes,
+                partial: analytic_program_bounds(program),
+            });
+        }
+    }
+
+    let mut per_nest: Vec<Result<u64, AnalysisError>> = Vec::with_capacity(results.len());
+    let slots: Vec<Option<NestPass1>> = results
+        .into_iter()
+        .map(|r| match r {
+            Ok(np) => {
+                per_nest.push(Ok(np.iters));
+                Some(np)
+            }
+            Err(e) => {
+                per_nest.push(Err(e));
+                None
+            }
+        })
+        .collect();
+    let sim = assemble(narrays, slots, max_table_bytes);
+
+    let mws_bounds = if per_nest.iter().all(Result::is_ok) {
+        Bounds::exact(sim.mws_total)
+    } else {
+        let mut failed_upper: u64 = 0;
+        for (k, outcome) in per_nest.iter().enumerate() {
+            let Err(e) = outcome else { continue };
+            // `Exhausted` already carries the nest's analytical upper;
+            // recompute it for the other failure modes (pure interval
+            // analysis — it cannot panic).
+            let upper = match e.bounds() {
+                Some(b) => b.upper,
+                None => analytic_nest_bounds(&program.nests()[k]).upper,
+            };
+            failed_upper = failed_upper.saturating_add(upper);
+        }
+        Bounds {
+            lower: sim.mws_total,
+            upper: sim.mws_total.saturating_add(failed_upper),
+            method: BoundsMethod::PartialProgram,
+        }
+    };
+    Ok(GovernedProgramSim {
+        per_nest,
+        sim,
+        mws_bounds,
+    })
 }
 
 #[cfg(test)]

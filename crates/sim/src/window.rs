@@ -84,6 +84,47 @@ pub fn simulate_with_threads(nest: &LoopNest, want_profile: bool, threads: usize
     crate::dense::run(nest, want_profile, threads)
 }
 
+/// Governed simulation: like [`simulate`], but never panics and respects
+/// `budget`. On a budget trip the error carries analytical MWS bounds
+/// ([`crate::budget::analytic_nest_bounds`]); arithmetic overflow and
+/// contained panics surface as typed [`AnalysisError`] variants.
+pub fn try_simulate(
+    nest: &LoopNest,
+    budget: &crate::budget::AnalysisBudget,
+) -> Result<SimResult, loopmem_ir::AnalysisError> {
+    crate::dense::try_run(nest, false, crate::dense::auto_threads(nest), budget)
+}
+
+/// Governed variant of [`simulate_with_threads`]. Exact results and
+/// `Exhausted` payloads are both bit-identical for every `threads` value
+/// (the analytical fallback depends only on the nest, never on how far a
+/// particular sweep got).
+pub fn try_simulate_with_threads(
+    nest: &LoopNest,
+    want_profile: bool,
+    threads: usize,
+    budget: &crate::budget::AnalysisBudget,
+) -> Result<SimResult, loopmem_ir::AnalysisError> {
+    crate::dense::try_run(nest, want_profile, threads, budget)
+}
+
+/// Governed simulation charging an externally owned
+/// [`BudgetTracker`](crate::budget::BudgetTracker) — for callers
+/// coordinating several simulations under one deadline and one cumulative
+/// iteration budget (the §4 optimizer sweeps every candidate against a
+/// single tracker). `max_table_bytes` caps the dense touch tables exactly
+/// as [`AnalysisBudget::with_max_table_bytes`](crate::budget::AnalysisBudget::with_max_table_bytes)
+/// would.
+pub fn try_simulate_tracked(
+    nest: &LoopNest,
+    want_profile: bool,
+    threads: usize,
+    tracker: &crate::budget::BudgetTracker,
+    max_table_bytes: Option<u64>,
+) -> Result<SimResult, loopmem_ir::AnalysisError> {
+    crate::dense::try_run_tracked(nest, want_profile, threads, tracker, max_table_bytes)
+}
+
 /// Simulates with the legacy hashmap engine — the reference
 /// implementation the dense engine is validated against. Slower; kept for
 /// differential tests and benchmarks.

@@ -16,14 +16,26 @@
 //! `--optimize` additionally runs the batch window-minimizing search over
 //! every nest. Kernel files use the DSL documented in
 //! `loopmem_ir::parser`.
+//!
+//! `simulate`, `optimize`, and `pipeline` accept resource budgets:
+//! `--timeout-ms N` caps wall-clock time, `--max-iters N` caps swept
+//! iterations. With a budget the run is *governed* — it never crashes, and
+//! when a budget trips the analysis degrades to guaranteed analytical
+//! bounds (`outcome : bounded`) instead of an exact answer; the process
+//! still exits 0 because a degraded answer is a result, not an error.
 
 use loopmem::core::optimize::{minimize_mws, SearchMode};
 use loopmem::core::{analyze_memory, apply_transform, estimate_distinct};
 use loopmem::dep::analyze;
-use loopmem::ir::{parse, print_nest, LoopNest};
+use loopmem::ir::{parse, print_nest, AnalysisError, LoopNest};
 use loopmem::linalg::IMat;
-use loopmem::sim::{simulate, simulate_with_profile, ScratchpadModel};
+use loopmem::sim::{simulate, simulate_with_profile, AnalysisBudget, ScratchpadModel};
 use std::process::ExitCode;
+
+/// Set once budget flags are parsed: governed runs contain panics with
+/// `catch_unwind` and report them as per-nest outcomes, so the panic hook
+/// must not splatter the already-reported message on stderr.
+static GOVERNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 fn main() -> ExitCode {
     // Dying on a closed pipe (`loopmem ... | head`) is expected CLI
@@ -33,6 +45,9 @@ fn main() -> ExitCode {
         let msg = info.payload().downcast_ref::<String>().cloned();
         if msg.as_deref().is_some_and(|m| m.contains("Broken pipe")) {
             std::process::exit(0);
+        }
+        if GOVERNED.load(std::sync::atomic::Ordering::Relaxed) {
+            return;
         }
         default_hook(info);
     }));
@@ -51,19 +66,37 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   loopmem analyze  <file.loop>
   loopmem deps     <file.loop>
-  loopmem optimize <file.loop> [--mode compound|interchange|li-pingali]
-  loopmem simulate <file.loop> [--profile]
+  loopmem optimize <file.loop> [--mode compound|interchange|li-pingali] [budget]
+  loopmem simulate <file.loop> [--profile] [budget]
   loopmem formulas <file.loop>
-  loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize [--mode M]]
-  loopmem print    <file.loop> [--transform a,b,c,d]";
+  loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize [--mode M]] [budget]
+  loopmem print    <file.loop> [--transform a,b,c,d]
+
+budget flags (governed run; degrades to analytical bounds, never crashes):
+  --timeout-ms N   wall-clock deadline in milliseconds
+  --max-iters N    cap on total swept loop iterations";
+
+/// Flags whose following argument is a value, not a file path.
+const VALUE_FLAGS: &[&str] = &[
+    "--mode",
+    "--transform",
+    "--threads",
+    "--fuse",
+    "--timeout-ms",
+    "--max-iters",
+];
 
 fn run(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
     match cmd.as_str() {
         "analyze" => cmd_analyze(&load(rest)?),
         "deps" => cmd_deps(&load(rest)?),
-        "optimize" => cmd_optimize(&load(rest)?, parse_mode(rest)?),
-        "simulate" => cmd_simulate(&load(rest)?, rest.iter().any(|a| a == "--profile")),
+        "optimize" => cmd_optimize(&load(rest)?, parse_mode(rest)?, parse_budget(rest)?),
+        "simulate" => cmd_simulate(
+            &load(rest)?,
+            rest.iter().any(|a| a == "--profile"),
+            parse_budget(rest)?,
+        ),
         "formulas" => cmd_formulas(&load(rest)?),
         "pipeline" => cmd_pipeline(rest),
         "print" => cmd_print(&load(rest)?, parse_transform(rest)?),
@@ -71,13 +104,76 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// First argument that is neither a flag nor a flag's value.
+fn positional(rest: &[String]) -> Option<&String> {
+    let mut skip_value = false;
+    for a in rest {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip_value = VALUE_FLAGS.contains(&a.as_str());
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
 fn load(rest: &[String]) -> Result<LoopNest, String> {
-    let path = rest
-        .iter()
-        .find(|a| !a.starts_with("--") && !a.contains(','))
-        .ok_or("missing <file.loop> argument")?;
+    let path = positional(rest).ok_or("missing <file.loop> argument")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_budget(rest: &[String]) -> Result<Option<AnalysisBudget>, String> {
+    let mut budget = AnalysisBudget::unlimited();
+    let mut any = false;
+    if let Some(pos) = rest.iter().position(|a| a == "--timeout-ms") {
+        let ms: u64 = rest
+            .get(pos + 1)
+            .ok_or("--timeout-ms needs a millisecond count")?
+            .parse()
+            .map_err(|e| format!("--timeout-ms: {e}"))?;
+        budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+        any = true;
+    }
+    if let Some(pos) = rest.iter().position(|a| a == "--max-iters") {
+        let n: u64 = rest
+            .get(pos + 1)
+            .ok_or("--max-iters needs an iteration count")?
+            .parse()
+            .map_err(|e| format!("--max-iters: {e}"))?;
+        budget = budget.with_max_iterations(n);
+        any = true;
+    }
+    if any {
+        GOVERNED.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+    Ok(any.then_some(budget))
+}
+
+/// Report a governed run that could not finish exactly. A tripped budget or
+/// a contained failure is a *result*, not a usage error, so the process
+/// exits 0 — callers distinguish outcomes by the `outcome` line.
+fn report_governed_failure(e: &AnalysisError) -> Result<(), String> {
+    match e {
+        AnalysisError::Exhausted { reason, partial } => {
+            println!("outcome    : bounded");
+            println!("total MWS  : in {partial}");
+            println!("detail     : budget exhausted ({reason})");
+        }
+        AnalysisError::Overflow { .. } => {
+            println!("outcome    : overflow");
+            println!("detail     : {e}");
+        }
+        _ => {
+            println!("outcome    : failed");
+            println!("detail     : {e}");
+        }
+    }
+    Ok(())
 }
 
 fn parse_mode(rest: &[String]) -> Result<SearchMode, String> {
@@ -194,8 +290,21 @@ fn cmd_deps(nest: &LoopNest) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_optimize(nest: &LoopNest, mode: SearchMode) -> Result<(), String> {
-    let opt = minimize_mws(nest, mode).map_err(|e| e.to_string())?;
+fn cmd_optimize(
+    nest: &LoopNest,
+    mode: SearchMode,
+    budget: Option<AnalysisBudget>,
+) -> Result<(), String> {
+    let opt = match budget {
+        None => minimize_mws(nest, mode).map_err(|e| e.to_string())?,
+        Some(b) => match loopmem::core::try_minimize_mws(nest, mode, &b) {
+            Ok(opt) => {
+                println!("outcome    : exact");
+                opt
+            }
+            Err(e) => return report_governed_failure(&e),
+        },
+    };
     println!(
         "MWS {} -> {}  ({} candidates considered)",
         opt.mws_before, opt.mws_after, opt.candidates_considered
@@ -205,11 +314,34 @@ fn cmd_optimize(nest: &LoopNest, mode: SearchMode) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(nest: &LoopNest, profile: bool) -> Result<(), String> {
-    let s = if profile {
-        simulate_with_profile(nest)
-    } else {
-        simulate(nest)
+fn cmd_simulate(
+    nest: &LoopNest,
+    profile: bool,
+    budget: Option<AnalysisBudget>,
+) -> Result<(), String> {
+    let s = match budget {
+        None => {
+            if profile {
+                simulate_with_profile(nest)
+            } else {
+                simulate(nest)
+            }
+        }
+        Some(b) => {
+            let r = loopmem::sim::try_simulate_with_threads(
+                nest,
+                profile,
+                loopmem::sim::thread_count(),
+                &b,
+            );
+            match r {
+                Ok(s) => {
+                    println!("outcome    : exact");
+                    s
+                }
+                Err(e) => return report_governed_failure(&e),
+            }
+        }
     };
     println!("iterations : {}", s.iterations);
     println!("total MWS  : {}", s.mws_total);
@@ -280,10 +412,7 @@ fn cmd_formulas(nest: &LoopNest) -> Result<(), String> {
 }
 
 fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
-    let path = rest
-        .iter()
-        .find(|a| !a.starts_with("--") && a.ends_with(".loop"))
-        .ok_or("missing <file.loop> argument")?;
+    let path = positional(rest).ok_or("missing <file.loop> argument")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut program = loopmem::ir::parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
     let threads = match rest.iter().position(|a| a == "--threads") {
@@ -305,6 +434,9 @@ fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
         program = loopmem::core::fuse(&program, k).map_err(|e| e.to_string())?;
         println!("fused nests {k} and {}:", k + 1);
         println!("{}", loopmem::ir::print_program(&program));
+    }
+    if let Some(budget) = parse_budget(rest)? {
+        return cmd_pipeline_governed(&program, threads, &budget, rest);
     }
     // Batch analysis: pass 1 shards across nests on `threads` workers;
     // results are bit-identical for every worker count.
@@ -356,6 +488,67 @@ fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
         );
         for (k, (before, after)) in opt.per_nest.iter().enumerate() {
             println!("  nest{k}: single-nest MWS {before} -> {after}");
+        }
+    }
+    Ok(())
+}
+
+/// Budgeted pipeline analysis: every nest reports an outcome
+/// (exact / bounded / failed) and the whole run shares one deadline and
+/// one cumulative iteration budget. Always exits 0 — a degraded answer
+/// is still an answer.
+fn cmd_pipeline_governed(
+    program: &loopmem::ir::Program,
+    threads: usize,
+    budget: &AnalysisBudget,
+    rest: &[String],
+) -> Result<(), String> {
+    println!(
+        "nests             : {} ({} worker threads, governed)",
+        program.len(),
+        threads
+    );
+    println!("declared storage  : {} words", program.default_memory());
+    let gov = match loopmem::sim::try_simulate_program_with_threads(program, threads, budget) {
+        Ok(gov) => gov,
+        Err(e) => return report_governed_failure(&e),
+    };
+    if gov.mws_bounds.is_exact() {
+        println!("outcome           : exact");
+        println!("whole-program MWS : {} words", gov.mws_bounds.lower);
+    } else {
+        println!("outcome           : bounded");
+        println!("whole-program MWS : in {}", gov.mws_bounds);
+    }
+    for (k, r) in gov.per_nest.iter().enumerate() {
+        match r {
+            Ok(iters) => println!("  nest{k} : exact ({iters} iterations)"),
+            Err(AnalysisError::Exhausted { reason, partial }) => {
+                println!("  nest{k} : bounded {partial}; budget exhausted ({reason})");
+            }
+            Err(e @ AnalysisError::Overflow { .. }) => println!("  nest{k} : overflow; {e}"),
+            Err(e) => println!("  nest{k} : failed; {e}"),
+        }
+    }
+    if rest.iter().any(|a| a == "--optimize") {
+        let mode = parse_mode(rest)?;
+        println!();
+        match loopmem::core::try_optimize_program_with_threads(program, mode, threads, budget) {
+            Ok(opt) => {
+                println!(
+                    "batch optimize    : whole-program MWS {} -> {}",
+                    opt.mws_before, opt.mws_after
+                );
+                for (k, r) in opt.per_nest.iter().enumerate() {
+                    match r {
+                        Ok((before, after)) => {
+                            println!("  nest{k}: single-nest MWS {before} -> {after}");
+                        }
+                        Err(e) => println!("  nest{k}: kept original ({e})"),
+                    }
+                }
+            }
+            Err(e) => return report_governed_failure(&e),
         }
     }
     Ok(())
