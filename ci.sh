@@ -3,7 +3,8 @@
 # and a robustness gate over pathological inputs.
 #
 # `./ci.sh robustness` builds the release CLI and runs only the
-# robustness step.
+# robustness step; `./ci.sh check` likewise runs only the static-analysis
+# gate (`loopmem check` over every kernel and pathological input).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -57,10 +58,80 @@ robustness_step() {
     fi
 }
 
+# Runs `loopmem check --deny warnings --format json` on one file and
+# asserts (a) the exact exit code and (b) the exact sorted set of distinct
+# diagnostic codes it emits ('' for a clean file). This pins the static
+# classification of every kernel and pathological input: the robustness
+# corpus is triaged without simulating a single iteration.
+check_case() {
+    local file="$1" want_exit="$2" want_codes="$3"
+    local out code codes
+    set +e
+    out="$(./target/release/loopmem check "$file" --deny warnings --format json 2>&1)"
+    code=$?
+    set -e
+    if [ "$code" -ne "$want_exit" ]; then
+        echo "FAIL (exit $code, want $want_exit): loopmem check $file"
+        echo "$out"
+        return 1
+    fi
+    codes="$(grep -o '"code":"LM[0-9]*"' <<<"$out" | cut -d'"' -f4 | sort -u | paste -sd, - || true)"
+    if [ "$codes" != "$want_codes" ]; then
+        echo "FAIL (codes '$codes', want '$want_codes'): loopmem check $file"
+        echo "$out"
+        return 1
+    fi
+    echo "ok   loopmem check $file => exit $want_exit, codes '${want_codes:-clean}'"
+}
+
+check_step() {
+    echo "== static analysis: loopmem check over kernels + robustness corpus =="
+    local start
+    start=$(date +%s)
+    check_case kernels/matmult.loop     0 "LM0002"
+    check_case kernels/sor.loop         0 ""
+    check_case kernels/example8.loop    0 "LM0002"
+    check_case kernels/rasta_flt.loop   0 "LM0002"
+    check_case kernels/example6.loop    1 "LM0003"
+    check_case kernels/pipeline.loop    1 "LM0008"
+    local c=tests/robustness
+    # Every pathological input is classified statically — the lint pass
+    # predicts, without running them, exactly why each one needs the
+    # governed engine (volume, overflow, emptiness).
+    check_case "$c/empty_nest.loop"           1 "LM0005,LM0006"
+    check_case "$c/huge_iteration_space.loop" 1 "LM0002,LM0010"
+    check_case "$c/near_max_bounds.loop"      1 "LM0005,LM0010"
+    check_case "$c/overflow_coeffs.loop"      1 "LM0009"
+    check_case "$c/panicking_program.loop"    1 "LM0005,LM0009"
+    check_case "$c/rank_deficient.loop"       1 "LM0002,LM0010"
+    echo "-- differential sanitizer over all kernels --"
+    local out
+    out="$(./target/release/loopmem check kernels/*.loop --sanitize --format json)" || true
+    if grep -q '"code":"LM9' <<<"$out"; then
+        echo "FAIL: estimator/simulator disagreement (LM9xxx)"
+        echo "$out"
+        return 1
+    fi
+    echo "ok   sanitizer: estimators and simulator agree on every kernel"
+    local elapsed=$(( $(date +%s) - start ))
+    echo "check step completed in ${elapsed}s"
+    if [ "$elapsed" -ge 30 ]; then
+        echo "FAIL: check step took ${elapsed}s (budget: <30s)"
+        return 1
+    fi
+}
+
 if [ "${1:-}" = "robustness" ]; then
     cargo build --release --offline -p loopmem
     robustness_step
     echo "== ci (robustness only) passed =="
+    exit 0
+fi
+
+if [ "${1:-}" = "check" ]; then
+    cargo build --release --offline -p loopmem
+    check_step
+    echo "== ci (check only) passed =="
     exit 0
 fi
 
@@ -74,6 +145,8 @@ echo "== workspace tests =="
 cargo test -q --offline --workspace
 
 robustness_step
+
+check_step
 
 echo "== perfsuite (smoke) =="
 rm -f BENCH_loopmem.json

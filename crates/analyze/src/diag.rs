@@ -1,0 +1,239 @@
+//! The typed diagnostic model and its text / JSON renderers.
+
+use crate::json::escape_json;
+use loopmem_ir::{caret_snippet, LineIndex, Span};
+use std::fmt;
+
+/// Severity of a diagnostic, ordered `Hint < Warn < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: a structural fact worth knowing (e.g. which §3
+    /// closed form applies).
+    Hint,
+    /// Suspicious but analyzable; `--deny warnings` promotes these to a
+    /// nonzero exit.
+    Warn,
+    /// The nest is wrong or will defeat downstream analysis.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in both renderers (`error` / `warning` /
+    /// `hint`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+            Severity::Hint => "hint",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One diagnostic: a stable code, a severity, a human message, structured
+/// notes, and the source span it is anchored to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`LM0001` … lints, `LM9xxx`
+    /// sanitizer).
+    pub code: &'static str,
+    /// How bad it is.
+    pub severity: Severity,
+    /// One-line human description.
+    pub message: String,
+    /// Supplementary facts (`= note:` lines in text, `notes` array in
+    /// JSON).
+    pub notes: Vec<String>,
+    /// Byte span into the checked source the diagnostic points at.
+    pub span: Span,
+    /// Index of the nest (execution order) the diagnostic belongs to;
+    /// `None` for program-level diagnostics (e.g. an unused array).
+    pub nest: Option<usize>,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic rustc-style against the source text it was
+    /// produced from:
+    ///
+    /// ```text
+    /// warning[LM0003]: references to 'A' are not uniformly generated
+    ///   --> kernels/example6.loop:6:5
+    ///    |
+    ///  6 |     A[3i + 7j - 10] = A[4i - 3j + 60];
+    ///    |     ^^^^^^^^^^^^^^^
+    ///    = note: no exact closed form; Example-6 value-range bounds apply (§3.2)
+    /// ```
+    pub fn render_text(&self, src: &str, file: Option<&str>) -> String {
+        let idx = LineIndex::new(src);
+        let (line, col) = idx.line_col(self.span.start);
+        let snippet = caret_snippet(src, self.span);
+        let gutter = snippet
+            .lines()
+            .next()
+            .map(|l| l.find('|').unwrap_or(2))
+            .unwrap_or(3)
+            .saturating_sub(1);
+        let mut out = format!(
+            "{}[{}]: {}\n",
+            self.severity.label(),
+            self.code,
+            self.message
+        );
+        match file {
+            Some(f) => out.push_str(&format!("{:gutter$}--> {f}:{line}:{col}\n", "")),
+            None => out.push_str(&format!("{:gutter$}--> {line}:{col}\n", "")),
+        }
+        out.push_str(&snippet);
+        for note in &self.notes {
+            out.push_str(&format!("{:gutter$} = note: {note}\n", ""));
+        }
+        out
+    }
+
+    /// Renders the diagnostic as one JSON object (no trailing newline)
+    /// with the stable schema
+    /// `{code, severity, nest, file, line, col, span:{start,end},
+    /// message, notes}` — every key always present, `nest`/`file` as
+    /// `null` when absent.
+    pub fn render_json(&self, src: &str, file: Option<&str>) -> String {
+        let (line, col) = LineIndex::new(src).line_col(self.span.start);
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":\"{}\",", self.code));
+        out.push_str(&format!("\"severity\":\"{}\",", self.severity.label()));
+        match self.nest {
+            Some(k) => out.push_str(&format!("\"nest\":{k},")),
+            None => out.push_str("\"nest\":null,"),
+        }
+        match file {
+            Some(f) => out.push_str(&format!("\"file\":\"{}\",", escape_json(f))),
+            None => out.push_str("\"file\":null,"),
+        }
+        out.push_str(&format!("\"line\":{line},\"col\":{col},"));
+        out.push_str(&format!(
+            "\"span\":{{\"start\":{},\"end\":{}}},",
+            self.span.start, self.span.end
+        ));
+        out.push_str(&format!("\"message\":\"{}\",", escape_json(&self.message)));
+        out.push_str("\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape_json(n)));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The result of checking one source file: every diagnostic, sorted by
+/// source position (then code) for deterministic output.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All diagnostics, in rendering order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// `(errors, warnings, hints)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warn => c.1 += 1,
+                Severity::Hint => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// `true` when any diagnostic is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// `true` when any diagnostic is a [`Severity::Warn`].
+    pub fn has_warnings(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Warn)
+    }
+
+    /// Renders every diagnostic rustc-style, separated by blank lines.
+    pub fn render_text(&self, src: &str, file: Option<&str>) -> String {
+        let mut out = String::new();
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&d.render_text(src, file));
+        }
+        out
+    }
+
+    /// Renders the report as NDJSON: one diagnostic object per line.
+    pub fn render_json(&self, src: &str, file: Option<&str>) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_json(src, file));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (String, Diagnostic) {
+        let src = "array A[10]\nfor i = 1 to 10 { A[i]; }".to_string();
+        let start = src.find("A[i]").unwrap();
+        let d = Diagnostic {
+            code: "LM0001",
+            severity: Severity::Error,
+            message: "subscript out of extent".into(),
+            notes: vec!["declared extent is 10".into()],
+            span: Span::new(start, start + 4),
+            nest: Some(0),
+        };
+        (src, d)
+    }
+
+    #[test]
+    fn text_rendering_has_caret_and_note() {
+        let (src, d) = sample();
+        let t = d.render_text(&src, Some("x.loop"));
+        assert!(t.starts_with("error[LM0001]: subscript out of extent\n"));
+        assert!(t.contains("--> x.loop:2:19"), "{t}");
+        assert!(t.contains("^^^^"), "{t}");
+        assert!(t.contains("= note: declared extent is 10"), "{t}");
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let (src, d) = sample();
+        let j = d.render_json(&src, None);
+        assert_eq!(
+            j,
+            "{\"code\":\"LM0001\",\"severity\":\"error\",\"nest\":0,\"file\":null,\
+             \"line\":2,\"col\":19,\"span\":{\"start\":30,\"end\":34},\
+             \"message\":\"subscript out of extent\",\
+             \"notes\":[\"declared extent is 10\"]}"
+        );
+    }
+
+    #[test]
+    fn severity_orders_hint_warn_error() {
+        assert!(Severity::Hint < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+}

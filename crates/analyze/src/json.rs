@@ -1,0 +1,275 @@
+//! Hand-rolled JSON helpers: string escaping for the emitter and a
+//! minimal value parser used by the schema round-trip tests.
+//!
+//! The workspace builds offline with no external crates, so the analyzer
+//! writes its NDJSON by hand ([`crate::Diagnostic::render_json`]) and this
+//! module provides the inverse — just enough of RFC 8259 to parse what we
+//! emit (and any similarly plain JSON): objects, arrays, strings with
+//! escapes, integers, booleans, null.
+
+use std::collections::BTreeMap;
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value (integers only; the analyzer never emits floats).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number.
+    Num(i64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (keys sorted; duplicate keys keep the last value).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, when this is a number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON value from `s` (the whole string must be consumed,
+/// modulo surrounding whitespace). Returns `None` on any syntax error.
+pub fn parse_json(s: &str) -> Option<Json> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    (pos == b.len()).then_some(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, c: u8) -> Option<()> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(b, pos);
+    match b.get(*pos)? {
+        b'{' => parse_object(b, pos),
+        b'[' => parse_array(b, pos),
+        b'"' => parse_string(b, pos).map(Json::Str),
+        b't' => parse_lit(b, pos, "true").map(|()| Json::Bool(true)),
+        b'f' => parse_lit(b, pos, "false").map(|()| Json::Bool(false)),
+        b'n' => parse_lit(b, pos, "null").map(|()| Json::Null),
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        _ => None,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Option<()> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(b.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()?
+        .parse::<i64>()
+        .ok()
+        .map(Json::Num)
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    eat(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(b.get(*pos + 1..*pos + 5)?).ok()?;
+                        let cp = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(cp)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            &c => {
+                // Copy the whole UTF-8 sequence starting at `c`.
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    0xf0..=0xf7 => 4,
+                    _ => return None,
+                };
+                let s = std::str::from_utf8(b.get(*pos..*pos + len)?).ok()?;
+                out.push_str(s);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Option<Json> {
+    eat(b, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(Json::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Json::Arr(out));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Option<Json> {
+    eat(b, pos, b'{')?;
+    let mut out = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(Json::Obj(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        eat(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        out.insert(key, val);
+        skip_ws(b, pos);
+        match b.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Json::Obj(out));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_round_trip() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let wrapped = format!("\"{}\"", escape_json(nasty));
+        let parsed = parse_json(&wrapped).unwrap();
+        assert_eq!(parsed.as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn parses_diagnostic_shape() {
+        let j = parse_json(
+            "{\"code\":\"LM0001\",\"nest\":null,\"line\":3,\
+             \"span\":{\"start\":10,\"end\":14},\"notes\":[\"a\",\"b\"]}",
+        )
+        .unwrap();
+        assert_eq!(j.get("code").and_then(Json::as_str), Some("LM0001"));
+        assert_eq!(j.get("nest"), Some(&Json::Null));
+        assert_eq!(j.get("line").and_then(Json::as_i64), Some(3));
+        assert_eq!(
+            j.get("span")
+                .and_then(|s| s.get("end"))
+                .and_then(Json::as_i64),
+            Some(14)
+        );
+        match j.get("notes") {
+            Some(Json::Arr(a)) => assert_eq!(a.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_floats() {
+        assert_eq!(parse_json("{} x"), None);
+        assert_eq!(parse_json("{\"a\":1.5}"), None); // ints only, by design
+        assert_eq!(parse_json(""), None);
+        assert_eq!(parse_json("[1,2"), None);
+    }
+}

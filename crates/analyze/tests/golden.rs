@@ -1,0 +1,145 @@
+//! Golden-file tests: every lint has a minimal `.loop` reproducer under
+//! `tests/golden/`, and both renderings (rustc-style text and NDJSON) must
+//! match the checked-in `.stderr` / `.json` files **byte for byte**.
+//!
+//! Regenerate after an intentional rendering change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p loopmem-analyze --test golden
+//! ```
+
+use loopmem_analyze::{check_source, parse_json, CheckOptions, Json};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn opts() -> CheckOptions {
+    CheckOptions {
+        sanitize: true,
+        ..CheckOptions::default()
+    }
+}
+
+/// Renders one golden input. A file that fails to parse contributes the
+/// parse error's caret rendering as its `.stderr` and an empty `.json`
+/// (the CLI's in-band LM0000 wrapping is exercised in `tests/cli.rs`).
+fn render(src: &str, name: &str) -> (String, String) {
+    match check_source(src, &opts()) {
+        Ok(report) => (
+            report.render_text(src, Some(name)),
+            report.render_json(src, Some(name)),
+        ),
+        Err(e) => (e.render(src), String::new()),
+    }
+}
+
+fn compare_or_update(path: &Path, actual: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{}: {e}; run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "golden mismatch for {}; run with UPDATE_GOLDEN=1 after intentional changes",
+        path.display()
+    );
+}
+
+fn golden_inputs() -> Vec<PathBuf> {
+    let mut inputs: Vec<PathBuf> = fs::read_dir(golden_dir())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "loop"))
+        .collect();
+    inputs.sort();
+    assert!(inputs.len() >= 11, "golden corpus went missing");
+    inputs
+}
+
+#[test]
+fn golden_text_and_json_are_byte_identical() {
+    for input in golden_inputs() {
+        let src = fs::read_to_string(&input).unwrap();
+        let name = input.file_name().unwrap().to_str().unwrap().to_string();
+        let (text, json) = render(&src, &name);
+        compare_or_update(&input.with_extension("stderr"), &text);
+        compare_or_update(&input.with_extension("json"), &json);
+    }
+}
+
+/// Each reproducer is named after the lint it exercises (`lm0006_…`) and
+/// must actually trigger that code — so a lint silently dying keeps a
+/// stale golden file from hiding it.
+#[test]
+fn each_golden_input_triggers_its_namesake_lint() {
+    for input in golden_inputs() {
+        let src = fs::read_to_string(&input).unwrap();
+        let stem = input.file_stem().unwrap().to_str().unwrap();
+        let code = format!("LM{}", &stem[2..6]);
+        if code == "LM0000" {
+            assert!(
+                check_source(&src, &opts()).is_err(),
+                "{stem} should not parse"
+            );
+            continue;
+        }
+        let report = check_source(&src, &opts()).unwrap();
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == code),
+            "{stem} no longer triggers {code}: {:?}",
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.code)
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Every line of every golden `.json` round-trips through the in-tree
+/// JSON parser and carries the full stable schema with correctly typed
+/// fields.
+#[test]
+fn golden_json_round_trips_through_schema() {
+    let mut lines_checked = 0;
+    for input in golden_inputs() {
+        let src = fs::read_to_string(&input).unwrap();
+        let name = input.file_name().unwrap().to_str().unwrap().to_string();
+        let (_, json) = render(&src, &name);
+        for line in json.lines() {
+            let v = parse_json(line).unwrap_or_else(|| panic!("bad JSON: {line}"));
+            let code = v.get("code").and_then(Json::as_str).expect("code");
+            assert!(code.starts_with("LM") && code.len() == 6, "{code}");
+            let sev = v.get("severity").and_then(Json::as_str).expect("severity");
+            assert!(matches!(sev, "error" | "warning" | "hint"), "{sev}");
+            assert!(
+                matches!(v.get("nest"), Some(Json::Null | Json::Num(_))),
+                "{line}"
+            );
+            assert_eq!(v.get("file").and_then(Json::as_str), Some(name.as_str()));
+            let line_no = v.get("line").and_then(Json::as_i64).expect("line");
+            let col = v.get("col").and_then(Json::as_i64).expect("col");
+            assert!(line_no >= 1 && col >= 1);
+            let span = v.get("span").expect("span");
+            let start = span.get("start").and_then(Json::as_i64).expect("start");
+            let end = span.get("end").and_then(Json::as_i64).expect("end");
+            assert!(0 <= start && start <= end && end <= src.len() as i64);
+            assert!(v
+                .get("message")
+                .and_then(Json::as_str)
+                .is_some_and(|m| !m.is_empty()));
+            assert!(matches!(v.get("notes"), Some(Json::Arr(_))));
+            lines_checked += 1;
+        }
+    }
+    assert!(
+        lines_checked >= 10,
+        "only {lines_checked} JSON lines checked"
+    );
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! `loopmem-core` — the paper's contribution: estimating and reducing the
 //! memory requirements of nested loops.
@@ -48,6 +49,7 @@
 //! ```
 
 pub mod bnb;
+pub mod classify;
 pub mod distinct;
 pub mod estimator;
 pub mod fusion;
@@ -61,6 +63,7 @@ pub mod transform;
 pub mod union_count;
 
 pub use bnb::{branch_and_bound, try_branch_and_bound, BnbResult};
+pub use classify::{classify_formulas, ArrayClassification, FormulaClass};
 pub use distinct::{
     analytic_mws_bounds, estimate_distinct, estimate_distinct_closed_form, estimate_distinct_exact,
     DistinctEstimate, Method,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Data-dependence and reuse analysis for affine loop nests.
 //!
@@ -36,6 +37,7 @@
 //! ```
 
 pub mod analysis;
+pub mod cone;
 pub mod direction;
 pub mod gcd_test;
 pub mod legality;
@@ -43,7 +45,8 @@ pub mod uniform;
 pub mod vectors;
 
 pub use analysis::{analyze, DepKind, Dependence, DependenceSet, RefIdx};
+pub use cone::{constraining_distances, tileable_row_rank, MAX_CONE_DEPTH};
 pub use direction::{direction_vector, Direction, DirectionVector};
-pub use legality::{is_legal, is_tileable};
+pub use legality::{is_legal, is_tileable, row_tileable};
 pub use uniform::{uniform_groups, UniformGroup};
 pub use vectors::{level, lex_positive, reuse_vectors};

@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Loop-nest intermediate representation for the `loopmem` workspace.
 //!
 //! The paper analyzes *perfectly nested affine loops*: every statement sits
@@ -41,12 +42,14 @@ pub mod nest;
 pub mod parser;
 pub mod printer;
 pub mod program;
+pub mod span;
 
 pub use access::{AccessKind, ArrayDecl, ArrayId, ArrayRef, ElementBox};
 pub use bounds::{Bound, Loop};
 pub use error::{AnalysisError, Bounds, BoundsMethod, TripReason};
 pub use expr::Affine;
 pub use nest::{LoopNest, NestError, Statement};
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_spanned, ParseError};
 pub use printer::{print_nest, print_program};
-pub use program::{parse_program, Program, ProgramError};
+pub use program::{parse_program, parse_program_spanned, Program, ProgramError};
+pub use span::{caret_snippet, LineIndex, NestSpans, Span};

@@ -19,6 +19,12 @@
 //! `0.2 * (...)`, matching how the paper's analysis only consumes the
 //! reference set.
 //!
+//! Every token carries a byte-offset [`Span`]; [`parse_spanned`] returns
+//! the nest together with a [`NestSpans`] table locating each loop header,
+//! statement, reference, and array declaration in the source text, and
+//! every [`ParseError`] carries the `line:col` and span of the offending
+//! token (render a caret with [`ParseError::render`]).
+//!
 //! ```
 //! let nest = loopmem_ir::parse(r#"
 //!     array X[100]
@@ -35,34 +41,78 @@ use crate::access::{AccessKind, ArrayDecl, ArrayId, ArrayRef};
 use crate::bounds::{Bound, Loop};
 use crate::expr::Affine;
 use crate::nest::{LoopNest, NestError, Statement};
+use crate::span::{caret_snippet, NestSpans, Span};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-/// A parse or validation failure, with the 1-based source line.
+/// A parse or validation failure, with the 1-based source position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line of the offending token.
     pub line: usize,
+    /// 1-based column (byte-based) of the offending token.
+    pub col: usize,
+    /// Byte span of the offending token (empty at end of input).
+    pub span: Span,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
     }
 }
 
 impl Error for ParseError {}
 
 impl ParseError {
-    fn new(line: usize, message: impl Into<String>) -> Self {
+    fn new(pos: Pos, message: impl Into<String>) -> Self {
         ParseError {
-            line,
+            line: pos.line,
+            col: pos.col,
+            span: pos.span,
             message: message.into(),
         }
     }
+
+    /// Creates an error at an explicit position (used by program-level
+    /// validation wrappers that have no token to point at).
+    pub fn at(line: usize, col: usize, span: Span, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error with a caret snippet pointing at the offending
+    /// token in `src` (the exact text that was parsed):
+    ///
+    /// ```text
+    /// line 3:5: expected ']', found Sym(';')
+    ///    |
+    ///  3 |   A[i;
+    ///    |     ^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let snippet = caret_snippet(src, self.span);
+        if snippet.is_empty() {
+            format!("{self}\n")
+        } else {
+            format!("{self}\n{snippet}")
+        }
+    }
+}
+
+/// Source position of a token: 1-based line/column plus its byte span.
+#[derive(Clone, Copy, Debug)]
+struct Pos {
+    line: usize,
+    col: usize,
+    span: Span,
 }
 
 /// Parses DSL text into a validated [`LoopNest`].
@@ -73,19 +123,30 @@ impl ParseError {
 /// nesting, non-affine subscripts, or any [`NestError`] raised by
 /// validation.
 pub fn parse(src: &str) -> Result<LoopNest, ParseError> {
+    parse_spanned(src).map(|(nest, _)| nest)
+}
+
+/// Like [`parse`], but additionally returns the [`NestSpans`] table
+/// locating every loop header, array declaration, statement, and
+/// reference in `src` — the anchor data for span-aware diagnostics.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_spanned(src: &str) -> Result<(LoopNest, NestSpans), ParseError> {
     let tokens = lex(src)?;
-    Parser::new(tokens).parse_program()
+    Parser::new(tokens, src.len()).parse_program()
 }
 
 /// Parses a *sequence* of nests sharing the leading array declarations
-/// (used by [`crate::parse_program`]).
+/// (used by [`crate::parse_program`]), with spans.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] on any syntactic or validation failure.
-pub(crate) fn parse_many(src: &str) -> Result<Vec<LoopNest>, ParseError> {
+pub(crate) fn parse_many(src: &str) -> Result<Vec<(LoopNest, NestSpans)>, ParseError> {
     let tokens = lex(src)?;
-    Parser::new(tokens).parse_nest_sequence()
+    Parser::new(tokens, src.len()).parse_nest_sequence()
 }
 
 // ---------------------------------------------------------------- lexer --
@@ -101,62 +162,85 @@ enum Tok {
 #[derive(Clone, Debug)]
 struct SpannedTok {
     tok: Tok,
-    line: usize,
+    pos: Pos,
 }
 
 fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
     let mut out = Vec::new();
     let mut line = 1usize;
-    let mut chars = src.chars().peekable();
-    while let Some(&c) = chars.peek() {
+    let mut line_start = 0usize;
+    let mut chars = src.char_indices().peekable();
+    // Position helper: 1-based line/col plus byte span.
+    let pos_at = |line: usize, line_start: usize, start: usize, end: usize| Pos {
+        line,
+        col: start - line_start + 1,
+        span: Span::new(start, end),
+    };
+    while let Some(&(at, c)) = chars.peek() {
         match c {
             '\n' => {
                 line += 1;
                 chars.next();
+                line_start = at + 1;
             }
             c if c.is_whitespace() => {
                 chars.next();
             }
             '#' => {
                 // Line comment.
-                for c in chars.by_ref() {
+                for (i, c) in chars.by_ref() {
                     if c == '\n' {
                         line += 1;
+                        line_start = i + 1;
                         break;
                     }
                 }
             }
             '/' => {
                 chars.next();
-                if chars.peek() == Some(&'/') {
-                    for c in chars.by_ref() {
+                if chars.peek().map(|&(_, c)| c) == Some('/') {
+                    for (i, c) in chars.by_ref() {
                         if c == '\n' {
                             line += 1;
+                            line_start = i + 1;
                             break;
                         }
                     }
                 } else {
                     out.push(SpannedTok {
                         tok: Tok::Sym('/'),
-                        line,
+                        pos: pos_at(line, line_start, at, at + 1),
                     });
                 }
             }
             c if c.is_ascii_digit() => {
                 let mut n: i64 = 0;
                 let mut is_float = false;
-                while let Some(&d) = chars.peek() {
+                let mut end = at;
+                while let Some(&(i, d)) = chars.peek() {
                     if d.is_ascii_digit() {
                         n = n
                             .checked_mul(10)
                             .and_then(|n| n.checked_add((d as u8 - b'0') as i64))
-                            .ok_or_else(|| ParseError::new(line, "integer literal overflow"))?;
+                            .ok_or_else(|| {
+                                ParseError::new(
+                                    pos_at(line, line_start, at, i + 1),
+                                    "integer literal overflow",
+                                )
+                            })?;
+                        end = i + 1;
                         chars.next();
                     } else if d == '.' {
                         is_float = true;
+                        end = i + 1;
                         chars.next();
-                        while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
-                            chars.next();
+                        while let Some(&(i, d)) = chars.peek() {
+                            if d.is_ascii_digit() {
+                                end = i + 1;
+                                chars.next();
+                            } else {
+                                break;
+                            }
                         }
                         break;
                     } else {
@@ -165,14 +249,16 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 }
                 out.push(SpannedTok {
                     tok: if is_float { Tok::Float } else { Tok::Int(n) },
-                    line,
+                    pos: pos_at(line, line_start, at, end),
                 });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
-                while let Some(&d) = chars.peek() {
+                let mut end = at;
+                while let Some(&(i, d)) = chars.peek() {
                     if d.is_ascii_alphanumeric() || d == '_' {
                         s.push(d);
+                        end = i + 1;
                         chars.next();
                     } else {
                         break;
@@ -180,19 +266,19 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 }
                 out.push(SpannedTok {
                     tok: Tok::Ident(s),
-                    line,
+                    pos: pos_at(line, line_start, at, end),
                 });
             }
             '=' | '[' | ']' | '{' | '}' | '(' | ')' | ';' | '+' | '-' | '*' | ',' => {
                 chars.next();
                 out.push(SpannedTok {
                     tok: Tok::Sym(c),
-                    line,
+                    pos: pos_at(line, line_start, at, at + 1),
                 });
             }
             other => {
                 return Err(ParseError::new(
-                    line,
+                    pos_at(line, line_start, at, at + c.len_utf8()),
                     format!("unexpected character '{other}'"),
                 ));
             }
@@ -230,10 +316,10 @@ impl SymExpr {
     }
 
     /// Folds `sign * other` into `self` with checked arithmetic; `Err(())`
-    /// on coefficient overflow (the caller attaches the source line). The
-    /// lexer already rejects out-of-range literals, but repeated terms like
-    /// `9000000000000000000i + 9000000000000000000i` can still overflow the
-    /// merged coefficient.
+    /// on coefficient overflow (the caller attaches the source position).
+    /// The lexer already rejects out-of-range literals, but repeated terms
+    /// like `9000000000000000000i + 9000000000000000000i` can still
+    /// overflow the merged coefficient.
     fn add(&mut self, other: SymExpr, sign: i64) -> Result<(), ()> {
         for (k, v) in other.terms {
             let slot = self.terms.entry(k).or_insert(0);
@@ -249,18 +335,18 @@ impl SymExpr {
         Ok(())
     }
 
-    fn resolve(&self, vars: &[String], line: usize) -> Result<Affine, ParseError> {
+    fn resolve(&self, vars: &[String], pos: Pos) -> Result<Affine, ParseError> {
         let mut coeffs = vec![0i64; vars.len()];
         for (name, &c) in &self.terms {
             match vars.iter().position(|v| v == name) {
                 Some(k) => {
                     coeffs[k] = coeffs[k].checked_add(c).ok_or_else(|| {
-                        ParseError::new(line, format!("coefficient overflow on '{name}'"))
+                        ParseError::new(pos, format!("coefficient overflow on '{name}'"))
                     })?
                 }
                 None => {
                     return Err(ParseError::new(
-                        line,
+                        pos,
                         format!("unknown variable '{name}' in affine expression"),
                     ))
                 }
@@ -276,27 +362,58 @@ struct PendingRef {
     array: String,
     subs: Vec<SymExpr>,
     kind: AccessKind,
-    line: usize,
+    pos: Pos,
 }
 
 struct PendingStatement {
     refs: Vec<PendingRef>,
+    span: Span,
 }
+
+/// One loop header collected while descending: `(var, lo, hi, pos, span)`.
+type PendingLoop = (String, SymExpr, SymExpr, Pos, Span);
 
 struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
+    src_len: usize,
 }
 
 impl Parser {
-    fn new(toks: Vec<SpannedTok>) -> Self {
-        Parser { toks, pos: 0 }
+    fn new(toks: Vec<SpannedTok>, src_len: usize) -> Self {
+        Parser {
+            toks,
+            pos: 0,
+            src_len,
+        }
     }
 
-    fn line(&self) -> usize {
+    /// Position of the current token (or a point at end of input).
+    fn here(&self) -> Pos {
+        match self.toks.get(self.pos) {
+            Some(t) => t.pos,
+            None => match self.toks.last() {
+                // Past the end: point just after the last token.
+                Some(t) => Pos {
+                    line: t.pos.line,
+                    col: t.pos.col + t.pos.span.len(),
+                    span: Span::point(t.pos.span.end),
+                },
+                None => Pos {
+                    line: 1,
+                    col: 1,
+                    span: Span::point(self.src_len),
+                },
+            },
+        }
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
         self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map_or(1, |t| t.line)
+            .get(self.pos.wrapping_sub(1))
+            .map(|t| t.pos.span)
+            .unwrap_or_default()
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -310,33 +427,33 @@ impl Parser {
     }
 
     fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
-        let line = self.line();
+        let pos = self.here();
         match self.next_tok() {
             Some(Tok::Sym(s)) if s == c => Ok(()),
             other => Err(ParseError::new(
-                line,
+                pos,
                 format!("expected '{c}', found {other:?}"),
             )),
         }
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
-        let line = self.line();
+        let pos = self.here();
         match self.next_tok() {
             Some(Tok::Ident(s)) => Ok(s),
             other => Err(ParseError::new(
-                line,
+                pos,
                 format!("expected identifier, found {other:?}"),
             )),
         }
     }
 
     fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
-        let line = self.line();
+        let pos = self.here();
         match self.next_tok() {
             Some(Tok::Ident(s)) if s == kw => Ok(()),
             other => Err(ParseError::new(
-                line,
+                pos,
                 format!("expected '{kw}', found {other:?}"),
             )),
         }
@@ -351,40 +468,42 @@ impl Parser {
         }
     }
 
-    fn parse_program(&mut self) -> Result<LoopNest, ParseError> {
-        let arrays = self.parse_array_decls()?;
-        let nest = self.parse_one_nest(&arrays)?;
+    fn parse_program(&mut self) -> Result<(LoopNest, NestSpans), ParseError> {
+        let (arrays, array_spans) = self.parse_array_decls()?;
+        let nest = self.parse_one_nest(&arrays, &array_spans)?;
         if self.pos != self.toks.len() {
             return Err(ParseError::new(
-                self.line(),
+                self.here(),
                 "trailing input after loop nest",
             ));
         }
         Ok(nest)
     }
 
-    fn parse_nest_sequence(&mut self) -> Result<Vec<LoopNest>, ParseError> {
-        let arrays = self.parse_array_decls()?;
-        let mut nests = vec![self.parse_one_nest(&arrays)?];
+    fn parse_nest_sequence(&mut self) -> Result<Vec<(LoopNest, NestSpans)>, ParseError> {
+        let (arrays, array_spans) = self.parse_array_decls()?;
+        let mut nests = vec![self.parse_one_nest(&arrays, &array_spans)?];
         while self.pos != self.toks.len() {
-            nests.push(self.parse_one_nest(&arrays)?);
+            nests.push(self.parse_one_nest(&arrays, &array_spans)?);
         }
         Ok(nests)
     }
 
-    fn parse_array_decls(&mut self) -> Result<Vec<ArrayDecl>, ParseError> {
+    fn parse_array_decls(&mut self) -> Result<(Vec<ArrayDecl>, Vec<Span>), ParseError> {
         let mut arrays: Vec<ArrayDecl> = Vec::new();
+        let mut spans: Vec<Span> = Vec::new();
         while self.peek() == Some(&Tok::Ident("array".to_string())) {
+            let start = self.here().span;
             self.pos += 1;
             let name = self.expect_ident()?;
             let mut dims = Vec::new();
             while self.eat_sym('[') {
-                let line = self.line();
+                let pos = self.here();
                 match self.next_tok() {
                     Some(Tok::Int(n)) if n > 0 => dims.push(n),
                     other => {
                         return Err(ParseError::new(
-                            line,
+                            pos,
                             format!("expected positive array extent, found {other:?}"),
                         ))
                     }
@@ -393,77 +512,95 @@ impl Parser {
             }
             if dims.is_empty() {
                 return Err(ParseError::new(
-                    self.line(),
+                    self.here(),
                     "array declaration needs extents",
                 ));
             }
             if arrays.iter().any(|a| a.name == name) {
                 return Err(ParseError::new(
-                    self.line(),
+                    self.here(),
                     format!("array '{name}' redeclared"),
                 ));
             }
+            spans.push(start.join(self.prev_span()));
             arrays.push(ArrayDecl::new(name, dims));
         }
-        Ok(arrays)
+        Ok((arrays, spans))
     }
 
-    fn parse_one_nest(&mut self, arrays: &[ArrayDecl]) -> Result<LoopNest, ParseError> {
-        let line = self.line();
+    fn parse_one_nest(
+        &mut self,
+        arrays: &[ArrayDecl],
+        array_spans: &[Span],
+    ) -> Result<(LoopNest, NestSpans), ParseError> {
+        let pos = self.here();
         let (loops_sym, statements_sym) = self.parse_for(0)?;
+        let nest_span = pos.span.join(self.prev_span());
 
         // Resolve symbolic expressions against the final variable order.
         let vars: Vec<String> = loops_sym.iter().map(|l| l.0.clone()).collect();
         let mut loops = Vec::new();
-        for (var, lo, hi, l) in &loops_sym {
+        let mut loop_spans = Vec::new();
+        for (var, lo, hi, p, header) in &loops_sym {
             loops.push(Loop {
                 var: var.clone(),
-                lower: Bound::single(lo.resolve(&vars, *l)?),
-                upper: Bound::single(hi.resolve(&vars, *l)?),
+                lower: Bound::single(lo.resolve(&vars, *p)?),
+                upper: Bound::single(hi.resolve(&vars, *p)?),
             });
+            loop_spans.push(*header);
         }
         let mut statements = Vec::new();
+        let mut stmt_spans = Vec::new();
+        let mut ref_spans = Vec::new();
         for s in statements_sym {
             let mut refs = Vec::new();
+            let mut spans = Vec::new();
             for p in s.refs {
                 let id = arrays
                     .iter()
                     .position(|a| a.name == p.array)
                     .map(ArrayId)
                     .ok_or_else(|| {
-                        ParseError::new(p.line, format!("undeclared array '{}'", p.array))
+                        ParseError::new(p.pos, format!("undeclared array '{}'", p.array))
                     })?;
                 let subs: Result<Vec<Affine>, ParseError> =
-                    p.subs.iter().map(|e| e.resolve(&vars, p.line)).collect();
+                    p.subs.iter().map(|e| e.resolve(&vars, p.pos)).collect();
                 refs.push(ArrayRef::from_subscripts(id, &subs?, p.kind));
+                spans.push(p.pos.span);
             }
             statements.push(Statement::new(refs));
+            stmt_spans.push(s.span);
+            ref_spans.push(spans);
         }
 
-        LoopNest::new(loops, arrays.to_vec(), statements)
-            .map_err(|e: NestError| ParseError::new(line, e.to_string()))
+        let nest = LoopNest::new(loops, arrays.to_vec(), statements)
+            .map_err(|e: NestError| ParseError::new(pos, e.to_string()))?;
+        Ok((
+            nest,
+            NestSpans {
+                nest: nest_span,
+                arrays: array_spans.to_vec(),
+                loops: loop_spans,
+                statements: stmt_spans,
+                refs: ref_spans,
+            },
+        ))
     }
 
     /// Parses a `for` and its body; returns the chain of loops (var, lo,
-    /// hi, line) plus the innermost statements.
+    /// hi, position, header span) plus the innermost statements.
     #[allow(clippy::type_complexity)]
     fn parse_for(
         &mut self,
         depth: usize,
-    ) -> Result<
-        (
-            Vec<(String, SymExpr, SymExpr, usize)>,
-            Vec<PendingStatement>,
-        ),
-        ParseError,
-    > {
-        let line = self.line();
+    ) -> Result<(Vec<PendingLoop>, Vec<PendingStatement>), ParseError> {
+        let pos = self.here();
         // Recursion depth bound: no real kernel nests anywhere near this
         // deep, and an unbounded descent on adversarial input would blow the
         // stack (an abort, not a catchable error).
         if depth >= MAX_NEST_DEPTH {
             return Err(ParseError::new(
-                line,
+                pos,
                 format!("nest deeper than {MAX_NEST_DEPTH} loops"),
             ));
         }
@@ -473,9 +610,10 @@ impl Parser {
         let lo = self.parse_affine()?;
         self.expect_keyword("to")?;
         let hi = self.parse_affine()?;
+        let header = pos.span.join(self.prev_span());
         self.expect_sym('{')?;
 
-        let mut loops = vec![(var, lo, hi, line)];
+        let mut loops = vec![(var, lo, hi, pos, header)];
         let mut statements = Vec::new();
         if self.peek() == Some(&Tok::Ident("for".to_string())) {
             let (inner_loops, inner_stmts) = self.parse_for(depth + 1)?;
@@ -483,7 +621,7 @@ impl Parser {
             statements = inner_stmts;
             if !matches!(self.peek(), Some(Tok::Sym('}'))) {
                 return Err(ParseError::new(
-                    self.line(),
+                    self.here(),
                     "imperfect nest: statement alongside an inner loop",
                 ));
             }
@@ -491,7 +629,7 @@ impl Parser {
             while !matches!(self.peek(), Some(Tok::Sym('}')) | None) {
                 if self.peek() == Some(&Tok::Ident("for".to_string())) {
                     return Err(ParseError::new(
-                        self.line(),
+                        self.here(),
                         "imperfect nest: loop after statements",
                     ));
                 }
@@ -503,6 +641,7 @@ impl Parser {
     }
 
     fn parse_statement(&mut self) -> Result<PendingStatement, ParseError> {
+        let start = self.here().span;
         let first = self.parse_access(AccessKind::Read)?;
         let mut refs = Vec::new();
         if self.eat_sym('=') {
@@ -515,7 +654,7 @@ impl Parser {
             // skipping scalar arithmetic.
             loop {
                 match self.peek() {
-                    None => return Err(ParseError::new(self.line(), "missing ';'")),
+                    None => return Err(ParseError::new(self.here(), "missing ';'")),
                     Some(Tok::Sym(';')) => {
                         self.pos += 1;
                         break;
@@ -541,11 +680,14 @@ impl Parser {
             refs.push(first);
             self.expect_sym(';')?;
         }
-        Ok(PendingStatement { refs })
+        Ok(PendingStatement {
+            refs,
+            span: start.join(self.prev_span()),
+        })
     }
 
     fn parse_access(&mut self, kind: AccessKind) -> Result<PendingRef, ParseError> {
-        let line = self.line();
+        let pos = self.here();
         let array = self.expect_ident()?;
         let mut subs = Vec::new();
         while self.eat_sym('[') {
@@ -554,7 +696,7 @@ impl Parser {
         }
         if subs.is_empty() {
             return Err(ParseError::new(
-                line,
+                pos,
                 format!("'{array}' used without subscripts"),
             ));
         }
@@ -562,7 +704,11 @@ impl Parser {
             array,
             subs,
             kind,
-            line,
+            pos: Pos {
+                line: pos.line,
+                col: pos.col,
+                span: pos.span.join(self.prev_span()),
+            },
         })
     }
 
@@ -578,10 +724,10 @@ impl Parser {
             let _ = self.eat_sym('+');
         }
         loop {
-            let line = self.line();
+            let pos = self.here();
             let term = self.parse_affine_term()?;
             out.add(term, sign).map_err(|()| {
-                ParseError::new(line, "affine expression coefficient overflows i64")
+                ParseError::new(pos, "affine expression coefficient overflows i64")
             })?;
             if self.eat_sym('+') {
                 sign = 1;
@@ -595,7 +741,7 @@ impl Parser {
     }
 
     fn parse_affine_term(&mut self) -> Result<SymExpr, ParseError> {
-        let line = self.line();
+        let pos = self.here();
         match self.next_tok() {
             Some(Tok::Int(n)) => {
                 // "2*i", "2i", or plain "2".
@@ -608,18 +754,18 @@ impl Parser {
                     self.pos += 1;
                     Ok(SymExpr::var(&v, n))
                 } else if explicit_star {
-                    Err(ParseError::new(line, "expected variable after '*'"))
+                    Err(ParseError::new(pos, "expected variable after '*'"))
                 } else {
                     Ok(SymExpr::constant(n))
                 }
             }
             Some(Tok::Ident(v)) => {
                 if self.eat_sym('*') {
-                    let line2 = self.line();
+                    let pos2 = self.here();
                     match self.next_tok() {
                         Some(Tok::Int(n)) => Ok(SymExpr::var(&v, n)),
                         other => Err(ParseError::new(
-                            line2,
+                            pos2,
                             format!(
                                 "non-affine term: expected integer after '{v} *', found {other:?}"
                             ),
@@ -630,7 +776,7 @@ impl Parser {
                 }
             }
             other => Err(ParseError::new(
-                line,
+                pos,
                 format!("expected affine term, found {other:?}"),
             )),
         }
@@ -755,9 +901,13 @@ mod tests {
     }
 
     #[test]
-    fn error_reports_line() {
-        let err = parse("array A[10]\nfor i = 1 to 10 {\n  A[);\n}").unwrap_err();
+    fn error_reports_line_and_col() {
+        let src = "array A[10]\nfor i = 1 to 10 {\n  A[);\n}";
+        let err = parse(src).unwrap_err();
         assert_eq!(err.line, 3);
+        // The offending token is the ')' at column 5.
+        assert_eq!(err.col, 5);
+        assert_eq!(&src[err.span.start..err.span.end], ")");
     }
 
     #[test]
@@ -777,5 +927,37 @@ mod tests {
         let r = nest.refs().next().unwrap();
         assert_eq!(r.matrix.row(0), &[3, 0, 1]);
         assert_eq!(r.matrix.row(1), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn spans_locate_loops_statements_and_refs() {
+        let src = "array A[100][100]\n\
+             for i = 1 to 100 {\n\
+               for j = 1 to 100 {\n\
+                 A[i][j] = A[i-1][j+2];\n\
+               }\n\
+             }";
+        let (nest, spans) = parse_spanned(src).unwrap();
+        assert_eq!(spans.loops.len(), nest.depth());
+        assert_eq!(spans.arrays.len(), 1);
+        assert_eq!(spans.statements.len(), 1);
+        assert_eq!(spans.refs[0].len(), 2);
+        let text = |s: Span| &src[s.start..s.end];
+        assert_eq!(text(spans.arrays[0]), "array A[100][100]");
+        assert_eq!(text(spans.loops[0]), "for i = 1 to 100");
+        assert_eq!(text(spans.loops[1]), "for j = 1 to 100");
+        assert_eq!(text(spans.statements[0]), "A[i][j] = A[i-1][j+2];");
+        assert_eq!(text(spans.refs[0][0]), "A[i][j]");
+        assert_eq!(text(spans.refs[0][1]), "A[i-1][j+2]");
+        assert!(spans.nest.start <= spans.loops[0].start);
+        assert_eq!(spans.nest.end, src.len());
+    }
+
+    #[test]
+    fn eof_error_points_past_last_token() {
+        let src = "array A[10]\nfor i = 1 to 10 { A[i];";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.span.start >= src.len() - 1, "{err:?}");
     }
 }

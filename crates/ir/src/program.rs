@@ -126,11 +126,29 @@ impl Program {
 /// Returns a [`ParseError`] for syntax errors or program-level validation
 /// failures.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
-    let nests = crate::parser::parse_many(src)?;
-    Program::new(nests).map_err(|e| ParseError {
-        line: 1,
-        message: e.to_string(),
-    })
+    parse_program_spanned(src).map(|(p, _)| p)
+}
+
+/// Like [`parse_program`], but additionally returns one
+/// [`NestSpans`](crate::span::NestSpans) table per nest (in execution
+/// order), anchoring diagnostics to the source text.
+///
+/// # Errors
+///
+/// Same as [`parse_program`].
+pub fn parse_program_spanned(
+    src: &str,
+) -> Result<(Program, Vec<crate::span::NestSpans>), ParseError> {
+    let parsed = crate::parser::parse_many(src)?;
+    let mut nests = Vec::with_capacity(parsed.len());
+    let mut spans = Vec::with_capacity(parsed.len());
+    for (nest, s) in parsed {
+        nests.push(nest);
+        spans.push(s);
+    }
+    let program = Program::new(nests)
+        .map_err(|e| ParseError::at(1, 1, crate::span::Span::point(0), e.to_string()))?;
+    Ok((program, spans))
 }
 
 #[cfg(test)]

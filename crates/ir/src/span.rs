@@ -1,0 +1,213 @@
+//! Byte-offset source spans and line/column resolution.
+//!
+//! Every token the `.loop` parser produces carries a [`Span`] — a half-open
+//! byte range into the source text — and the parser aggregates token spans
+//! into per-loop / per-statement / per-reference spans ([`NestSpans`]). The
+//! static analyzer (`loopmem-analyze`) anchors every diagnostic to one of
+//! these spans and renders rustc-style caret underlines with
+//! [`caret_snippet`]; [`LineIndex`] resolves offsets to 1-based line:column
+//! pairs for both the caret gutter and the machine-readable JSON output.
+
+/// A half-open byte range `start..end` into a source string.
+///
+/// Spans are plain data: they stay valid only for the exact source text
+/// they were produced from. An empty span (`start == end`) marks a point
+/// (e.g. an unexpected end of input).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span; callers must keep `start <= end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "inverted span {start}..{end}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at `offset`.
+    pub fn point(offset: usize) -> Self {
+        Span {
+            start: offset,
+            end: offset,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` for zero-width (point) spans.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Source locations of one parsed nest's constituents, aligned by index
+/// with the corresponding [`LoopNest`](crate::LoopNest) accessors.
+///
+/// Produced by [`parse_spanned`](crate::parse_spanned) /
+/// [`parse_program_spanned`](crate::parse_program_spanned). Array spans are
+/// indexed by [`ArrayId`](crate::ArrayId); reference spans by
+/// `(statement index, reference index)` in the same order as
+/// [`Statement::refs`](crate::Statement::refs) (write destination first,
+/// then right-hand-side reads in source order).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NestSpans {
+    /// Span of the whole nest (outermost `for` through its closing brace).
+    pub nest: Span,
+    /// Per-declaration spans (`array NAME [e]...`), indexed by `ArrayId`.
+    pub arrays: Vec<Span>,
+    /// Per-loop header spans (`for v = lo to hi`), outermost first.
+    pub loops: Vec<Span>,
+    /// Per-statement spans (access through `;`).
+    pub statements: Vec<Span>,
+    /// Per-reference spans, `[statement][reference]`.
+    pub refs: Vec<Vec<Span>>,
+}
+
+/// Precomputed line-start table for resolving byte offsets to 1-based
+/// `(line, column)` pairs in O(log lines).
+///
+/// ```
+/// use loopmem_ir::span::LineIndex;
+/// let idx = LineIndex::new("ab\ncd\n");
+/// assert_eq!(idx.line_col(0), (1, 1));
+/// assert_eq!(idx.line_col(4), (2, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineIndex {
+    line_starts: Vec<usize>,
+    len: usize,
+}
+
+impl LineIndex {
+    /// Indexes `src`'s line starts.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineIndex {
+            line_starts,
+            len: src.len(),
+        }
+    }
+
+    /// 1-based `(line, column)` of a byte offset (columns count bytes;
+    /// the DSL is ASCII). Offsets past the end clamp to the last position.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let offset = offset.min(self.len);
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(k) => k,
+            Err(k) => k - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// Byte range of 1-based `line`'s text, excluding the newline.
+    pub fn line_range(&self, line: usize) -> (usize, usize) {
+        let k = line.saturating_sub(1).min(self.line_starts.len() - 1);
+        let start = self.line_starts[k];
+        let end = self
+            .line_starts
+            .get(k + 1)
+            .map(|&next| next.saturating_sub(1)) // drop the '\n'
+            .unwrap_or(self.len);
+        (start, end.max(start))
+    }
+}
+
+/// Renders a rustc-style caret snippet for `span` in `src`:
+///
+/// ```text
+///    |
+///  5 |     A[3i + 7j - 10] = A[4i - 3j + 60];
+///    |     ^^^^^^^^^^^^^^^
+/// ```
+///
+/// Multi-line spans underline only their first line. Returns an empty
+/// string when the span falls outside `src`.
+pub fn caret_snippet(src: &str, span: Span) -> String {
+    if span.start > src.len() {
+        return String::new();
+    }
+    let idx = LineIndex::new(src);
+    let (line, col) = idx.line_col(span.start);
+    let (lstart, lend) = idx.line_range(line);
+    let text = &src[lstart..lend];
+    let gutter = line.to_string().len().max(2);
+    let underline_len = span.len().min(lend.saturating_sub(span.start)).max(1);
+    let mut out = String::new();
+    out.push_str(&format!("{:gutter$} |\n", ""));
+    out.push_str(&format!("{line:>gutter$} | {text}\n"));
+    out.push_str(&format!(
+        "{:gutter$} | {}{}\n",
+        "",
+        " ".repeat(col - 1),
+        "^".repeat(underline_len)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.join(b), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::point(7).is_empty());
+    }
+
+    #[test]
+    fn line_index_resolves_offsets() {
+        let idx = LineIndex::new("for i\n  A[i];\n}");
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(4), (1, 5));
+        assert_eq!(idx.line_col(6), (2, 1));
+        assert_eq!(idx.line_col(8), (2, 3));
+        assert_eq!(idx.line_col(14), (3, 1));
+        assert_eq!(idx.line_range(2), (6, 13));
+    }
+
+    #[test]
+    fn caret_points_at_token() {
+        let src = "array A[10]\nfor i = 1 to 10 { A[i]; }";
+        // Span of "A[i]" on line 2.
+        let start = src.find("A[i]").unwrap();
+        let snip = caret_snippet(src, Span::new(start, start + 4));
+        assert!(snip.contains(" 2 | for i = 1 to 10 { A[i]; }"), "{snip}");
+        let caret_line = snip.lines().last().unwrap();
+        let caret_col = caret_line.find('^').unwrap();
+        let text_line = snip.lines().nth(1).unwrap();
+        assert_eq!(&text_line[caret_col..caret_col + 4], "A[i]");
+        assert!(caret_line.contains("^^^^"), "{snip}");
+    }
+
+    #[test]
+    fn caret_clamps_to_line_end() {
+        let src = "for";
+        let snip = caret_snippet(src, Span::new(0, 3));
+        assert!(snip.contains("^^^"), "{snip}");
+        assert_eq!(caret_snippet(src, Span::new(10, 11)), "");
+    }
+}

@@ -1,0 +1,76 @@
+//! Span-accuracy tests for parser diagnostics: the reported line:col and
+//! the rendered caret must land exactly on the offending token.
+
+use loopmem_ir::parse;
+
+/// Asserts that parsing `src` fails, that the error's span selects exactly
+/// `token` in the source, that line:col agree with the span, and that the
+/// rendered snippet puts its first caret in the right column.
+fn assert_error_points_at(src: &str, token: &str, line: usize, col: usize) {
+    let e = parse(src).expect_err("input is malformed");
+    assert_eq!(e.line, line, "line for {src:?}: {e}");
+    assert_eq!(e.col, col, "col for {src:?}: {e}");
+    assert_eq!(
+        &src[e.span.start..e.span.end],
+        token,
+        "span text for {src:?}: {e}"
+    );
+    // line:col must agree with the byte span: col is 1-based within the
+    // reported line.
+    let line_start = src
+        .lines()
+        .take(line - 1)
+        .map(|l| l.len() + 1)
+        .sum::<usize>();
+    assert_eq!(e.span.start, line_start + col - 1, "span/col mismatch: {e}");
+
+    // The rendered caret line underlines the token at the same column the
+    // source line is printed at.
+    let rendered = e.render(src);
+    let lines: Vec<&str> = rendered.lines().collect();
+    let src_line = lines
+        .iter()
+        .find(|l| l.contains(&format!("{line} |")))
+        .unwrap_or_else(|| panic!("no source line in:\n{rendered}"));
+    let caret_line = lines
+        .iter()
+        .find(|l| l.contains('^'))
+        .unwrap_or_else(|| panic!("no caret line in:\n{rendered}"));
+    let token_col_in_render = src_line.find(token).expect("token visible in snippet");
+    assert_eq!(
+        caret_line.find('^').unwrap(),
+        token_col_in_render,
+        "caret misaligned in:\n{rendered}"
+    );
+    assert_eq!(
+        caret_line.matches('^').count(),
+        token.len(),
+        "caret width in:\n{rendered}"
+    );
+}
+
+#[test]
+fn caret_points_at_missing_bound_expression() {
+    assert_error_points_at("array A[10]\nfor i = 1 to { A[i]; }", "{", 2, 14);
+}
+
+#[test]
+fn caret_points_at_wrong_block_opener() {
+    assert_error_points_at("array A[10]\nfor i = 1 to 10 ( A[i]; }", "(", 2, 17);
+}
+
+#[test]
+fn caret_points_at_unclosed_subscript() {
+    assert_error_points_at("array A[10]\nfor i = 1 to 10 {\n  A[i;\n}", ";", 3, 6);
+}
+
+#[test]
+fn eof_error_reports_position_past_last_token() {
+    let src = "array A[10]\nfor i = 1 to 10 {";
+    let e = parse(src).expect_err("unclosed block");
+    assert_eq!((e.line, e.col), (2, 18), "{e}");
+    assert!(e.span.is_empty(), "EOF span is a point: {:?}", e.span);
+    assert_eq!(e.span.start, src.len());
+    let rendered = e.render(src);
+    assert!(rendered.contains('^'), "{rendered}");
+}

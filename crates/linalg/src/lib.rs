@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Exact integer and rational linear algebra for loop-nest analysis.
 //!

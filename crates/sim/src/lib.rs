@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Execution simulator for loop nests: the reproduction's ground truth.
 //!
@@ -57,7 +58,7 @@ pub use program::{
 pub use replacement::{min_perfect_capacity, miss_curve, misses, Policy, Trace};
 pub use reuse_distance::ReuseHistogram;
 pub use window::{
-    simulate, simulate_hashmap, simulate_hashmap_with_profile, simulate_with_profile,
-    simulate_with_threads, try_simulate, try_simulate_tracked, try_simulate_with_threads,
-    ArrayStats, SimResult,
+    oracle_simulate, simulate, simulate_hashmap, simulate_hashmap_with_profile,
+    simulate_with_profile, simulate_with_threads, try_simulate, try_simulate_tracked,
+    try_simulate_with_threads, ArrayStats, SimResult,
 };

@@ -125,6 +125,25 @@ pub fn try_simulate_tracked(
     crate::dense::try_run_tracked(nest, want_profile, threads, tracker, max_table_bytes)
 }
 
+/// Differential-sanitizer oracle: exact single-threaded simulation of
+/// nests small enough to sweep, `None` otherwise.
+///
+/// Declines (returns `None`, without doing any work) when interval
+/// analysis estimates more than `max_iters` iterations, and likewise when
+/// the governed sweep trips its budget, overflows, or panics — the caller
+/// (`loopmem check --sanitize`) treats `None` as "no oracle available",
+/// never as a verdict. Single-threaded and budget-governed, so the result
+/// is deterministic and safe to run over untrusted input.
+pub fn oracle_simulate(nest: &LoopNest, max_iters: u64) -> Option<SimResult> {
+    if crate::budget::estimated_iterations_of(nest) > u128::from(max_iters) {
+        return None;
+    }
+    let budget = crate::budget::AnalysisBudget::unlimited()
+        .with_max_iterations(max_iters)
+        .with_max_table_bytes(64 << 20);
+    try_simulate_with_threads(nest, false, 1, &budget).ok()
+}
+
 /// Simulates with the legacy hashmap engine — the reference
 /// implementation the dense engine is validated against. Slower; kept for
 /// differential tests and benchmarks.

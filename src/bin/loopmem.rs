@@ -1,7 +1,9 @@
+#![forbid(unsafe_code)]
 //! `loopmem` — command-line driver for the loop-nest memory analyzer.
 //!
 //! ```text
 //! loopmem analyze  <file.loop>             estimate + exact memory analysis
+//! loopmem check    <file.loop>... [--format text|json] [--deny warnings] [--sanitize]
 //! loopmem deps     <file.loop>             dependence/reuse report
 //! loopmem optimize <file.loop> [--mode M]  search for a window-minimizing T
 //! loopmem simulate <file.loop> [--profile] exact window simulation
@@ -17,6 +19,12 @@
 //! every nest. Kernel files use the DSL documented in
 //! `loopmem_ir::parser`.
 //!
+//! `check` runs the span-aware static lint pass (`loopmem-analyze`) over
+//! one or more files: rustc-style caret diagnostics (or NDJSON with
+//! `--format json`), exit 1 on any error — and on warnings too under
+//! `--deny warnings`. `--sanitize` additionally cross-checks the closed-form
+//! estimators against the dense simulator on small nests.
+//!
 //! `simulate`, `optimize`, and `pipeline` accept resource budgets:
 //! `--timeout-ms N` caps wall-clock time, `--max-iters N` caps swept
 //! iterations. With a budget the run is *governed* — it never crashes, and
@@ -24,6 +32,7 @@
 //! bounds (`outcome : bounded`) instead of an exact answer; the process
 //! still exits 0 because a degraded answer is a result, not an error.
 
+use loopmem::analyze::{check_source, CheckOptions, Diagnostic, Severity};
 use loopmem::core::optimize::{minimize_mws, SearchMode};
 use loopmem::core::{analyze_memory, apply_transform, estimate_distinct};
 use loopmem::dep::analyze;
@@ -53,7 +62,7 @@ fn main() -> ExitCode {
     }));
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("loopmem: {e}");
             eprintln!();
@@ -65,6 +74,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   loopmem analyze  <file.loop>
+  loopmem check    <file.loop>... [--format text|json] [--deny warnings] [--sanitize]
   loopmem deps     <file.loop>
   loopmem optimize <file.loop> [--mode compound|interchange|li-pingali] [budget]
   loopmem simulate <file.loop> [--profile] [budget]
@@ -84,11 +94,16 @@ const VALUE_FLAGS: &[&str] = &[
     "--fuse",
     "--timeout-ms",
     "--max-iters",
+    "--format",
+    "--deny",
 ];
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
-    match cmd.as_str() {
+    if cmd == "check" {
+        return cmd_check(rest);
+    }
+    let r = match cmd.as_str() {
         "analyze" => cmd_analyze(&load(rest)?),
         "deps" => cmd_deps(&load(rest)?),
         "optimize" => cmd_optimize(&load(rest)?, parse_mode(rest)?, parse_budget(rest)?),
@@ -101,11 +116,18 @@ fn run(args: &[String]) -> Result<(), String> {
         "pipeline" => cmd_pipeline(rest),
         "print" => cmd_print(&load(rest)?, parse_transform(rest)?),
         other => Err(format!("unknown subcommand '{other}'")),
-    }
+    };
+    r.map(|()| ExitCode::SUCCESS)
 }
 
 /// First argument that is neither a flag nor a flag's value.
 fn positional(rest: &[String]) -> Option<&String> {
+    positionals(rest).into_iter().next()
+}
+
+/// Every argument that is neither a flag nor a flag's value, in order.
+fn positionals(rest: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
     let mut skip_value = false;
     for a in rest {
         if skip_value {
@@ -116,9 +138,9 @@ fn positional(rest: &[String]) -> Option<&String> {
             skip_value = VALUE_FLAGS.contains(&a.as_str());
             continue;
         }
-        return Some(a);
+        out.push(a);
     }
-    None
+    out
 }
 
 fn load(rest: &[String]) -> Result<LoopNest, String> {
@@ -204,6 +226,82 @@ fn parse_transform(rest: &[String]) -> Result<Option<IMat>, String> {
     }
     let rows: Vec<Vec<i64>> = nums.chunks(n).map(|c| c.to_vec()).collect();
     Ok(Some(IMat::from_rows(&rows)))
+}
+
+/// `loopmem check`: span-aware static diagnostics over one or more `.loop`
+/// files. Exits 1 when any file fails to parse or reports an error-severity
+/// diagnostic; `--deny warnings` also fails the run on warnings. A clean
+/// run (hints only, or nothing) exits 0.
+fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
+    let json = match rest.iter().position(|a| a == "--format") {
+        None => false,
+        Some(pos) => match rest.get(pos + 1).map(String::as_str) {
+            Some("text") => false,
+            Some("json") => true,
+            other => return Err(format!("bad --format {other:?} (expected text or json)")),
+        },
+    };
+    let deny_warnings = match rest.iter().position(|a| a == "--deny") {
+        None => false,
+        Some(pos) => match rest.get(pos + 1).map(String::as_str) {
+            Some("warnings") => true,
+            other => return Err(format!("bad --deny {other:?} (expected warnings)")),
+        },
+    };
+    let opts = CheckOptions {
+        sanitize: rest.iter().any(|a| a == "--sanitize"),
+        ..CheckOptions::default()
+    };
+    let files = positionals(rest);
+    if files.is_empty() {
+        return Err("missing <file.loop> argument".into());
+    }
+    let mut failed = false;
+    for path in files {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        match check_source(&src, &opts) {
+            Err(e) => {
+                failed = true;
+                // A file that does not parse is reported in-band, with the
+                // same span machinery as the lints (code LM0000).
+                let d = Diagnostic {
+                    code: "LM0000",
+                    severity: Severity::Error,
+                    message: format!("parse error: {}", e.message),
+                    notes: Vec::new(),
+                    span: e.span,
+                    nest: None,
+                };
+                if json {
+                    println!("{}", d.render_json(&src, Some(path)));
+                } else {
+                    println!("{}", d.render_text(&src, Some(path)));
+                    println!("{path}: 1 error (did not parse)");
+                }
+            }
+            Ok(report) => {
+                if report.has_errors() || (deny_warnings && report.has_warnings()) {
+                    failed = true;
+                }
+                if json {
+                    print!("{}", report.render_json(&src, Some(path)));
+                } else {
+                    let text = report.render_text(&src, Some(path));
+                    if !text.is_empty() {
+                        print!("{text}");
+                        println!();
+                    }
+                    let (e, w, h) = report.counts();
+                    println!("{path}: {e} errors, {w} warnings, {h} hints");
+                }
+            }
+        }
+    }
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_analyze(nest: &LoopNest) -> Result<(), String> {

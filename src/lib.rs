@@ -1,6 +1,8 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Facade crate re-exporting the whole `loopmem` workspace.
 #![doc = include_str!("../README.md")]
+pub use loopmem_analyze as analyze;
 pub use loopmem_core as core;
 pub use loopmem_dep as dep;
 pub use loopmem_ir as ir;

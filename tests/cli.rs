@@ -127,3 +127,86 @@ fn pipeline_batch_flags_are_thread_count_invariant() {
         "{stderr}"
     );
 }
+
+#[test]
+fn check_prints_span_anchored_hint_for_matmult() {
+    let (ok, stdout, _) = run(&["check", "kernels/matmult.loop"]);
+    assert!(ok, "hints alone must not fail the run");
+    assert!(stdout.contains("hint[LM0002]"), "{stdout}");
+    assert!(stdout.contains("--> kernels/matmult.loop:8:"), "{stdout}");
+    assert!(
+        stdout.contains("^^^^^^^"),
+        "caret underline missing: {stdout}"
+    );
+    assert!(stdout.contains("null-space vector (0, 0, 1)"), "{stdout}");
+    assert!(
+        stdout.contains("kernels/matmult.loop: 0 errors, 0 warnings, 3 hints"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn check_deny_warnings_fails_on_overflow_and_volume() {
+    // An error-severity lint fails the run even without --deny.
+    let (ok, stdout, _) = run(&["check", "tests/robustness/overflow_coeffs.loop"]);
+    assert!(!ok);
+    assert!(stdout.contains("error[LM0009]"), "{stdout}");
+
+    // Warnings only fail under --deny warnings.
+    let file = "tests/robustness/huge_iteration_space.loop";
+    let (ok, stdout, _) = run(&["check", file]);
+    assert!(ok, "warnings alone pass by default: {stdout}");
+    let (ok, stdout, _) = run(&["check", file, "--deny", "warnings"]);
+    assert!(!ok);
+    assert!(stdout.contains("warning[LM0010]"), "{stdout}");
+}
+
+#[test]
+fn check_json_emits_schema_conforming_ndjson() {
+    use loopmem::analyze::{parse_json, Json};
+    let (ok, stdout, _) = run(&[
+        "check",
+        "kernels/matmult.loop",
+        "kernels/sor.loop",
+        "--format",
+        "json",
+        "--sanitize",
+    ]);
+    assert!(ok);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "3 hints, nothing from clean sor: {stdout}");
+    for line in lines {
+        let v = parse_json(line).unwrap_or_else(|| panic!("bad JSON: {line}"));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("LM0002"));
+        assert_eq!(v.get("severity").and_then(Json::as_str), Some("hint"));
+        assert_eq!(
+            v.get("file").and_then(Json::as_str),
+            Some("kernels/matmult.loop")
+        );
+        assert!(
+            v.get("span").and_then(|s| s.get("start")).is_some(),
+            "{line}"
+        );
+    }
+}
+
+#[test]
+fn check_reports_parse_errors_in_band_with_a_caret() {
+    let dir = std::env::temp_dir().join("loopmem-check-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.loop");
+    std::fs::write(&bad, "array A[10]\nfor i = 1 to { A[i]; }\n").unwrap();
+    let bad = bad.to_str().unwrap().to_string();
+
+    let (ok, stdout, _) = run(&["check", &bad]);
+    assert!(!ok, "parse errors must fail the run");
+    assert!(stdout.contains("error[LM0000]: parse error"), "{stdout}");
+    assert!(stdout.contains('^'), "caret missing: {stdout}");
+
+    let (ok, stdout, _) = run(&["check", &bad, "--format", "json"]);
+    assert!(!ok);
+    use loopmem::analyze::{parse_json, Json};
+    let v = parse_json(stdout.lines().next().unwrap()).expect("one JSON object");
+    assert_eq!(v.get("code").and_then(Json::as_str), Some("LM0000"));
+    assert_eq!(v.get("line").and_then(Json::as_i64), Some(2));
+}
