@@ -167,20 +167,30 @@ governed = [r for r in d["results"] if r["bench"] == "governed"]
 assert governed, "no governed pathological row recorded"
 assert all(r["outcome"] == "bounded" for r in governed), governed
 assert any(k.endswith("dense1t_vs_hashmap") for k in d["speedups"]), d["speedups"]
+assert any(k.endswith("lanesplit_vs_interleaved") for k in d["speedups"]), d["speedups"]
+pass1 = [r for r in d["results"] if r["bench"].startswith("pass1-")]
+assert pass1, "no pass1_throughput rows recorded"
 print(f"ok: {len(d['results'])} results, {len(d['speedups'])} speedups")
 EOF
 
 echo "== bench-regression gate =="
-# The fresh smoke run's dense-vs-hashmap speedups must stay within 0.8x of
-# the committed baseline (ci/bench_baseline.json, also a smoke run). The
-# baseline holds the minimum ratio observed across repeated runs, so an
-# honest regression has to eat the measurement slack *and* the 0.8 factor.
+# The fresh smoke run's dense-vs-hashmap speedups — and the lane-split
+# pass-1 kernels' speedups over the legacy interleaved inner loop — must
+# stay within 0.8x of the committed baseline (ci/bench_baseline.json,
+# also a smoke run). The baseline holds the minimum ratio observed across
+# repeated runs, so an honest regression has to eat the measurement slack
+# *and* the 0.8 factor.
 python3 - <<'EOF'
 import json, sys
 fresh = json.load(open("BENCH_loopmem.json"))["speedups"]
 base = json.load(open("ci/bench_baseline.json"))["speedups"]
-gated = [k for k in base if k.endswith("dense1t_vs_hashmap")]
-assert gated, "baseline has no dense1t_vs_hashmap speedups"
+gated = [
+    k for k in base
+    if k.endswith("dense1t_vs_hashmap") or k.endswith("lanesplit_vs_interleaved")
+]
+assert gated, "baseline has no gated speedups"
+assert any(k.endswith("dense1t_vs_hashmap") for k in gated), gated
+assert any(k.endswith("lanesplit_vs_interleaved") for k in gated), gated
 failed = False
 for k in gated:
     if k not in fresh:

@@ -25,8 +25,8 @@ use loopmem_core::optimize::{minimize_mws_with_threads, SearchMode};
 use loopmem_core::optimize_program_with_threads;
 use loopmem_ir::{parse, parse_program, LoopNest, Program};
 use loopmem_sim::{
-    simulate_hashmap, simulate_program_with_threads, simulate_with_profile, simulate_with_threads,
-    thread_count, try_simulate, AnalysisBudget,
+    bench_pass1, bench_pass1_interleaved, simulate_hashmap, simulate_program_with_threads,
+    simulate_with_profile, simulate_with_threads, thread_count, try_simulate, AnalysisBudget,
 };
 use std::time::Instant;
 
@@ -98,6 +98,53 @@ fn synthetic_program(smoke: bool) -> Program {
         m = n + 2,
     ))
     .expect("synthetic program parses")
+}
+
+/// One nest per pass-1 kernel class, sized so the lane-split vs legacy
+/// interleaved comparison measures the inner loop rather than planning
+/// overhead: stride-0 (innermost-invariant subscript), stride ±1
+/// (contiguous runs, sole and stencil-pair variants), general stride
+/// (Example 8's interleaving), and the sparse hashmap fallback.
+fn pass1_synthetics(smoke: bool) -> Vec<(&'static str, LoopNest)> {
+    let (i1, j1) = if smoke { (300, 300) } else { (2000, 2000) };
+    let (si, sj) = if smoke { (40, 40) } else { (400, 400) };
+    vec![
+        (
+            "stride0",
+            parse(&format!(
+                "array A[{}]\nfor i = 1 to {i1} {{ for j = 1 to {j1} {{ A[i]; }} }}",
+                i1 + 1
+            ))
+            .expect("pass1 synthetic parses"),
+        ),
+        (
+            "stride1",
+            parse(&format!(
+                "array X[{}]\nfor i = 1 to {i1} {{ for j = 1 to {j1} {{ X[i + j]; }} }}",
+                i1 + j1 + 1
+            ))
+            .expect("pass1 synthetic parses"),
+        ),
+        // Two-reference stride +1 stencil (the synth-stream kernel).
+        ("stencil2", synthetic_stream(smoke)),
+        (
+            "stride-1",
+            parse(&format!(
+                "array X[{}]\nfor i = 1 to {i1} {{ for j = 1 to {j1} {{ X[{j1} - j + i]; }} }}",
+                i1 + j1 + 2
+            ))
+            .expect("pass1 synthetic parses"),
+        ),
+        // Two-reference general stride 5 (the synth-reuse kernel).
+        ("general5", synthetic_reuse(smoke)),
+        (
+            "sparse",
+            parse(&format!(
+                "array X[2000000000]\nfor i = 1 to {si} {{ for j = 1 to {sj} {{ X[100000000i + j]; }} }}"
+            ))
+            .expect("pass1 synthetic parses"),
+        ),
+    ]
 }
 
 fn optimizer_examples() -> Vec<(&'static str, LoopNest)> {
@@ -299,6 +346,30 @@ fn main() {
             s.iterations,
             Some(s.mws_total),
         );
+    }
+
+    // --- pass-1 throughput: lane-split kernels vs legacy interleaved ------
+    for (name, nest) in pass1_synthetics(smoke) {
+        let (lane_ms, iters) = time_median3(|| bench_pass1(&nest, 1));
+        record(&mut rows, "pass1-lanesplit", name, 1, lane_ms, iters, None);
+        let (old_ms, old_iters) = time_median3(|| bench_pass1_interleaved(&nest));
+        assert_eq!(iters, old_iters, "pass-1 engines disagree on {name}");
+        record(&mut rows, "pass1-interleaved", name, 1, old_ms, iters, None);
+        println!(
+            "  pass1/{name}: {:.1} Miters/s lane-split vs {:.1} Miters/s interleaved ({:.2}x)",
+            iters as f64 / lane_ms / 1e3,
+            iters as f64 / old_ms / 1e3,
+            old_ms / lane_ms
+        );
+        // The sparse class is a fallback-parity check (both engines run
+        // the same hashmap loop), not a lane-split kernel — recording a
+        // ~1.0x ratio would only add noise to the regression gate.
+        if name != "sparse" {
+            speedups.push((
+                format!("pass1_{name}_lanesplit_vs_interleaved"),
+                old_ms / lane_ms,
+            ));
+        }
     }
 
     // --- program batch: sharded multi-nest engine ------------------------

@@ -20,6 +20,7 @@
 //! implementation; tests assert both find the same optimum.
 
 use crate::mws::two_level_objective;
+use loopmem_dep::cone::{constraining_distances, tileable_row_basis};
 use loopmem_dep::legality::row_tileable;
 use loopmem_dep::DependenceSet;
 use loopmem_ir::{AnalysisError, Bounds, BoundsMethod, TripReason};
@@ -36,8 +37,12 @@ pub struct BnbResult {
     pub objective: Rational,
     /// Boxes examined.
     pub nodes_explored: u64,
-    /// Boxes pruned by bounding or infeasibility.
+    /// Boxes pruned by bounding, infeasibility, or the cone certificate.
     pub nodes_pruned: u64,
+    /// Boxes discarded by the dependence-cone certificate (LM0004's
+    /// `tileable_row_basis` facts) before any window was evaluated; also
+    /// counted in `nodes_pruned`.
+    pub cone_pruned: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -138,6 +143,100 @@ pub fn try_branch_and_bound(
     })
 }
 
+/// Upper limit on the candidate-box point count for which the cone
+/// certificate is computed. The certificate enumerates the whole
+/// `(2·bound+1)²` coefficient box once up front (the scan exits early
+/// only when the cone is full-rank), so it is computed only when even
+/// the rank-deficient worst case is negligible next to the search it
+/// prunes.
+const CONE_CERT_MAX_POINTS: u128 = 1 << 17;
+
+/// What the dependence cone proves about the search box, computed once
+/// per search from the same constraining distance vectors the LM0004
+/// lint reports ([`constraining_distances`] / [`tileable_row_basis`]).
+/// Soundness requires the certificate and the search to use the *same*
+/// box: a rank computed over a smaller box says nothing about rows
+/// outside it (e.g. distances `(1, ∓3)` admit only multiples of `(1,0)`
+/// inside `[-2,2]²`, yet `(3,1)` is tileable).
+#[derive(Clone, Copy, Debug)]
+enum ConeCert {
+    /// The box admits a full-rank tileable family, or the certificate was
+    /// declined (deep box, cost gate): no structural pruning available.
+    FullRank,
+    /// Every tileable row in the box is an integer multiple of this
+    /// primitive direction: boxes whose integer points miss the line
+    /// `t·(v₁, v₂)` (for some `t ≠ 0`) cannot contain a feasible row.
+    Line(i64, i64),
+    /// No tileable row exists anywhere in the box.
+    Empty,
+}
+
+fn cone_certificate(deps: &DependenceSet, bound: i64) -> ConeCert {
+    if constraining_distances(deps).is_empty() {
+        // Nothing constrains: every nonzero row is tileable, rank 2.
+        return ConeCert::FullRank;
+    }
+    let width = 2 * bound as u128 + 1;
+    if width * width > CONE_CERT_MAX_POINTS {
+        return ConeCert::FullRank; // declined: certificate too costly
+    }
+    match tileable_row_basis(deps, 2, bound) {
+        Some(basis) if basis.is_empty() => ConeCert::Empty,
+        Some(basis) if basis.len() == 1 => {
+            let (a, b) = (basis[0][0], basis[0][1]);
+            let g = gcd_i64(a, b); // ≥ 1: basis rows are nonzero
+            ConeCert::Line(a / g, b / g)
+        }
+        _ => ConeCert::FullRank,
+    }
+}
+
+/// Floor division for `b != 0`.
+fn div_floor(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division for `b != 0`.
+fn div_ceil(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) == (b < 0) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// `true` when no *nonzero* integer multiple of the primitive direction
+/// `(v1, v2)` lies in the box: the rank-1 cone certificate then discards
+/// the box outright. Intersects the integer solution ranges of
+/// `t·v1 ∈ [alo, ahi]` and `t·v2 ∈ [blo, bhi]` (division only, so no
+/// overflow near the `i64` limits).
+fn box_misses_line(bx: &Box2, v1: i64, v2: i64) -> bool {
+    let (mut tlo, mut thi) = (i64::MIN, i64::MAX);
+    for (v, lo, hi) in [(v1, bx.alo, bx.ahi), (v2, bx.blo, bx.bhi)] {
+        if v == 0 {
+            // This coordinate of every multiple is 0; it must be inside.
+            if lo > 0 || hi < 0 {
+                return true;
+            }
+            continue;
+        }
+        let (a, b) = if v > 0 {
+            (div_ceil(lo, v), div_floor(hi, v))
+        } else {
+            (div_ceil(hi, v), div_floor(lo, v))
+        };
+        tlo = tlo.max(a);
+        thi = thi.min(b);
+    }
+    tlo > thi || (tlo, thi) == (0, 0)
+}
+
 /// The branch-and-bound loop, polling `tracker` once per popped box. A
 /// trip returns the reason plus the best objective reached so far.
 fn bnb_impl(
@@ -153,15 +252,30 @@ fn bnb_impl(
         blo: -bound,
         bhi: bound,
     };
+    let cert = cone_certificate(deps, bound);
     let mut best: Option<((i64, i64), Rational)> = None;
     let mut explored = 0u64;
     let mut pruned = 0u64;
+    let mut cone_pruned = 0u64;
     let mut stack = vec![root];
     while let Some(bx) = stack.pop() {
         if let Err(reason) = tracker.charge_search_nodes(1) {
             return Err((reason, best.map(|(_, obj)| obj)));
         }
         explored += 1;
+        // Cone-certificate pruning: a box that provably contains no
+        // tileable row (outside the proven rank-r row space) is discarded
+        // before any bounding or window work.
+        let off_cone = match cert {
+            ConeCert::Empty => true,
+            ConeCert::Line(v1, v2) => box_misses_line(&bx, v1, v2),
+            ConeCert::FullRank => false,
+        };
+        if off_cone {
+            pruned += 1;
+            cone_pruned += 1;
+            continue;
+        }
         // Infeasibility pruning: a tiling half-plane violated everywhere.
         if box_infeasible(&bx, deps) {
             pruned += 1;
@@ -195,6 +309,7 @@ fn bnb_impl(
         objective,
         nodes_explored: explored,
         nodes_pruned: pruned,
+        cone_pruned,
     }))
 }
 
@@ -350,5 +465,96 @@ mod tests {
             r.nodes_explored
         );
         assert_eq!(r.objective, Rational::from(22));
+    }
+
+    #[test]
+    fn rank1_cone_collapses_the_search_to_a_line() {
+        // Opposed skews: distances (1,-9) and (1,9) admit only multiples
+        // of (1,0) inside [-8,8]², so the cone certificate is Line(1,0)
+        // and every box off the a-axis line is discarded without
+        // bounding work — while the optimum still matches the exhaustive
+        // scan exactly.
+        let nest = parse(
+            "array A[100][100]\n\
+             for i = 2 to 99 {\n\
+               for j = 10 to 90 {\n\
+                 A[i][j] = A[i-1][j+9] + A[i-1][j-9];\n\
+               }\n\
+             }",
+        )
+        .unwrap();
+        let deps = analyze(&nest);
+        let bound = 8;
+        let r = branch_and_bound((1, 2), &deps, (98, 81), bound).unwrap();
+        assert!(r.cone_pruned > 0, "certificate must fire: {r:?}");
+        assert!(r.cone_pruned <= r.nodes_pruned);
+        let (row, obj) = exhaustive((1, 2), &deps, (98, 81), bound).unwrap();
+        assert_eq!(r.objective, obj);
+        assert_eq!(r.row, row);
+        // The only coprime rows on the certified line are ±(1,0).
+        assert_eq!(r.row, (1, 0));
+    }
+
+    #[test]
+    fn full_rank_cone_prunes_nothing_extra() {
+        // Example 8's cone is full-rank, so the certificate must stay
+        // inert and the node counts must match the pre-certificate search.
+        let deps = example8_deps();
+        let r = branch_and_bound((2, 5), &deps, (25, 10), 6).unwrap();
+        assert_eq!(r.cone_pruned, 0);
+    }
+
+    /// Satellite: the cone-certificate pruning must never change the
+    /// optimum on any repository kernel (2-deep nests; the §4.2 search
+    /// family is two-level).
+    #[test]
+    fn cone_pruning_agrees_with_exhaustive_on_kernels() {
+        let sources = [
+            ("example6", include_str!("../../../kernels/example6.loop")),
+            ("example8", include_str!("../../../kernels/example8.loop")),
+            ("matmult", include_str!("../../../kernels/matmult.loop")),
+            ("pipeline", include_str!("../../../kernels/pipeline.loop")),
+            ("rasta_flt", include_str!("../../../kernels/rasta_flt.loop")),
+            ("sor", include_str!("../../../kernels/sor.loop")),
+        ];
+        let mut checked = 0;
+        for (name, src) in sources {
+            let program =
+                loopmem_ir::parse_program(src).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            for nest in program.nests() {
+                if nest.depth() != 2 {
+                    continue;
+                }
+                let Some(vr) = nest.var_ranges() else {
+                    continue;
+                };
+                let extents = (vr[0].1 - vr[0].0 + 1, vr[1].1 - vr[1].0 + 1);
+                if extents.0 <= 1 || extents.1 <= 1 {
+                    continue;
+                }
+                let deps = analyze(nest);
+                for alpha in [(1i64, 0i64), (0, 1), (2, 5), (1, -2), (3, 1)] {
+                    for bound in [3i64, 5] {
+                        let bnb = branch_and_bound(alpha, &deps, extents, bound);
+                        let ex = exhaustive(alpha, &deps, extents, bound);
+                        match (&bnb, &ex) {
+                            (Some(r), Some((_, obj))) => assert_eq!(
+                                r.objective, *obj,
+                                "{name} alpha {alpha:?} bound {bound}"
+                            ),
+                            (None, None) => {}
+                            _ => panic!(
+                                "{name} alpha {alpha:?} bound {bound}: bnb {bnb:?} vs exhaustive {ex:?}"
+                            ),
+                        }
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            checked >= 30,
+            "expected to exercise several kernels, got {checked}"
+        );
     }
 }

@@ -44,6 +44,26 @@ pub fn constraining_distances(deps: &DependenceSet) -> Vec<Vec<i64>> {
 /// exist (though a *unimodular* completion is not guaranteed by this test
 /// alone).
 pub fn tileable_row_rank(deps: &DependenceSet, n: usize, bound: i64) -> Option<usize> {
+    tileable_row_basis(deps, n, bound).map(|b| b.len())
+}
+
+/// The linearly independent tileable rows behind [`tileable_row_rank`]'s
+/// verdict: scans the coefficient box `[-bound, bound]^n` in a fixed
+/// order and greedily collects rows that satisfy `row · δ ≥ 0` for every
+/// constraining distance `δ` *and* extend the rank, stopping as soon as
+/// the rank reaches `n`. Returns `None` exactly when
+/// [`tileable_row_rank`] declines the query.
+///
+/// A basis of length `r < n` certifies that *every* tileable row in the
+/// box lies in the `r`-dimensional span of the returned rows: when a
+/// tileable row was scanned, the basis so far was a subset of the final
+/// basis, so a row independent of the final basis would have been
+/// independent of that subset too — and been collected. For `r == 1`,
+/// normalizing the single basis vector by its gcd makes it primitive,
+/// and the tileable rows in the box are exactly its integer multiples —
+/// the certificate the §4.2 branch-and-bound search uses to discard
+/// whole candidate boxes off that line.
+pub fn tileable_row_basis(deps: &DependenceSet, n: usize, bound: i64) -> Option<Vec<Vec<i64>>> {
     if n == 0 || n > MAX_CONE_DEPTH || bound < 1 {
         return None;
     }
@@ -66,11 +86,11 @@ pub fn tileable_row_rank(deps: &DependenceSet, n: usize, bound: i64) -> Option<u
         if IMat::from_rows(&candidate).rank() == candidate.len() {
             basis = candidate;
             if basis.len() == n {
-                return Some(n);
+                return Some(basis);
             }
         }
     }
-    Some(basis.len())
+    Some(basis)
 }
 
 #[cfg(test)]
@@ -111,6 +131,36 @@ mod tests {
         .unwrap();
         let deps = analyze(&nest);
         assert_eq!(tileable_row_rank(&deps, 2, 2), Some(1));
+    }
+
+    #[test]
+    fn rank1_basis_spans_all_tileable_rows_in_the_box() {
+        let nest = parse(
+            "array A[100][100]\n\
+             for i = 2 to 99 {\n\
+               for j = 4 to 97 {\n\
+                 A[i][j] = A[i-1][j+3] + A[i-1][j-3];\n\
+               }\n\
+             }",
+        )
+        .unwrap();
+        let deps = analyze(&nest);
+        let basis = tileable_row_basis(&deps, 2, 2).unwrap();
+        assert_eq!(basis.len(), 1);
+        // The certificate's promise: every tileable row in the box is
+        // collinear with the single basis row.
+        for a in -2i64..=2 {
+            for b in -2i64..=2 {
+                if (a, b) == (0, 0) || !row_tileable(&[a, b], &deps) {
+                    continue;
+                }
+                assert_eq!(
+                    a * basis[0][1],
+                    b * basis[0][0],
+                    "tileable row ({a},{b}) off the certified line {basis:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,12 +9,19 @@
 //!   box of its subscripts, computed by interval analysis of the affine
 //!   references over the nest's per-variable ranges
 //!   ([`LoopNest::var_ranges`] / [`ArrayRef::index_ranges`]). Coordinates
-//!   flatten to offsets in a dense `Vec<(first, last)>` table — one
-//!   precomputed linear form per reference, so recording a touch is a dot
-//!   product and two stores. Arrays whose box would blow the memory budget
-//!   (or be absurdly sparse relative to the access count) fall back to the
-//!   hashmap representation per array, keeping results exact for *any*
-//!   nest, including out-of-declared-bounds accesses.
+//!   flatten to offsets in a pair of dense structure-of-arrays lanes —
+//!   `first: Vec<u32>` / `last: Vec<u32>` — and the sweep walks the nest
+//!   one *innermost run* at a time ([`try_for_each_inner_run`]): the
+//!   outer-iteration part of each reference's linear form is hoisted out
+//!   of the run, so the innermost loop advances the offset by a constant
+//!   stride and dispatches to a stride-specialized kernel (stride 0 →
+//!   one `min`/`max` per run; stride ±1 → contiguous branch-free lane
+//!   updates that autovectorize; general stride → strided branch-free
+//!   loop). See `DESIGN.md` §11 for the equivalence argument. Arrays
+//!   whose box would blow the memory budget (or be absurdly sparse
+//!   relative to the access count) fall back to the hashmap
+//!   representation per array, keeping results exact for *any* nest,
+//!   including out-of-declared-bounds accesses.
 //!
 //! * **Parallelism.** The validator guarantees outermost bounds are
 //!   constants, so the outer loop range splits into contiguous chunks that
@@ -37,7 +44,7 @@ use crate::budget::{
     analytic_nest_bounds, estimated_iterations_of, panic_message, AnalysisBudget, BudgetTracker,
     POLL_INTERVAL,
 };
-use crate::exec::{outer_range, try_for_each_iteration_outer};
+use crate::exec::{outer_range, try_for_each_inner_run, try_for_each_iteration_outer};
 use crate::window::{ArrayStats, SimResult};
 use loopmem_ir::{AnalysisError, ArrayId, ArrayRef, ElementBox, LoopNest, TripReason};
 use std::collections::hash_map::Entry;
@@ -99,10 +106,18 @@ pub fn thread_count() -> usize {
 
 /// How one reference records its touches.
 enum RefMode {
-    /// Flattened linear form: `offset = coeffs · iter + constant`, indexing
-    /// the array's dense table. In-range by construction (the table's box
-    /// encloses the reference over the nest's variable ranges).
-    Dense { coeffs: Vec<i64>, constant: i64 },
+    /// Flattened linear form, split for the run kernels:
+    /// `offset = outer · iter[..depth-1] + stride · iter[depth-1] + constant`,
+    /// indexing the array's dense lanes. In-range by construction (the
+    /// table's box encloses the reference over the nest's variable
+    /// ranges), and free of `i64` overflow on every reachable term
+    /// product and partial sum ([`dense_form`] verified both against the
+    /// i128 interval — the run kernels rely on that invariant).
+    Dense {
+        outer: Vec<i64>,
+        stride: i64,
+        constant: i64,
+    },
     /// Coordinate vector into the array's hashmap.
     Sparse,
 }
@@ -110,6 +125,11 @@ enum RefMode {
 struct RefPlan {
     array: usize,
     mode: RefMode,
+    /// `true` when this is the array's only reference in the nest: the
+    /// run kernels may then overwrite the `last` lane unconditionally
+    /// (the reference's stamps strictly increase within and across runs),
+    /// instead of folding with `max` against sibling references.
+    sole: bool,
     r: ArrayRef,
 }
 
@@ -128,8 +148,9 @@ fn estimated_iterations(nest: &LoopNest) -> u128 {
 }
 
 /// Builds the flattened linear index form of `r` into `bx`, or `None`
-/// when any coefficient or reachable partial sum overflows `i64` (the
-/// caller then demotes the whole array to the hashmap path).
+/// when any coefficient, reachable term product, or reachable partial
+/// sum overflows `i64` (the caller then demotes the whole array to the
+/// hashmap path).
 fn dense_form(r: &ArrayRef, bx: &ElementBox, vr: &[(i64, i64)]) -> Option<(Vec<i64>, i64)> {
     let n = r.depth();
     let mut coeffs = vec![0i128; n];
@@ -142,7 +163,14 @@ fn dense_form(r: &ArrayRef, bx: &ElementBox, vr: &[(i64, i64)]) -> Option<(Vec<i
         constant += s * (r.offset[d] as i128 - bx.lo()[d] as i128);
     }
     // The evaluator accumulates `constant + Σ coeffs[k]·iter[k]` in `i64`,
-    // term by term; verify every reachable partial sum fits.
+    // term by term, computing each product `coeffs[k]·iter[k]` in `i64`
+    // first — so every reachable term product must fit on its own (a
+    // fitting *sum* does not excuse an overflowing term: e.g.
+    // `constant = -2^62, c = 2^62, x = 2` sums to `2^62` but the product
+    // `2^63` wraps), and every reachable partial sum must fit too. Both
+    // are verified here against the i128 interval; products are monotone
+    // in `x`, so checking the two range endpoints covers every reachable
+    // iterate.
     let fits = |x: i128| (i64::MIN as i128..=i64::MAX as i128).contains(&x);
     if !fits(constant) || coeffs.iter().any(|&c| !fits(c)) {
         return None;
@@ -150,6 +178,9 @@ fn dense_form(r: &ArrayRef, bx: &ElementBox, vr: &[(i64, i64)]) -> Option<(Vec<i
     let (mut plo, mut phi) = (constant, constant);
     for (k, &c) in coeffs.iter().enumerate() {
         let (a, b) = (c * vr[k].0 as i128, c * vr[k].1 as i128);
+        if !fits(a) || !fits(b) {
+            return None;
+        }
         plo += a.min(b);
         phi += a.max(b);
         if !fits(plo) || !fits(phi) {
@@ -230,13 +261,19 @@ fn make_plan(nest: &LoopNest, threads: usize, max_table_bytes: Option<u64>) -> P
                     Some(bx) => {
                         let (coeffs, constant) =
                             dense_form(r, bx, &vr).expect("checked during box selection");
-                        RefMode::Dense { coeffs, constant }
+                        let stride = *coeffs.last().expect("nest depth is at least 1");
+                        RefMode::Dense {
+                            outer: coeffs[..coeffs.len() - 1].to_vec(),
+                            stride,
+                            constant,
+                        }
                     }
                     None => RefMode::Sparse,
                 };
                 RefPlan {
                     array: a,
                     mode,
+                    sole: ref_count[a] == 1,
                     r: r.clone(),
                 }
             })
@@ -256,6 +293,7 @@ fn make_plan(nest: &LoopNest, threads: usize, max_table_bytes: Option<u64>) -> P
             .map(|r| RefPlan {
                 array: r.array.0,
                 mode: RefMode::Sparse,
+                sole: false,
                 r: r.clone(),
             })
             .collect(),
@@ -265,20 +303,129 @@ fn make_plan(nest: &LoopNest, threads: usize, max_table_bytes: Option<u64>) -> P
 }
 
 /// Pass-1 output of one contiguous outer-range chunk, with chunk-local
-/// 32-bit time.
+/// 32-bit time. Dense touch tables are structure-of-arrays: `first[a]`
+/// and `last[a]` are separate lanes over the same flattened box offsets,
+/// so the run kernels and the chunk merge update each lane with
+/// branch-free `min`/`max`/fill loops the compiler can vectorize.
 struct ChunkOut {
     iters: u64,
     accesses: Vec<u64>,
-    dense: Vec<Vec<(u32, u32)>>,
+    /// First-touch stamp per cell, [`UNTOUCHED`] when never touched.
+    first: Vec<Vec<u32>>,
+    /// Last-touch stamp per cell; meaningless (0) where `first` is
+    /// [`UNTOUCHED`] — always read through the `first` lane's mask.
+    last: Vec<Vec<u32>>,
     sparse: Vec<HashMap<Vec<i64>, (u32, u32)>>,
 }
 
-/// Sweeps one chunk under governance: every [`POLL_INTERVAL`] iterations
-/// the locally counted work is charged to the shared tracker and the
-/// budget polled, so cancellation and budget trips are observed well
-/// within a chunk. Sparse-path subscripts are evaluated with checked
-/// arithmetic (the dense path needs none: the planner's `dense_form`
-/// already verified every reachable partial sum fits `i64`).
+/// Applies one dense reference over the run segment `j ∈ [jlo, jhi]`
+/// stamped `t0, t0+1, …`: offsets walk `base + stride·j`. Every kernel
+/// updates the `first` lane with a branch-free `min` (the [`UNTOUCHED`]
+/// sentinel loses against any real stamp) and the `last` lane with a
+/// branch-free `max` — both folds are commutative and associative, hence
+/// equivalent to the legacy per-iteration first-touch branch no matter
+/// how iterations and sibling references are regrouped. An array with a
+/// single reference (`sole`) upgrades the `last` update to an
+/// unconditional store: its stamps strictly increase within and across
+/// segments, so the newest store always wins anyway.
+///
+/// Offsets never leave the table (the planner's box encloses the
+/// reference) and never wrap in `i64` (the planner's `dense_form`
+/// verified every reachable term product and partial sum).
+#[inline]
+#[allow(clippy::too_many_arguments)] // flat scalars keep the hot kernel monomorphic
+fn dense_run(
+    first: &mut [u32],
+    last: &mut [u32],
+    base: i64,
+    stride: i64,
+    jlo: i64,
+    jhi: i64,
+    t0: u32,
+    sole: bool,
+) {
+    let len = (jhi - jlo) as usize + 1; // ≤ POLL_INTERVAL by segmentation
+    let tend = t0 + (len as u32 - 1);
+    match stride {
+        0 => {
+            // The whole run hits one cell: first = min over the run = t0,
+            // last = max over the run = tend.
+            let off = base as usize;
+            first[off] = first[off].min(t0);
+            last[off] = if sole { tend } else { last[off].max(tend) };
+        }
+        1 => {
+            // Contiguous ascending: lane position p ↔ stamp t0 + p.
+            let start = (base + jlo) as usize;
+            for (p, f) in first[start..start + len].iter_mut().enumerate() {
+                *f = (*f).min(t0 + p as u32);
+            }
+            let lane = &mut last[start..start + len];
+            if sole {
+                for (p, l) in lane.iter_mut().enumerate() {
+                    *l = t0 + p as u32;
+                }
+            } else {
+                for (p, l) in lane.iter_mut().enumerate() {
+                    *l = (*l).max(t0 + p as u32);
+                }
+            }
+        }
+        -1 => {
+            // Contiguous descending: lane position p ↔ offset
+            // base - jhi + p ↔ j = jhi - p ↔ stamp tend - p.
+            let start = (base - jhi) as usize;
+            for (p, f) in first[start..start + len].iter_mut().enumerate() {
+                *f = (*f).min(tend - p as u32);
+            }
+            let lane = &mut last[start..start + len];
+            if sole {
+                for (p, l) in lane.iter_mut().enumerate() {
+                    *l = tend - p as u32;
+                }
+            } else {
+                for (p, l) in lane.iter_mut().enumerate() {
+                    *l = (*l).max(tend - p as u32);
+                }
+            }
+        }
+        s => {
+            // General stride: offsets within one run are distinct (s ≠ 0,
+            // j distinct), so per-offset min/max (or plain stores for a
+            // sole reference) stay branch-free.
+            if sole {
+                for (p, j) in (jlo..=jhi).enumerate() {
+                    let off = (base + s * j) as usize;
+                    let tp = t0 + p as u32;
+                    first[off] = first[off].min(tp);
+                    last[off] = tp;
+                }
+            } else {
+                for (p, j) in (jlo..=jhi).enumerate() {
+                    let off = (base + s * j) as usize;
+                    let tp = t0 + p as u32;
+                    first[off] = first[off].min(tp);
+                    last[off] = last[off].max(tp);
+                }
+            }
+        }
+    }
+}
+
+/// Sweeps one chunk under governance, one *innermost run* at a time
+/// ([`try_for_each_inner_run`]). Runs are cut into segments of at most
+/// [`POLL_INTERVAL`] iterations, so that (a) the locally counted work is
+/// charged to the shared tracker at exactly the same
+/// `POLL_INTERVAL`-quanta trip points as the legacy per-iteration sweep
+/// — budget trips and trip-time charges are bit-compatible — and (b)
+/// cancellation is observed within ~a thousand iterations even inside a
+/// single astronomically long run. Within a segment, dense references
+/// dispatch to the stride-specialized [`dense_run`] kernels (the
+/// outer-iteration part of the linear form is hoisted into `base`, so
+/// the innermost loop walks a constant stride); sparse references keep
+/// the legacy per-iteration checked-arithmetic loop (the dense path
+/// needs none: the planner's `dense_form` already verified every
+/// reachable term product and partial sum fits `i64`).
 fn sweep_chunk(
     nest: &LoopNest,
     plan: &Plan,
@@ -287,11 +434,20 @@ fn sweep_chunk(
     tracker: &BudgetTracker,
 ) -> Result<ChunkOut, SweepError> {
     let narrays = nest.arrays().len();
-    let mut dense: Vec<Vec<(u32, u32)>> = plan
+    let depth = nest.depth();
+    let mut first: Vec<Vec<u32>> = plan
         .boxes
         .iter()
         .map(|b| match b {
-            Some(bx) => vec![(UNTOUCHED, 0u32); bx.cells() as usize],
+            Some(bx) => vec![UNTOUCHED; bx.cells() as usize],
+            None => Vec::new(),
+        })
+        .collect();
+    let mut last: Vec<Vec<u32>> = plan
+        .boxes
+        .iter()
+        .map(|b| match b {
+            Some(bx) => vec![0u32; bx.cells() as usize],
             None => Vec::new(),
         })
         .collect();
@@ -299,64 +455,120 @@ fn sweep_chunk(
         (0..narrays).map(|_| HashMap::new()).collect();
     let mut accesses = vec![0u64; narrays];
     let mut idx_buf = vec![0i64; plan.max_rank];
+    // Sparse references are processed per-iteration in statement order
+    // (their hashmap update depends on processing order); dense and
+    // sparse references touch disjoint state, and the dense lanes fold
+    // with order-independent min/max, so splitting them preserves the
+    // legacy interleaved result exactly.
+    let sparse_refs: Vec<&RefPlan> = plan
+        .refs
+        .iter()
+        .filter(|rp| matches!(rp.mode, RefMode::Sparse))
+        .collect();
     let mut t: u32 = 0;
     let mut unpolled: u32 = 0;
-    let flow = try_for_each_iteration_outer(nest, lo, hi, &mut |iter| {
-        for rp in &plan.refs {
-            accesses[rp.array] += 1;
-            match &rp.mode {
-                RefMode::Dense { coeffs, constant } => {
-                    let mut off = *constant;
-                    for (&c, &x) in coeffs.iter().zip(iter) {
-                        off += c * x;
-                    }
-                    let cell = &mut dense[rp.array][off as usize];
-                    if cell.0 == UNTOUCHED {
-                        *cell = (t, t);
-                    } else {
-                        cell.1 = t;
-                    }
-                }
-                RefMode::Sparse => {
-                    let d = rp.r.rank();
-                    for (dim, slot) in idx_buf[..d].iter_mut().enumerate() {
-                        let mut s = rp.r.offset[dim] as i128;
-                        for (&c, &x) in rp.r.matrix.row(dim).iter().zip(iter) {
-                            s += (c as i128) * (x as i128);
-                        }
-                        match i64::try_from(s) {
-                            Ok(v) => *slot = v,
-                            Err(_) => {
-                                return ControlFlow::Break(SweepError::Overflow(format!(
-                                    "subscript of array '{}' overflows i64 at iteration {iter:?}",
-                                    nest.arrays()[rp.array].name
-                                )));
-                            }
-                        }
-                    }
-                    match sparse[rp.array].get_mut(&idx_buf[..d]) {
-                        Some(cell) => cell.1 = t,
-                        None => {
-                            sparse[rp.array].insert(idx_buf[..d].to_vec(), (t, t));
-                        }
-                    }
-                }
-            }
-        }
-        t = match t.checked_add(1) {
-            Some(next) => next,
-            None => {
+    let flow = try_for_each_inner_run(nest, lo, hi, &mut |iter, run_lo, run_hi| {
+        let mut j = run_lo;
+        let mut remaining = (run_hi as i128 - run_lo as i128) as u128 + 1;
+        while remaining > 0 {
+            // Stamps left before the chunk-local u32 clock would poison
+            // the UNTOUCHED sentinel. The legacy sweep detected this one
+            // (discarded) iteration later; the charge sequence is
+            // identical because that poisoned iteration was never
+            // charged either.
+            let cap = UNTOUCHED - t;
+            if cap == 0 {
                 return ControlFlow::Break(SweepError::Overflow(
                     "chunk exceeds the engine's u32 iteration budget".to_string(),
                 ));
             }
-        };
-        unpolled += 1;
-        if unpolled >= POLL_INTERVAL {
-            if let Err(reason) = tracker.charge_iterations(unpolled as u64) {
-                return ControlFlow::Break(SweepError::Trip(reason));
+            let quota = (POLL_INTERVAL - unpolled).min(cap);
+            let seg = remaining.min(quota as u128) as u32;
+            let seg_hi = j + (seg as i64 - 1);
+            for rp in &plan.refs {
+                accesses[rp.array] += seg as u64;
+                if let RefMode::Dense {
+                    outer,
+                    stride,
+                    constant,
+                } = &rp.mode
+                {
+                    let mut base = *constant;
+                    for (&c, &x) in outer.iter().zip(iter.iter()) {
+                        base += c * x;
+                    }
+                    debug_assert!(
+                        {
+                            // The planner's no-overflow invariant, re-derived
+                            // in i128: the hoisted base and both segment
+                            // endpoint offsets agree with exact arithmetic.
+                            let exact_base = *constant as i128
+                                + outer
+                                    .iter()
+                                    .zip(iter.iter())
+                                    .map(|(&c, &x)| c as i128 * x as i128)
+                                    .sum::<i128>();
+                            exact_base == base as i128
+                                && i64::try_from(exact_base + *stride as i128 * j as i128).is_ok()
+                                && i64::try_from(exact_base + *stride as i128 * seg_hi as i128)
+                                    .is_ok()
+                        },
+                        "planner no-overflow invariant violated for array '{}'",
+                        nest.arrays()[rp.array].name
+                    );
+                    dense_run(
+                        &mut first[rp.array],
+                        &mut last[rp.array],
+                        base,
+                        *stride,
+                        j,
+                        seg_hi,
+                        t,
+                        rp.sole,
+                    );
+                }
             }
-            unpolled = 0;
+            if !sparse_refs.is_empty() {
+                for (tt, jj) in (t..).zip(j..=seg_hi) {
+                    iter[depth - 1] = jj;
+                    for rp in &sparse_refs {
+                        let d = rp.r.rank();
+                        for (dim, slot) in idx_buf[..d].iter_mut().enumerate() {
+                            let mut s = rp.r.offset[dim] as i128;
+                            for (&c, &x) in rp.r.matrix.row(dim).iter().zip(iter.iter()) {
+                                s += (c as i128) * (x as i128);
+                            }
+                            match i64::try_from(s) {
+                                Ok(v) => *slot = v,
+                                Err(_) => {
+                                    return ControlFlow::Break(SweepError::Overflow(format!(
+                                        "subscript of array '{}' overflows i64 at iteration {iter:?}",
+                                        nest.arrays()[rp.array].name
+                                    )));
+                                }
+                            }
+                        }
+                        match sparse[rp.array].get_mut(&idx_buf[..d]) {
+                            Some(cell) => cell.1 = tt,
+                            None => {
+                                sparse[rp.array].insert(idx_buf[..d].to_vec(), (tt, tt));
+                            }
+                        }
+                    }
+                }
+            }
+            t += seg;
+            unpolled += seg;
+            remaining -= seg as u128;
+            if unpolled >= POLL_INTERVAL {
+                if let Err(reason) = tracker.charge_iterations(unpolled as u64) {
+                    return ControlFlow::Break(SweepError::Trip(reason));
+                }
+                unpolled = 0;
+            }
+            if remaining > 0 {
+                j = seg_hi + 1;
+            }
         }
         ControlFlow::Continue(())
     });
@@ -371,15 +583,25 @@ fn sweep_chunk(
     Ok(ChunkOut {
         iters: t as u64,
         accesses,
-        dense,
+        first,
+        last,
         sparse,
     })
 }
 
 /// Folds one chunk's output (the *next* chunk in time order) into `base`,
 /// rebasing the chunk's local times by the cumulative iteration count.
-/// The earlier side always holds the earlier `first`, the later side the
-/// later `last`, so the merge is a pair of conditional stores per cell.
+/// The fold is lane-wise and branch-free: `first` keeps the earlier
+/// chunk's stamp via a saturating-rebased `min` (an [`UNTOUCHED`] chunk
+/// cell saturates back to `UNTOUCHED` and never wins, while every real
+/// rebased stamp post-dates every base stamp, so `min` selects the base
+/// exactly when it was touched); `last` is a rebased overwrite masked by
+/// the chunk's own `first` lane — a cell the later chunk touched always
+/// post-dates every base stamp, and an untouched chunk cell (whose
+/// `last` lane holds a meaningless 0) must leave the base value alone,
+/// which is why a plain `max` would be wrong (`0 + off` could exceed a
+/// real base stamp). Folding strictly in chunk order makes the result
+/// independent of which worker swept which chunk.
 fn merge_into(base: &mut ChunkOut, c: ChunkOut) {
     let off64 = base.iters;
     base.iters += c.iters;
@@ -391,16 +613,14 @@ fn merge_into(base: &mut ChunkOut, c: ChunkOut) {
     for (total, add) in base.accesses.iter_mut().zip(&c.accesses) {
         *total += add;
     }
-    for (bt, ct) in base.dense.iter_mut().zip(c.dense) {
-        for (bc, cc) in bt.iter_mut().zip(ct) {
-            if cc.0 == UNTOUCHED {
-                continue;
-            }
-            if bc.0 == UNTOUCHED {
-                *bc = (cc.0 + off, cc.1 + off);
-            } else {
-                bc.1 = cc.1 + off;
-            }
+    for (bt, ct) in base.first.iter_mut().zip(&c.first) {
+        for (bf, &cf) in bt.iter_mut().zip(ct) {
+            *bf = (*bf).min(cf.saturating_add(off));
+        }
+    }
+    for ((bt, ct), cft) in base.last.iter_mut().zip(&c.last).zip(&c.first) {
+        for ((bl, &cl), &cf) in bt.iter_mut().zip(ct).zip(cft) {
+            *bl = if cf == UNTOUCHED { *bl } else { cl + off };
         }
     }
     for (bm, cm) in base.sparse.iter_mut().zip(c.sparse) {
@@ -470,7 +690,7 @@ fn finish(narrays: usize, merged: ChunkOut, want_profile: bool) -> SimResult {
                 total_diff[f as usize] += 1;
                 total_diff[l as usize] -= 1;
             };
-            for &(f, l) in &merged.dense[a] {
+            for (&f, &l) in merged.first[a].iter().zip(&merged.last[a]) {
                 if f != UNTOUCHED {
                     mark(f, l);
                 }
@@ -680,13 +900,15 @@ fn sweep_all(
 
 /// Merged pass-1 touch tables of one nest in nest-local 32-bit time —
 /// everything the program engine needs to rebase the nest onto a global
-/// timeline. `boxes[a]` is the dense box backing `dense[a]`; elements the
-/// planner demoted to the hashmap path sit in `sparse[a]`.
+/// timeline. `boxes[a]` is the dense box backing the `first[a]`/`last[a]`
+/// lanes (a cell is touched iff `first[a][off] != UNTOUCHED`); elements
+/// the planner demoted to the hashmap path sit in `sparse[a]`.
 pub(crate) struct NestPass1 {
     pub iters: u64,
     pub accesses: Vec<u64>,
     pub boxes: Vec<Option<ElementBox>>,
-    pub dense: Vec<Vec<(u32, u32)>>,
+    pub first: Vec<Vec<u32>>,
+    pub last: Vec<Vec<u32>>,
     pub sparse: Vec<HashMap<Vec<i64>, (u32, u32)>>,
 }
 
@@ -698,7 +920,8 @@ pub(crate) fn pass1(nest: &LoopNest, threads: usize) -> NestPass1 {
             iters: merged.iters,
             accesses: merged.accesses,
             boxes: plan.boxes,
-            dense: merged.dense,
+            first: merged.first,
+            last: merged.last,
             sparse: merged.sparse,
         },
         // An unlimited tracker never trips; overflow keeps the legacy
@@ -706,6 +929,120 @@ pub(crate) fn pass1(nest: &LoopNest, threads: usize) -> NestPass1 {
         Err(SweepError::Trip(_)) => unreachable!("unlimited budget tripped"),
         Err(SweepError::Overflow(msg)) => panic!("{msg}"),
     }
+}
+
+/// Benchmark hook: runs the lane-split pass-1 sweep only (no pass-2
+/// window fold) with an unlimited budget and returns the iteration
+/// count. The touch tables are routed through [`std::hint::black_box`]
+/// so the optimizer cannot discard the recording work being measured.
+pub fn bench_pass1(nest: &LoopNest, threads: usize) -> u64 {
+    let tracker = BudgetTracker::unlimited();
+    match sweep_all(nest, threads, &tracker, None) {
+        Ok((_, merged)) => {
+            let iters = merged.iters;
+            std::hint::black_box(&merged.first);
+            std::hint::black_box(&merged.last);
+            std::hint::black_box(&merged.sparse);
+            iters
+        }
+        Err(SweepError::Trip(_)) => unreachable!("unlimited budget tripped"),
+        Err(SweepError::Overflow(msg)) => panic!("{msg}"),
+    }
+}
+
+/// The pre-lane-split pass-1 inner loop, kept as the perfsuite's
+/// `pass1_throughput` comparator: per-iteration affine dot products into
+/// an interleaved `(first, last)` array-of-structs table, with the
+/// branchy first-touch test the lane-split kernels replace.
+/// Single-threaded and ungoverned; returns the iteration count, with
+/// the tables routed through [`std::hint::black_box`].
+pub fn bench_pass1_interleaved(nest: &LoopNest) -> u64 {
+    struct LegacyRef<'a> {
+        array: usize,
+        coeffs: Vec<i64>,
+        constant: i64,
+        sparse: Option<&'a ArrayRef>,
+    }
+    let plan = make_plan(nest, 1, None);
+    let lrefs: Vec<LegacyRef> = plan
+        .refs
+        .iter()
+        .map(|rp| match &rp.mode {
+            RefMode::Dense {
+                outer,
+                stride,
+                constant,
+            } => {
+                let mut coeffs = outer.clone();
+                coeffs.push(*stride);
+                LegacyRef {
+                    array: rp.array,
+                    coeffs,
+                    constant: *constant,
+                    sparse: None,
+                }
+            }
+            RefMode::Sparse => LegacyRef {
+                array: rp.array,
+                coeffs: Vec::new(),
+                constant: 0,
+                sparse: Some(&rp.r),
+            },
+        })
+        .collect();
+    let mut dense: Vec<Vec<(u32, u32)>> = plan
+        .boxes
+        .iter()
+        .map(|b| match b {
+            Some(bx) => vec![(UNTOUCHED, 0u32); bx.cells() as usize],
+            None => Vec::new(),
+        })
+        .collect();
+    let mut sparse: Vec<HashMap<Vec<i64>, (u32, u32)>> =
+        (0..nest.arrays().len()).map(|_| HashMap::new()).collect();
+    let mut idx_buf = vec![0i64; plan.max_rank];
+    let mut t: u32 = 0;
+    let (lo, hi) = outer_range(nest);
+    let flow = try_for_each_iteration_outer::<(), _>(nest, lo, hi, &mut |iter| {
+        for lr in &lrefs {
+            match lr.sparse {
+                None => {
+                    let mut off = lr.constant;
+                    for (&c, &x) in lr.coeffs.iter().zip(iter) {
+                        off += c * x;
+                    }
+                    let cell = &mut dense[lr.array][off as usize];
+                    if cell.0 == UNTOUCHED {
+                        *cell = (t, t);
+                    } else {
+                        cell.1 = t;
+                    }
+                }
+                Some(r) => {
+                    let d = r.rank();
+                    for (dim, slot) in idx_buf[..d].iter_mut().enumerate() {
+                        let mut s = r.offset[dim] as i128;
+                        for (&c, &x) in r.matrix.row(dim).iter().zip(iter) {
+                            s += (c as i128) * (x as i128);
+                        }
+                        *slot = i64::try_from(s).expect("subscript overflows i64");
+                    }
+                    match sparse[lr.array].get_mut(&idx_buf[..d]) {
+                        Some(cell) => cell.1 = t,
+                        None => {
+                            sparse[lr.array].insert(idx_buf[..d].to_vec(), (t, t));
+                        }
+                    }
+                }
+            }
+        }
+        t = t.checked_add(1).expect("u32 iteration budget exceeded");
+        ControlFlow::Continue(())
+    });
+    let _ = flow; // the closure never breaks
+    std::hint::black_box(&dense);
+    std::hint::black_box(&sparse);
+    t as u64
 }
 
 /// Governed pass 1 of one nest: panics are contained with `catch_unwind`
@@ -727,7 +1064,8 @@ pub(crate) fn try_pass1(
             iters: merged.iters,
             accesses: merged.accesses,
             boxes: plan.boxes,
-            dense: merged.dense,
+            first: merged.first,
+            last: merged.last,
             sparse: merged.sparse,
         }),
         Ok(Err(SweepError::Trip(reason))) => Err(AnalysisError::Exhausted {
@@ -853,6 +1191,51 @@ mod tests {
         let plan = make_plan(&nest, 1, None);
         assert!(plan.boxes.iter().all(Option::is_none), "expected fallback");
         assert_same(&run(&nest, true, 1), &simulate_hashmap_with_profile(&nest));
+    }
+
+    /// Satellite regression: a box whose linear form needs a term product
+    /// outside `i64` must be demoted to the sparse path, never wrapped.
+    /// Here the flattened coefficient is `2^62` and the variable is
+    /// pinned to 2, so the *product* `2^63` overflows while every
+    /// partial sum still fits (`constant ≈ -2^63` cancels it) — exactly
+    /// the case the old partial-sum-only check accepted, after which the
+    /// sweep's `off += c * x` wrapped.
+    #[test]
+    fn near_overflow_form_is_demoted_to_sparse() {
+        let nest = parse("array X[1]\nfor i = 2 to 2 { X[4611686018427387904i]; }").unwrap();
+        let plan = make_plan(&nest, 1, None);
+        assert!(
+            plan.boxes.iter().all(Option::is_none),
+            "near-overflow form must fall back to the hashmap path"
+        );
+        // The sparse path then reports the genuine subscript overflow
+        // instead of simulating a wrapped offset.
+        let err = crate::window::try_simulate(&nest, &crate::budget::AnalysisBudget::unlimited())
+            .unwrap_err();
+        assert!(
+            matches!(err, loopmem_ir::AnalysisError::Overflow { .. }),
+            "expected a subscript overflow report, got {err:?}"
+        );
+    }
+
+    /// Two references of one array touching the same cells within a single
+    /// innermost run: the `last` lane must fold with `max` across sibling
+    /// references (a pure slice fill is only sound for sole references).
+    #[test]
+    fn sibling_refs_in_one_run_keep_exact_last_stamps() {
+        for src in [
+            // Same cell, same iteration, two refs.
+            "array A[40]\nfor i = 1 to 30 { A[i] = A[i]; } ",
+            // Shifted overlap: ref 2 touches cells ref 1 reaches later.
+            "array A[40]\nfor i = 1 to 30 { A[i] = A[i+3]; } ",
+            // Opposite strides crossing mid-run.
+            "array A[40]\nfor i = 1 to 30 { A[i] = A[31-i]; } ",
+            // Stride-0 against stride-1 inside an inner run.
+            "array A[40]\nfor i = 1 to 5 { for j = 1 to 6 { A[i] = A[j]; } }",
+        ] {
+            let nest = parse(src).unwrap();
+            assert_same(&run(&nest, true, 1), &simulate_hashmap_with_profile(&nest));
+        }
     }
 
     #[test]

@@ -72,6 +72,69 @@ pub fn try_for_each_iteration_outer<B, F: FnMut(&[i64]) -> ControlFlow<B>>(
     ControlFlow::Continue(())
 }
 
+/// Run-length variant of [`try_for_each_iteration_outer`]: instead of one
+/// call per iteration, the callback receives one call per *innermost run*
+/// — a maximal block of consecutive iterations that differ only in the
+/// innermost loop variable. `f(iter, lo, hi)` is invoked with the outer
+/// variables set in `iter[..depth-1]`, and the innermost variable ranging
+/// over `lo ..= hi` (never empty: empty runs are skipped, matching the
+/// zero iterations they execute). `iter[depth-1]` is scratch — the callback
+/// may clobber it (the sparse sweep path writes the running innermost value
+/// there); it is reset before the next run's bounds are evaluated, and
+/// inner bounds only reference outer variables anyway (validator).
+///
+/// Concatenating the runs reproduces the lexicographic iteration stream of
+/// [`try_for_each_iteration_outer`] exactly; this is the primitive behind
+/// the dense engine's lane-split pass-1 kernels, which turn each run into
+/// constant-stride table updates instead of per-iteration dot products.
+///
+/// For depth-1 nests the whole `outer_lo ..= outer_hi` chunk is a single
+/// run (the outermost loop *is* the innermost).
+pub fn try_for_each_inner_run<B, F: FnMut(&mut [i64], i64, i64) -> ControlFlow<B>>(
+    nest: &LoopNest,
+    outer_lo: i64,
+    outer_hi: i64,
+    f: &mut F,
+) -> ControlFlow<B> {
+    let n = nest.depth();
+    let mut iter = vec![0i64; n];
+    if n == 1 {
+        if outer_lo <= outer_hi {
+            f(&mut iter, outer_lo, outer_hi)?;
+        }
+        return ControlFlow::Continue(());
+    }
+    for v in outer_lo..=outer_hi {
+        iter[0] = v;
+        descend_runs(nest, &mut iter, 1, f)?;
+    }
+    ControlFlow::Continue(())
+}
+
+fn descend_runs<B, F: FnMut(&mut [i64], i64, i64) -> ControlFlow<B>>(
+    nest: &LoopNest,
+    iter: &mut Vec<i64>,
+    k: usize,
+    f: &mut F,
+) -> ControlFlow<B> {
+    let l = &nest.loops()[k];
+    let lo = l.lower.eval_lower(iter);
+    let hi = l.upper.eval_upper(iter);
+    if k + 1 == nest.depth() {
+        if lo <= hi {
+            f(iter, lo, hi)?;
+            iter[k] = 0; // the callback may have clobbered the scratch slot
+        }
+        return ControlFlow::Continue(());
+    }
+    for v in lo..=hi {
+        iter[k] = v;
+        descend_runs(nest, iter, k + 1, f)?;
+    }
+    iter[k] = 0; // outer bounds must not observe stale inner values
+    ControlFlow::Continue(())
+}
+
 fn descend<B, F: FnMut(&[i64]) -> ControlFlow<B>>(
     nest: &LoopNest,
     iter: &mut Vec<i64>,

@@ -262,11 +262,17 @@ fn plan_global_tables(
         .collect()
 }
 
-/// Folds one nest's dense table (over `nest_bx`, nest-local time) into the
+/// Folds one nest's dense lanes (over `nest_bx`, nest-local time) into the
 /// array's global table, rebasing times by `t0`. The nest box is a
 /// sub-box of the global box by construction, so the walk keeps a running
 /// global offset like an odometer — no per-cell division.
-fn fold_dense_table(nest_bx: &ElementBox, table: &[(u32, u32)], g: &mut GlobalTable, t0: u64) {
+fn fold_dense_table(
+    nest_bx: &ElementBox,
+    first: &[u32],
+    last: &[u32],
+    g: &mut GlobalTable,
+    t0: u64,
+) {
     let gbx =
         g.bx.as_ref()
             .expect("dense fold target must have a global box");
@@ -279,7 +285,7 @@ fn fold_dense_table(nest_bx: &ElementBox, table: &[(u32, u32)], g: &mut GlobalTa
     }
     let cells = &mut g.cells;
     let mut idx = vec![0i64; rank];
-    for &(f, l) in table {
+    for (&f, &l) in first.iter().zip(last) {
         if f != UNTOUCHED {
             let cell = &mut cells[goff];
             if cell.0 == NEVER {
@@ -351,12 +357,12 @@ fn assemble(
             }
             if let Some(nest_bx) = &np.boxes[a] {
                 if g.bx.is_some() {
-                    fold_dense_table(nest_bx, &np.dense[a], g, t);
+                    fold_dense_table(nest_bx, &np.first[a], &np.last[a], g, t);
                 } else {
                     // Union box rejected: decode the touched cells back to
                     // coordinates for the overflow map.
                     let mut coords = vec![0i64; nest_bx.lo().len()];
-                    for (off, &(f, l)) in np.dense[a].iter().enumerate() {
+                    for (off, (&f, &l)) in np.first[a].iter().zip(&np.last[a]).enumerate() {
                         if f == UNTOUCHED {
                             continue;
                         }
