@@ -4,7 +4,10 @@
 #
 # `./ci.sh robustness` builds the release CLI and runs only the
 # robustness step; `./ci.sh check` likewise runs only the static-analysis
-# gate (`loopmem check` over every kernel and pathological input).
+# gate (`loopmem check` over every kernel and pathological input);
+# `./ci.sh scratchpad` runs only the shared-scratchpad sizing gate;
+# `./ci.sh bench-multicore` runs the perfsuite smoke and requires the
+# host to be multi-core (the GitHub-runner bench matrix job).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -121,6 +124,46 @@ check_step() {
     fi
 }
 
+# The shared-scratchpad sizing gate: every kernel must size exactly, the
+# pathological corpus must degrade to bounds (never crash), and fusing
+# the producer/consumer pipeline must strictly shrink the scratchpad.
+scratchpad_step() {
+    echo "== scratchpad: shared-buffer sizing over kernels + robustness corpus =="
+    local start
+    start=$(date +%s)
+    local k
+    for k in kernels/*.loop; do
+        robustness_case "outcome           : exact" scratchpad "$k"
+    done
+    local c=tests/robustness
+    robustness_case "outcome           : bounded" scratchpad "$c/huge_iteration_space.loop" --max-iters 100000
+    robustness_case "outcome           : bounded" scratchpad "$c/overflow_coeffs.loop" --timeout-ms 5000 --max-iters 1000000
+    robustness_case "outcome           : exact" scratchpad "$c/empty_nest.loop" --timeout-ms 5000
+    robustness_case "outcome           : bounded" scratchpad "$c/rank_deficient.loop" --timeout-ms 5000 --max-iters 1000000
+    robustness_case "outcome           : bounded" scratchpad "$c/near_max_bounds.loop" --timeout-ms 5000 --max-iters 1000000
+    # The panicking middle nest is contained: its neighbours stay exact
+    # and the program-level answer degrades to an interval.
+    robustness_case "nest1 : failed" scratchpad "$c/panicking_program.loop" --timeout-ms 5000
+    robustness_case "outcome           : bounded" scratchpad "$c/panicking_program.loop" --timeout-ms 5000
+    # Cross-nest buffer reuse: --fuse must strictly shrink the pipeline.
+    local out unfused fused
+    out="$(./target/release/loopmem scratchpad kernels/pipeline.loop --fuse)"
+    unfused="$(awk '$1 == "scratchpad" && $2 == ":" {print $3}' <<<"$out")"
+    fused="$(awk '$1 == "scratchpad" && $2 == "fused" {print $4}' <<<"$out")"
+    if [ -z "$unfused" ] || [ -z "$fused" ] || [ "$fused" -ge "$unfused" ]; then
+        echo "FAIL: --fuse did not shrink pipeline.loop (${unfused:-?} -> ${fused:-?} words)"
+        echo "$out"
+        return 1
+    fi
+    echo "ok   loopmem scratchpad kernels/pipeline.loop --fuse => $unfused -> $fused words"
+    local elapsed=$(( $(date +%s) - start ))
+    echo "scratchpad step completed in ${elapsed}s"
+    if [ "$elapsed" -ge 10 ]; then
+        echo "FAIL: scratchpad step took ${elapsed}s (budget: <10s)"
+        return 1
+    fi
+}
+
 if [ "${1:-}" = "robustness" ]; then
     cargo build --release --offline -p loopmem
     robustness_step
@@ -132,6 +175,27 @@ if [ "${1:-}" = "check" ]; then
     cargo build --release --offline -p loopmem
     check_step
     echo "== ci (check only) passed =="
+    exit 0
+fi
+
+if [ "${1:-}" = "scratchpad" ]; then
+    cargo build --release --offline -p loopmem
+    scratchpad_step
+    echo "== ci (scratchpad only) passed =="
+    exit 0
+fi
+
+# The multi-core bench matrix: a perfsuite smoke run that must record the
+# t in {2, 4} sweep rows (bit-identical answers, bounded wall time) —
+# meaningful only on a multi-core host such as a GitHub runner.
+if [ "${1:-}" = "bench-multicore" ]; then
+    echo "== perfsuite (smoke, multi-core sweep) =="
+    rm -f BENCH_loopmem.json
+    cargo run -q --release --offline -p loopmem-bench --bin perfsuite -- --smoke
+    echo "== bench-multicore gate =="
+    cargo run -q --release --offline -p loopmem-bench --bin benchcheck -- \
+        BENCH_loopmem.json --require-multicore
+    echo "== ci (bench-multicore only) passed =="
     exit 0
 fi
 
@@ -148,30 +212,20 @@ robustness_step
 
 check_step
 
+scratchpad_step
+
 echo "== perfsuite (smoke) =="
 rm -f BENCH_loopmem.json
 cargo run -q --release --offline -p loopmem-bench --bin perfsuite -- --smoke
 
-echo "== BENCH_loopmem.json well-formed =="
+echo "== bench reports well-formed (in-tree parser) =="
 test -s BENCH_loopmem.json
-python3 - <<'EOF'
-import json
-with open("BENCH_loopmem.json") as f:
-    d = json.load(f)
-assert d["suite"] == "loopmem-perfsuite", d.get("suite")
-assert isinstance(d["threads_default"], int) and d["threads_default"] >= 1
-assert d["results"], "no results recorded"
-for r in d["results"]:
-    assert {"bench", "subject", "threads", "millis", "iterations", "outcome"} <= r.keys(), r
-governed = [r for r in d["results"] if r["bench"] == "governed"]
-assert governed, "no governed pathological row recorded"
-assert all(r["outcome"] == "bounded" for r in governed), governed
-assert any(k.endswith("dense1t_vs_hashmap") for k in d["speedups"]), d["speedups"]
-assert any(k.endswith("lanesplit_vs_interleaved") for k in d["speedups"]), d["speedups"]
-pass1 = [r for r in d["results"] if r["bench"].startswith("pass1-")]
-assert pass1, "no pass1_throughput rows recorded"
-print(f"ok: {len(d['results'])} results, {len(d['speedups'])} speedups")
-EOF
+# benchcheck parses with the workspace's own JSON parser (which rejects
+# NaN/Infinity by construction) and pins the report schema: required row
+# keys, known outcome tokens, governed/pass1/scratchpad sections present,
+# every speedup finite and strictly positive.
+cargo run -q --release --offline -p loopmem-bench --bin benchcheck -- \
+    BENCH_loopmem.json ci/bench_baseline.json
 
 echo "== bench-regression gate =="
 # The fresh smoke run's dense-vs-hashmap speedups — and the lane-split

@@ -5,7 +5,9 @@
 //! writes its NDJSON by hand ([`crate::Diagnostic::render_json`]) and this
 //! module provides the inverse — just enough of RFC 8259 to parse what we
 //! emit (and any similarly plain JSON): objects, arrays, strings with
-//! escapes, integers, booleans, null.
+//! escapes, integers, finite decimal floats (the perfsuite's speedup
+//! fields), booleans, null. `NaN`/`Infinity` are not JSON and fail the
+//! parse — exactly what the bench-report validator wants.
 
 use std::collections::BTreeMap;
 
@@ -26,8 +28,8 @@ pub fn escape_json(s: &str) -> String {
     out
 }
 
-/// A parsed JSON value (integers only; the analyzer never emits floats).
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
 pub enum Json {
     /// `null`
     Null,
@@ -35,6 +37,9 @@ pub enum Json {
     Bool(bool),
     /// Integer number.
     Num(i64),
+    /// Decimal number (has a `.`, an exponent, or does not fit `i64`).
+    /// Always finite: `NaN`/`Infinity` are not valid JSON.
+    Float(f64),
     /// String.
     Str(String),
     /// Array.
@@ -64,6 +69,15 @@ impl Json {
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64` (integer or decimal). Always finite.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
             _ => None,
         }
     }
@@ -123,17 +137,51 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Option<Json> {
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
+    let int_start = *pos;
     while matches!(b.get(*pos), Some(b'0'..=b'9')) {
         *pos += 1;
     }
-    if *pos == start {
-        return None;
+    if *pos == int_start {
+        return None; // a bare `-`, or `NaN`/`Infinity` (not JSON)
     }
-    std::str::from_utf8(&b[start..*pos])
-        .ok()?
-        .parse::<i64>()
+    let mut is_float = false;
+    if b.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return None; // RFC 8259: at least one digit after the point
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return None;
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).ok()?;
+    if !is_float {
+        if let Ok(n) = text.parse::<i64>() {
+            return Some(Json::Num(n));
+        }
+        // Out-of-range integer literal: keep it as a float rather than
+        // failing the whole document.
+    }
+    text.parse::<f64>()
         .ok()
-        .map(Json::Num)
+        .filter(|x| x.is_finite())
+        .map(Json::Float)
 }
 
 fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
@@ -266,10 +314,26 @@ mod tests {
     }
 
     #[test]
-    fn rejects_trailing_garbage_and_floats() {
+    fn rejects_trailing_garbage_and_nonsense_numbers() {
         assert_eq!(parse_json("{} x"), None);
-        assert_eq!(parse_json("{\"a\":1.5}"), None); // ints only, by design
         assert_eq!(parse_json(""), None);
         assert_eq!(parse_json("[1,2"), None);
+        assert_eq!(parse_json("1."), None, "digit required after the point");
+        assert_eq!(parse_json("1e"), None, "digit required in the exponent");
+        assert_eq!(parse_json("NaN"), None, "NaN is not JSON");
+        assert_eq!(parse_json("-Infinity"), None, "Infinity is not JSON");
+        assert_eq!(parse_json("1e999"), None, "overflow to inf is rejected");
+    }
+
+    #[test]
+    fn parses_decimal_floats_for_bench_reports() {
+        let j = parse_json("{\"speedup\":23.785,\"millis\":1.0,\"exp\":2.5e2}").unwrap();
+        assert_eq!(j.get("speedup").and_then(Json::as_f64), Some(23.785));
+        assert_eq!(j.get("millis").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.get("exp").and_then(Json::as_f64), Some(250.0));
+        // Integers still come back as integers, and read as f64 too.
+        let n = parse_json("42").unwrap();
+        assert_eq!(n.as_i64(), Some(42));
+        assert_eq!(n.as_f64(), Some(42.0));
     }
 }

@@ -22,7 +22,9 @@
 
 use loopmem_bench::all_kernels;
 use loopmem_core::optimize::{minimize_mws_with_threads, SearchMode};
-use loopmem_core::optimize_program_with_threads;
+use loopmem_core::{
+    optimize_program_with_threads, scratchpad_program_with_threads, scratchpad_with_fusion,
+};
 use loopmem_ir::{parse, parse_program, LoopNest, Program};
 use loopmem_sim::{
     bench_pass1, bench_pass1_interleaved, simulate_hashmap, simulate_program_with_threads,
@@ -447,6 +449,65 @@ fn main() {
                 mws,
             );
         }
+    }
+
+    // --- scratchpad: inter-nest sizing + fusion search --------------------
+    {
+        // Sizing the 4-phase pipeline across the thread sweep (the
+        // underlying batch simulation shards; the fold is serial and the
+        // size must be bit-identical at every width).
+        let program = synthetic_program(smoke);
+        let mut baseline_words = None;
+        for &threads in &sweep {
+            let (ms, s) = time_median3(|| scratchpad_program_with_threads(&program, threads));
+            let iters: u64 = simulate_program_with_threads(&program, threads)
+                .per_nest_iterations
+                .iter()
+                .sum();
+            match baseline_words {
+                None => baseline_words = Some(s.words),
+                Some(b) => assert_eq!(s.words, b, "scratchpad size differs across threads"),
+            }
+            record(
+                &mut rows,
+                "scratchpad",
+                "pipeline4-size",
+                threads,
+                ms,
+                iters,
+                Some(s.words),
+            );
+        }
+        // Fusion search over a producer/consumer pair: the boundary set is
+        // the whole array until fusion collapses it.
+        let n = if smoke { 60 } else { 400 };
+        let pc = parse_program(&format!(
+            "array A[{m}][{m}]\narray B[{m}][{m}]\narray C[{m}][{m}]\n\
+             for i = 1 to {n} {{ for j = 1 to {n} {{ A[i][j] = B[i][j]; }} }}\n\
+             for i = 1 to {n} {{ for j = 1 to {n} {{ C[i][j] = A[i][j] + A[i][j]; }} }}",
+            m = n + 1,
+        ))
+        .expect("producer/consumer parses");
+        let (ms, plan) = time_median3(|| scratchpad_with_fusion(&pc, 1));
+        assert!(
+            plan.fused.words < plan.unfused.words,
+            "fusion must shrink the producer/consumer scratchpad"
+        );
+        record(
+            &mut rows,
+            "scratchpad",
+            "fuse-producer-consumer",
+            1,
+            ms,
+            0,
+            Some(plan.fused.words),
+        );
+        // Words-ratio, not a timing: how much scratchpad the fusion saved
+        // (`max(1)` keeps the ratio finite when everything dies in-place).
+        speedups.push((
+            "scratchpad_fuse_reduction".to_string(),
+            plan.unfused.words as f64 / plan.fused.words.max(1) as f64,
+        ));
     }
 
     // --- optimizer search modes ------------------------------------------

@@ -57,6 +57,7 @@ pub mod mws;
 pub mod nonuniform;
 pub mod optimize;
 pub mod program_opt;
+pub mod scratchpad;
 pub mod symbolic;
 pub mod tile;
 pub mod transform;
@@ -79,6 +80,12 @@ pub use program_opt::{
     analyze_program, optimize_program, optimize_program_with_threads, try_optimize_program,
     try_optimize_program_with_threads, GovernedProgramOptimization, ProgramAnalysis,
     ProgramOptimization,
+};
+pub use scratchpad::{
+    scratchpad_program, scratchpad_program_with_threads, scratchpad_with_fusion,
+    try_scratchpad_program, try_scratchpad_program_tracked, try_scratchpad_program_with_threads,
+    try_scratchpad_with_fusion, FusionStep, GovernedScratchpad, NestTerm, ScratchpadPlan,
+    ScratchpadSizing,
 };
 pub use symbolic::{distinct_formulas, Poly, SymbolicEstimate};
 pub use tile::{tile, tile_count, TileError};

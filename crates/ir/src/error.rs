@@ -79,6 +79,22 @@ impl Bounds {
     pub fn contains(&self, value: u64) -> bool {
         self.lower <= value && value <= self.upper
     }
+
+    /// Interval `[value, value + slack]`: a size commitment at the upper
+    /// bound with `slack` words of possible over-provisioning.
+    pub fn with_slack(value: u64, slack: u64, method: BoundsMethod) -> Self {
+        Bounds {
+            lower: value.saturating_sub(slack),
+            upper: value,
+            method,
+        }
+    }
+
+    /// Width of the interval: how far the committed upper bound may sit
+    /// above the true value (0 when exact).
+    pub fn slack(&self) -> u64 {
+        self.upper - self.lower
+    }
 }
 
 impl fmt::Display for Bounds {

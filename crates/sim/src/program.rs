@@ -56,6 +56,17 @@ pub struct ProgramSimResult {
     /// The peak's location: index of the nest during which the maximum
     /// window occurred.
     pub peak_nest: usize,
+    /// Exact single-nest MWS per nest, computed from each nest's own
+    /// pass-1 tables in nest-local time (equals `simulate(nest).mws_total`
+    /// for every nest, without re-sweeping the iteration space).
+    pub per_nest_mws: Vec<u64>,
+    /// Per nest `k`: elements whose lifetime crosses a boundary of nest
+    /// `k` — live at its entry (`first` in an earlier nest), at its exit
+    /// (`last` in a later nest), or both. This is `|in_k ∪ out_k|`, the
+    /// inter-nest traffic the shared-scratchpad sizing adds to nest `k`'s
+    /// internal window (`in_k` = `boundary_live[k-1]`, `out_k` =
+    /// `boundary_live[k]`).
+    pub live_through: Vec<u64>,
 }
 
 impl ProgramSimResult {
@@ -327,6 +338,37 @@ pub fn simulate_program_with_threads(program: &Program, threads: usize) -> Progr
     assemble(narrays, per_nest.into_iter().map(Some).collect(), None)
 }
 
+/// Exact single-nest MWS straight off one nest's pass-1 tables (nest-local
+/// 32-bit time): one difference lane, the same sweep the serial pass 2 of
+/// `simulate` runs — so `nest_mws_from_tables(pass1(nest, _)) ==
+/// simulate(nest).mws_total` without re-sweeping the iteration space.
+fn nest_mws_from_tables(np: &NestPass1) -> u64 {
+    let iters = np.iters as usize;
+    if iters == 0 {
+        return 0;
+    }
+    let mut diff = vec![0i32; iters];
+    for a in 0..np.first.len() {
+        for (&f, &l) in np.first[a].iter().zip(&np.last[a]) {
+            if f != UNTOUCHED {
+                diff[f as usize] += 1;
+                diff[l as usize] -= 1;
+            }
+        }
+        for &(f, l) in np.sparse[a].values() {
+            diff[f as usize] += 1;
+            diff[l as usize] -= 1;
+        }
+    }
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    for &d in &diff {
+        cur += d as i64;
+        peak = peak.max(cur);
+    }
+    peak as u64
+}
+
 /// Fold + pass-2 sweep over per-nest pass-1 tables. `None` slots are nests
 /// whose governed sweep failed: they contribute zero iterations and no
 /// touches, so the result is the exact simulation of the program restricted
@@ -343,14 +385,17 @@ fn assemble(
     let nnests = per_nest.len();
     let mut tables = plan_global_tables(narrays, &per_nest, max_table_bytes);
     let mut per_nest_iterations = Vec::with_capacity(nnests);
+    let mut per_nest_mws = Vec::with_capacity(nnests);
     let mut nest_end = Vec::with_capacity(nnests); // global t after each nest
     let mut t = 0u64;
     for np_slot in per_nest {
         let Some(np) = np_slot else {
             per_nest_iterations.push(0);
+            per_nest_mws.push(0);
             nest_end.push(t);
             continue;
         };
+        per_nest_mws.push(nest_mws_from_tables(&np));
         for (a, g) in tables.iter_mut().enumerate() {
             if np.accesses[a] == 0 {
                 continue;
@@ -388,8 +433,16 @@ fn assemble(
 
     // Sweep: one difference lane over global time (`+1` at `first`, `-1`
     // at `last`, cancelling in place when they coincide), plus per-array
-    // distinct counts straight off the folded tables.
+    // distinct counts straight off the folded tables. Three more
+    // difference lanes — over *nest indices* — count the boundary-crossing
+    // element sets per nest: `in_k` (first touch before nest `k`, last at
+    // or after it), `out_k` (first at or before `k`, last after it), and
+    // `cross_k` (strictly over `k`), so `live_through[k] = in_k + out_k -
+    // cross_k = |in_k ∪ out_k|`.
     let mut diff = vec![0i32; iterations.max(1)];
+    let mut din = vec![0i64; nnests + 1];
+    let mut dout = vec![0i64; nnests + 1];
+    let mut dcross = vec![0i64; nnests + 1];
     let mut distinct: HashMap<ArrayId, u64> = HashMap::new();
     for (a, g) in tables.iter().enumerate() {
         let mut count = 0u64;
@@ -397,6 +450,20 @@ fn assemble(
             count += 1;
             diff[f as usize] += 1;
             diff[l as usize] -= 1;
+            if f < l {
+                let fk = nest_end.partition_point(|&end| end <= f);
+                let lk = nest_end.partition_point(|&end| end <= l);
+                if lk > fk {
+                    din[fk + 1] += 1;
+                    din[lk + 1] -= 1;
+                    dout[fk] += 1;
+                    dout[lk] -= 1;
+                    if lk > fk + 1 {
+                        dcross[fk + 1] += 1;
+                        dcross[lk] -= 1;
+                    }
+                }
+            }
         };
         for &(f, l) in &g.cells {
             if f != NEVER {
@@ -429,10 +496,22 @@ fn assemble(
     }
     let peak_nest = nest_end.iter().position(|&end| peak_t < end).unwrap_or(0);
 
+    // Prefix-sum the nest-index lanes into `live_through[k] = in + out - cross`.
+    let mut live_through = Vec::with_capacity(nnests);
+    let (mut ins, mut outs, mut cross) = (0i64, 0i64, 0i64);
+    for k in 0..nnests {
+        ins += din[k];
+        outs += dout[k];
+        cross += dcross[k];
+        live_through.push((ins + outs - cross) as u64);
+    }
+
     ProgramSimResult {
         per_nest_iterations,
         mws_total: peak as u64,
         boundary_live,
+        per_nest_mws,
+        live_through,
         distinct,
         peak_nest,
     }
@@ -649,6 +728,64 @@ mod tests {
             assert_eq!(par.boundary_live, one.boundary_live);
             assert_eq!(par.distinct, one.distinct);
             assert_eq!(par.peak_nest, one.peak_nest);
+            assert_eq!(par.per_nest_mws, one.per_nest_mws);
+            assert_eq!(par.live_through, one.live_through);
+        }
+    }
+
+    #[test]
+    fn per_nest_mws_matches_single_nest_simulation() {
+        // Mixed shapes: stencil, triangular, producer/consumer — the
+        // tables-derived per-nest MWS must equal each nest's own exact
+        // simulation.
+        let p = parse_program(
+            "array A[20][20]\narray B[20][20]\n\
+             for i = 2 to 20 { for j = 1 to 20 { A[i][j] = A[i-1][j] + A[i][j]; } }\n\
+             for i = 1 to 20 { for j = i to 20 { B[i][j] = A[i][j]; } }\n\
+             for i = 1 to 20 { for j = 1 to 20 { B[i][j] = B[i][j] + 1; } }",
+        )
+        .unwrap();
+        let ps = simulate_program(&p);
+        for (k, nest) in p.nests().iter().enumerate() {
+            assert_eq!(
+                ps.per_nest_mws[k],
+                simulate(nest).mws_total,
+                "nest {k} per-nest MWS off"
+            );
+        }
+    }
+
+    #[test]
+    fn live_through_counts_boundary_crossers() {
+        // A crosses boundary 0 only (64 elements); B and C stay inside
+        // their own nest. live_through is `|in ∪ out|` per nest.
+        let p = parse_program(
+            "array A[8][8]\narray B[8][8]\narray C[8][8]\n\
+             for i = 1 to 8 { for j = 1 to 8 { A[i][j] = B[i][j]; } }\n\
+             for i = 1 to 8 { for j = 1 to 8 { C[i][j] = A[i][j] + A[i][j]; } }",
+        )
+        .unwrap();
+        let ps = simulate_program(&p);
+        assert_eq!(ps.live_through, vec![64, 64]);
+        // An element spanning all three nests counts once per nest it
+        // crosses, not once per boundary: union, not sum.
+        let p3 = parse_program(
+            "array A[5]\narray B[5]\n\
+             for i = 1 to 5 { A[i] = A[i] + 1; }\n\
+             for i = 1 to 5 { B[i] = B[i] + 1; }\n\
+             for i = 1 to 5 { A[i] = A[i] + B[i]; }",
+        )
+        .unwrap();
+        let ps3 = simulate_program(&p3);
+        // Nest 1: A passes over it (5, in cross set), B enters and exits
+        // within... B first-touched in nest 1, last in nest 2: crosses its
+        // exit only (5). Union = 10.
+        assert_eq!(ps3.boundary_live, vec![5, 10]);
+        assert_eq!(ps3.live_through, vec![5, 10, 10]);
+        // Every boundary crosser is a live-through of both adjacent nests.
+        for (k, &b) in ps3.boundary_live.iter().enumerate() {
+            assert!(ps3.live_through[k] >= b);
+            assert!(ps3.live_through[k + 1] >= b);
         }
     }
 

@@ -18,21 +18,45 @@ use std::collections::HashMap;
 fn reference_simulate(program: &Program) -> ProgramSimResult {
     let mut touches: HashMap<(usize, Vec<i64>), (u64, u64)> = HashMap::new();
     let mut per_nest_iterations = Vec::new();
+    let mut per_nest_mws = Vec::new();
     let mut nest_end = Vec::new();
     let mut t = 0u64;
     for nest in program.nests() {
         let start = t;
+        // Nest-local touch table with its own clock, for the per-nest MWS.
+        let mut local: HashMap<(usize, Vec<i64>), (u64, u64)> = HashMap::new();
+        let mut lt = 0u64;
         for_each_iteration(nest, |it| {
             for r in nest.refs() {
+                let key = (r.array.0, r.index_at(it));
                 touches
-                    .entry((r.array.0, r.index_at(it)))
+                    .entry(key.clone())
                     .and_modify(|e| e.1 = t)
                     .or_insert((t, t));
+                local
+                    .entry(key)
+                    .and_modify(|e| e.1 = lt)
+                    .or_insert((lt, lt));
             }
             t += 1;
+            lt += 1;
         });
         per_nest_iterations.push(t - start);
         nest_end.push(t);
+        let mut delta = vec![0i64; lt as usize + 1];
+        for &(f, l) in local.values() {
+            if f < l {
+                delta[f as usize] += 1;
+                delta[l as usize] -= 1;
+            }
+        }
+        let mut cur = 0i64;
+        let mut peak = 0i64;
+        for d in delta {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        per_nest_mws.push(peak as u64);
     }
     let iterations = t as usize;
     let mut add = vec![0i64; iterations.max(1)];
@@ -62,10 +86,26 @@ fn reference_simulate(program: &Program) -> ProgramSimResult {
     for (a, _) in touches.keys() {
         *distinct.entry(ArrayId(*a)).or_insert(0) += 1;
     }
+    // An element whose lifetime starts in nest fk and ends in nest lk > fk
+    // crosses a boundary of every nest k in fk..=lk.
+    let mut live_through = vec![0u64; nest_end.len()];
+    for &(f, l) in touches.values() {
+        if f < l {
+            let fk = nest_end.partition_point(|&end| end <= f);
+            let lk = nest_end.partition_point(|&end| end <= l);
+            if lk > fk {
+                for slot in &mut live_through[fk..=lk] {
+                    *slot += 1;
+                }
+            }
+        }
+    }
     ProgramSimResult {
         per_nest_iterations,
         mws_total: peak as u64,
+        per_nest_mws,
         boundary_live,
+        live_through,
         distinct,
         peak_nest,
     }
@@ -74,7 +114,9 @@ fn reference_simulate(program: &Program) -> ProgramSimResult {
 fn assert_same(a: &ProgramSimResult, b: &ProgramSimResult) {
     assert_eq!(a.per_nest_iterations, b.per_nest_iterations);
     assert_eq!(a.mws_total, b.mws_total);
+    assert_eq!(a.per_nest_mws, b.per_nest_mws);
     assert_eq!(a.boundary_live, b.boundary_live);
+    assert_eq!(a.live_through, b.live_through);
     assert_eq!(a.distinct, b.distinct);
     assert_eq!(a.peak_nest, b.peak_nest);
 }

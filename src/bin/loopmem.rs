@@ -9,6 +9,7 @@
 //! loopmem simulate <file.loop> [--profile] exact window simulation
 //! loopmem formulas <file.loop>             symbolic distinct-access formulas
 //! loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize]
+//! loopmem scratchpad <file.loop> [--fuse] [--threads N]
 //! loopmem print    <file.loop> [--transform a,b,c,d]
 //! ```
 //!
@@ -18,6 +19,11 @@
 //! `--optimize` additionally runs the batch window-minimizing search over
 //! every nest. Kernel files use the DSL documented in
 //! `loopmem_ir::parser`.
+//!
+//! `scratchpad` sizes one shared scratchpad over the whole program
+//! (`max_k (MWS_k + live-through_k)`, see `loopmem_core::scratchpad`);
+//! bare `--fuse` additionally runs the greedy fusion search and reports
+//! the plan.
 //!
 //! `check` runs the span-aware static lint pass (`loopmem-analyze`) over
 //! one or more files: rustc-style caret diagnostics (or NDJSON with
@@ -80,6 +86,7 @@ const USAGE: &str = "usage:
   loopmem simulate <file.loop> [--profile] [budget]
   loopmem formulas <file.loop>
   loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize [--mode M]] [budget]
+  loopmem scratchpad <file.loop> [--fuse] [--threads N] [budget]
   loopmem print    <file.loop> [--transform a,b,c,d]
 
 budget flags (governed run; degrades to analytical bounds, never crashes):
@@ -114,6 +121,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         ),
         "formulas" => cmd_formulas(&load(rest)?),
         "pipeline" => cmd_pipeline(rest),
+        "scratchpad" => cmd_scratchpad(rest),
         "print" => cmd_print(&load(rest)?, parse_transform(rest)?),
         other => Err(format!("unknown subcommand '{other}'")),
     };
@@ -127,6 +135,13 @@ fn positional(rest: &[String]) -> Option<&String> {
 
 /// Every argument that is neither a flag nor a flag's value, in order.
 fn positionals(rest: &[String]) -> Vec<&String> {
+    positionals_with(rest, VALUE_FLAGS)
+}
+
+/// [`positionals`] with an explicit value-flag table — commands where a
+/// flag's arity differs (`scratchpad`'s bare `--fuse` vs `pipeline`'s
+/// `--fuse k`) pass their own.
+fn positionals_with<'a>(rest: &'a [String], value_flags: &[&str]) -> Vec<&'a String> {
     let mut out = Vec::new();
     let mut skip_value = false;
     for a in rest {
@@ -135,12 +150,27 @@ fn positionals(rest: &[String]) -> Vec<&String> {
             continue;
         }
         if a.starts_with("--") {
-            skip_value = VALUE_FLAGS.contains(&a.as_str());
+            skip_value = value_flags.contains(&a.as_str());
             continue;
         }
         out.push(a);
     }
     out
+}
+
+/// Worker-thread count: `--threads N`, defaulting to available
+/// parallelism.
+fn parse_threads(rest: &[String]) -> Result<usize, String> {
+    match rest.iter().position(|a| a == "--threads") {
+        None => Ok(loopmem::sim::thread_count()),
+        Some(pos) => rest
+            .get(pos + 1)
+            .ok_or("--threads needs a positive count")?
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "--threads needs a positive count".into()),
+    }
 }
 
 fn load(rest: &[String]) -> Result<LoopNest, String> {
@@ -513,16 +543,7 @@ fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
     let path = positional(rest).ok_or("missing <file.loop> argument")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut program = loopmem::ir::parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
-    let threads = match rest.iter().position(|a| a == "--threads") {
-        None => loopmem::sim::thread_count(),
-        Some(pos) => rest
-            .get(pos + 1)
-            .ok_or("--threads needs a positive count")?
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .ok_or("--threads needs a positive count")?,
-    };
+    let threads = parse_threads(rest)?;
     if let Some(pos) = rest.iter().position(|a| a == "--fuse") {
         let k: usize = rest
             .get(pos + 1)
@@ -650,6 +671,135 @@ fn cmd_pipeline_governed(
         }
     }
     Ok(())
+}
+
+/// `loopmem scratchpad`: size one shared scratchpad over the whole
+/// program (`loopmem_core::scratchpad`). Bare `--fuse` runs the greedy
+/// fusion search; budget flags make the run governed, degrading to a
+/// size interval (`outcome : bounded`) instead of crashing.
+fn cmd_scratchpad(rest: &[String]) -> Result<(), String> {
+    // `--fuse` is a bare switch here, unlike pipeline's `--fuse k`.
+    let value_flags: Vec<&str> = VALUE_FLAGS
+        .iter()
+        .copied()
+        .filter(|f| *f != "--fuse")
+        .collect();
+    let path = positionals_with(rest, &value_flags)
+        .into_iter()
+        .next()
+        .ok_or("missing <file.loop> argument")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = loopmem::ir::parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+    let threads = parse_threads(rest)?;
+    let want_fuse = rest.iter().any(|a| a == "--fuse");
+    println!(
+        "nests             : {} ({} worker threads)",
+        program.len(),
+        threads
+    );
+    println!("declared storage  : {} words", program.default_memory());
+
+    if let Some(budget) = parse_budget(rest)? {
+        let r = if want_fuse {
+            loopmem::core::try_scratchpad_with_fusion(&program, threads, &budget)
+        } else {
+            loopmem::core::try_scratchpad_program_with_threads(&program, threads, &budget)
+                .map(|g| (g, None))
+        };
+        let (gov, plan) = match r {
+            Ok(x) => x,
+            Err(e) => return report_governed_failure(&e),
+        };
+        if gov.all_exact() {
+            println!("outcome           : exact");
+            print_scratchpad_sizing(&gov.sizing);
+        } else {
+            println!("outcome           : bounded");
+            println!(
+                "scratchpad        : <= {} words (slack {}; in {})",
+                gov.words.upper,
+                gov.words.slack(),
+                gov.words
+            );
+            println!("whole-program MWS : >= {} words", gov.sizing.program_mws);
+            for (k, r) in gov.per_nest.iter().enumerate() {
+                match r {
+                    Ok(t) => println!(
+                        "  nest{k} : mws {} + live-through {} = {}",
+                        t.mws,
+                        t.live_through,
+                        t.words()
+                    ),
+                    Err(AnalysisError::Exhausted { reason, partial }) => {
+                        println!("  nest{k} : bounded {partial}; budget exhausted ({reason})");
+                    }
+                    Err(e @ AnalysisError::Overflow { .. }) => {
+                        println!("  nest{k} : overflow; {e}")
+                    }
+                    Err(e) => println!("  nest{k} : failed; {e}"),
+                }
+            }
+        }
+        if want_fuse {
+            match &plan {
+                Some(p) => print_scratchpad_plan(p),
+                None => println!("fusion            : skipped (baseline not exact)"),
+            }
+        }
+        return Ok(());
+    }
+
+    let sizing = loopmem::core::scratchpad_program_with_threads(&program, threads);
+    println!("outcome           : exact");
+    print_scratchpad_sizing(&sizing);
+    if want_fuse {
+        let plan = loopmem::core::scratchpad_with_fusion(&program, threads);
+        print_scratchpad_plan(&plan);
+    }
+    Ok(())
+}
+
+fn print_scratchpad_sizing(s: &loopmem::core::ScratchpadSizing) {
+    println!(
+        "scratchpad        : {} words (peak term in nest {})",
+        s.words, s.peak_nest
+    );
+    println!("whole-program MWS : {} words", s.program_mws);
+    for (k, t) in s.per_nest.iter().enumerate() {
+        println!(
+            "  nest{k} : mws {} + live-through {} = {}",
+            t.mws,
+            t.live_through,
+            t.words()
+        );
+    }
+    for (k, live) in s.boundary_live.iter().enumerate() {
+        println!("boundary {}->{}      : {} words live", k, k + 1, live);
+    }
+}
+
+fn print_scratchpad_plan(p: &loopmem::core::ScratchpadPlan) {
+    println!(
+        "fusion            : {} accepted, {} -> {} nests",
+        p.steps.len(),
+        p.unfused.per_nest.len(),
+        p.fused.per_nest.len()
+    );
+    for (i, st) in p.steps.iter().enumerate() {
+        println!(
+            "  step {} : fuse at boundary {}, {} -> {} words",
+            i + 1,
+            st.at,
+            st.words_before,
+            st.words_after
+        );
+    }
+    for (k, g) in p.groups.iter().enumerate() {
+        if g.len() > 1 {
+            println!("  fused nest{k} = original nests {g:?}");
+        }
+    }
+    println!("scratchpad fused  : {} words", p.fused.words);
 }
 
 fn cmd_print(nest: &LoopNest, transform: Option<IMat>) -> Result<(), String> {
