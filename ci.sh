@@ -6,6 +6,7 @@
 # robustness step; `./ci.sh check` likewise runs only the static-analysis
 # gate (`loopmem check` over every kernel and pathological input);
 # `./ci.sh scratchpad` runs only the shared-scratchpad sizing gate;
+# `./ci.sh chaos` runs only the fault-injection chaos-differential gate;
 # `./ci.sh bench-multicore` runs the perfsuite smoke and requires the
 # host to be multi-core (the GitHub-runner bench matrix job).
 set -euo pipefail
@@ -164,6 +165,39 @@ scratchpad_step() {
     fi
 }
 
+# The chaos-differential gate: every governed entry point under a seeded
+# deterministic fault matrix (budget trips, cancellation, table
+# rejection, u32 overflow, injected panics) at t in {1, 2, 4}, checked
+# against the four oracles of DESIGN.md §13. Zero violations required;
+# salvage must engage at least once so the salvaged-prefix path is
+# provably exercised, not just compiled.
+chaos_step() {
+    echo "== chaos: fault-injection sweep over kernels + robustness corpus =="
+    local start
+    start=$(date +%s)
+    local out
+    if ! out="$(./target/release/chaossuite kernels/*.loop tests/robustness/*.loop --seed 1)"; then
+        echo "$out"
+        echo "FAIL: chaossuite reported oracle violations"
+        return 1
+    fi
+    echo "$out"
+    if ! grep -q "^violations : 0$" <<<"$out"; then
+        echo "FAIL: expected 'violations : 0' in chaossuite summary"
+        return 1
+    fi
+    if grep -q "^salvaged   : 0$" <<<"$out"; then
+        echo "FAIL: no run produced a salvaged-prefix bound tighter than analytic"
+        return 1
+    fi
+    local elapsed=$(( $(date +%s) - start ))
+    echo "chaos step completed in ${elapsed}s"
+    if [ "$elapsed" -ge 10 ]; then
+        echo "FAIL: chaos step took ${elapsed}s (budget: <10s)"
+        return 1
+    fi
+}
+
 if [ "${1:-}" = "robustness" ]; then
     cargo build --release --offline -p loopmem
     robustness_step
@@ -182,6 +216,13 @@ if [ "${1:-}" = "scratchpad" ]; then
     cargo build --release --offline -p loopmem
     scratchpad_step
     echo "== ci (scratchpad only) passed =="
+    exit 0
+fi
+
+if [ "${1:-}" = "chaos" ]; then
+    cargo build --release --offline -p loopmem-bench --bin chaossuite
+    chaos_step
+    echo "== ci (chaos only) passed =="
     exit 0
 fi
 
@@ -213,6 +254,8 @@ robustness_step
 check_step
 
 scratchpad_step
+
+chaos_step
 
 echo "== perfsuite (smoke) =="
 rm -f BENCH_loopmem.json

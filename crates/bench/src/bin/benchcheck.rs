@@ -56,7 +56,12 @@ fn main() -> ExitCode {
     let mut failed = false;
     for path in files {
         match check_file(path, require_multicore) {
-            Ok(summary) => println!("ok   {path}: {summary}"),
+            Ok((summary, warnings)) => {
+                println!("ok   {path}: {summary}");
+                for w in warnings {
+                    println!("warn {path}: {w}");
+                }
+            }
             Err(problems) => {
                 failed = true;
                 for p in &problems {
@@ -72,9 +77,10 @@ fn main() -> ExitCode {
     }
 }
 
-/// Validates one report; `Ok` carries a one-line summary, `Err` every
-/// problem found (the whole file is checked, not just the first slip).
-fn check_file(path: &str, require_multicore: bool) -> Result<String, Vec<String>> {
+/// Validates one report; `Ok` carries a one-line summary plus any
+/// non-fatal warnings, `Err` every problem found (the whole file is
+/// checked, not just the first slip).
+fn check_file(path: &str, require_multicore: bool) -> Result<(String, Vec<String>), Vec<String>> {
     let src = std::fs::read_to_string(path).map_err(|e| vec![format!("unreadable: {e}")])?;
     let doc = parse_json(&src)
         .ok_or_else(|| vec!["invalid JSON (NaN/Infinity are rejected by design)".to_string()])?;
@@ -159,15 +165,29 @@ fn check_file(path: &str, require_multicore: bool) -> Result<String, Vec<String>
     }
 
     if problems.is_empty() {
-        Ok(format!(
-            "{} rows, {} speedups{}",
-            rows.len(),
-            speedups.len(),
-            if require_multicore {
-                format!(", multicore sweep verified ({avail} CPUs)")
-            } else {
-                String::new()
-            }
+        // Provenance, not validity: a 1-CPU recording is well-formed but
+        // its thread-sweep speedups carry no scaling signal, so flag it
+        // without failing (the multicore gate fails it explicitly).
+        let mut warnings = Vec::new();
+        if !require_multicore && avail == 1 {
+            warnings.push(
+                "recorded on a 1-CPU host: thread-sweep rows absent and \
+                 speedups reflect no real parallelism"
+                    .to_string(),
+            );
+        }
+        Ok((
+            format!(
+                "{} rows, {} speedups{}",
+                rows.len(),
+                speedups.len(),
+                if require_multicore {
+                    format!(", multicore sweep verified ({avail} CPUs)")
+                } else {
+                    String::new()
+                }
+            ),
+            warnings,
         ))
     } else {
         Err(problems)

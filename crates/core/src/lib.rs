@@ -49,6 +49,7 @@
 //! ```
 
 pub mod bnb;
+pub mod chaos;
 pub mod classify;
 pub mod distinct;
 pub mod estimator;
@@ -64,6 +65,7 @@ pub mod transform;
 pub mod union_count;
 
 pub use bnb::{branch_and_bound, try_branch_and_bound, BnbResult};
+pub use chaos::{chaos_program, chaos_source, ChaosReport};
 pub use classify::{classify_formulas, ArrayClassification, FormulaClass};
 pub use distinct::{
     analytic_mws_bounds, estimate_distinct, estimate_distinct_closed_form, estimate_distinct_exact,

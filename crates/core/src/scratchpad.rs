@@ -241,6 +241,7 @@ impl GovernedScratchpad {
 fn governed_sizing(program: &Program, gov: GovernedProgramSim) -> GovernedScratchpad {
     let sizing = sizing_from_sim(&gov.sim);
     let mut failed_upper = 0u64;
+    let mut salvaged_lower = 0u64;
     let mut per_nest = Vec::with_capacity(gov.per_nest.len());
     for (k, outcome) in gov.per_nest.into_iter().enumerate() {
         match outcome {
@@ -257,6 +258,12 @@ fn governed_sizing(program: &Program, gov: GovernedProgramSim) -> GovernedScratc
                     None => analytic_nest_bounds(&program.nests()[k]).upper,
                 };
                 failed_upper = failed_upper.saturating_add(upper);
+                // A salvaged-prefix lower bound on a failed nest's MWS also
+                // lower-bounds the shared buffer: the buffer must hold at
+                // least `MWS_k (+ live-through_k)` words during nest k.
+                if let Some(b) = e.bounds() {
+                    salvaged_lower = salvaged_lower.max(b.lower);
+                }
                 per_nest.push(Err(e));
             }
         }
@@ -265,7 +272,7 @@ fn governed_sizing(program: &Program, gov: GovernedProgramSim) -> GovernedScratc
         Bounds::exact(sizing.words)
     } else {
         Bounds {
-            lower: sizing.words,
+            lower: sizing.words.max(salvaged_lower),
             upper: sizing.words.saturating_add(failed_upper.saturating_mul(2)),
             method: BoundsMethod::PartialProgram,
         }

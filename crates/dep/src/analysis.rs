@@ -164,6 +164,15 @@ fn loop_spans(nest: &LoopNest) -> Vec<i64> {
 /// [`DependenceSet::nonuniform_pair_count`] and otherwise skipped, exactly
 /// as the paper's framework does.
 pub fn analyze(nest: &LoopNest) -> DependenceSet {
+    // An empty iteration space executes nothing and carries no
+    // dependences. Bail out before the distance enumeration: its span
+    // windows assume at least one executed iteration, and a constant
+    // subscript inside an empty nest would otherwise send the
+    // multi-dimensional family walk over the full (never-executed)
+    // inner ranges.
+    if nest.var_ranges().is_none() {
+        return DependenceSet::default();
+    }
     let spans = loop_spans(nest);
     let groups = uniform_groups(nest);
     let mut set = DependenceSet::default();
@@ -321,6 +330,9 @@ fn enumerate_multi(
     for t in -bound..=bound {
         coeffs[depth] = t;
         enumerate_multi(particular, kernel, spans, bound, depth + 1, coeffs, out);
+        if out.len() >= CAP {
+            return;
+        }
     }
 }
 
@@ -328,6 +340,21 @@ fn enumerate_multi(
 mod tests {
     use super::*;
     use loopmem_ir::parse;
+
+    #[test]
+    fn empty_nest_has_no_dependences() {
+        // Regression: a constant subscript inside an empty nest used to
+        // send the multi-dimensional family enumeration over the full
+        // (never-executed) inner range — an effectively unbounded walk.
+        let nest = parse(
+            "array X[10]\n\
+             for i = 5 to 4 { for j = 1 to 1000000 { X[1]; } }",
+        )
+        .unwrap();
+        let deps = analyze(&nest);
+        assert_eq!(deps.len(), 0);
+        assert_eq!(deps.nonuniform_pair_count(), 0);
+    }
 
     #[test]
     fn example2_single_flow_dependence() {

@@ -35,6 +35,14 @@ pub enum BoundsMethod {
     /// Program-level composition: exact simulation of the successful subset
     /// of nests plus analytical bounds for the degraded ones.
     PartialProgram,
+    /// Salvaged prefix: the lower bound is the exact maximum window size of
+    /// a deterministic prefix of the lexicographic iteration stream, re-swept
+    /// after a budget trip; the upper bound stays analytical. Within a stream
+    /// prefix every recorded first touch is the element's true first touch
+    /// and every recorded last touch is no later than its true last touch, so
+    /// the prefix live count never exceeds the true live count — the prefix
+    /// MWS is a valid (and usually much tighter) lower bound on the full MWS.
+    SalvagedPrefix,
 }
 
 impl fmt::Display for BoundsMethod {
@@ -44,6 +52,7 @@ impl fmt::Display for BoundsMethod {
             BoundsMethod::UnionBox => write!(f, "union-box"),
             BoundsMethod::ClosedForm => write!(f, "closed-form"),
             BoundsMethod::PartialProgram => write!(f, "partial-program"),
+            BoundsMethod::SalvagedPrefix => write!(f, "salvaged-prefix"),
         }
     }
 }

@@ -22,6 +22,8 @@ use std::time::{Duration, Instant};
 
 use loopmem_ir::{Bounds, BoundsMethod, LoopNest, TripReason};
 
+use crate::faults::FaultPlan;
+
 /// How many swept iterations a chunk accumulates locally before charging
 /// them to the shared tracker and polling for trips. Small enough that tight
 /// caps (`max_iterations = 1000`) trip on small nests and cancellation is
@@ -63,6 +65,7 @@ pub struct AnalysisBudget {
     max_table_bytes: Option<u64>,
     max_search_nodes: Option<u64>,
     cancel: Option<CancelToken>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl AnalysisBudget {
@@ -105,13 +108,23 @@ impl AnalysisBudget {
         self
     }
 
-    /// True when no limit is set (the legacy fast path).
+    /// Attaches a deterministic fault-injection plan
+    /// ([`FaultPlan`](crate::faults::FaultPlan)); the materialized tracker
+    /// consults it at every poll and at the planner / nest-entry hooks.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// True when no limit is set (the legacy fast path). A fault plan counts
+    /// as a limit: injected faults must flow through the governed machinery.
     pub fn is_unlimited(&self) -> bool {
         self.timeout.is_none()
             && self.max_iterations.is_none()
             && self.max_table_bytes.is_none()
             && self.max_search_nodes.is_none()
             && self.cancel.is_none()
+            && self.fault.is_none()
     }
 
     /// The touch-table byte cap, if any.
@@ -141,6 +154,7 @@ pub struct BudgetTracker {
     iterations: AtomicU64,
     nodes: AtomicU64,
     cancel: Option<CancelToken>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl BudgetTracker {
@@ -153,6 +167,7 @@ impl BudgetTracker {
             iterations: AtomicU64::new(0),
             nodes: AtomicU64::new(0),
             cancel: budget.cancel.clone(),
+            fault: budget.fault.clone(),
         }
     }
 
@@ -181,8 +196,18 @@ impl BudgetTracker {
         self.check()
     }
 
-    /// Polls every limit without charging new work.
+    /// Polls every limit without charging new work. An attached fault plan
+    /// is consulted first (against the cumulative charged-iteration
+    /// counter, which is monotone and schedule-independent) so injected
+    /// trips land at an exact logical position regardless of which real
+    /// limits are also set and how work was divided across threads.
     pub fn check(&self) -> Result<(), TripReason> {
+        if let Some(plan) = &self.fault {
+            let charged = self.iterations.load(Ordering::Relaxed);
+            if let Some(reason) = plan.observe(charged, self.cancel.as_ref()) {
+                return Err(reason);
+            }
+        }
         if let Some(c) = &self.cancel {
             if c.is_cancelled() {
                 return Err(TripReason::Cancelled);
@@ -204,6 +229,53 @@ impl BudgetTracker {
     /// Total iterations charged so far.
     pub fn iterations_charged(&self) -> u64 {
         self.iterations.load(Ordering::Relaxed)
+    }
+
+    /// True when an attached fault plan demands the planner reject every
+    /// per-array touch table (forced `max_table_bytes` rejection).
+    pub(crate) fn fault_reject_tables(&self) -> bool {
+        self.fault.as_ref().is_some_and(|p| p.reject_tables())
+    }
+
+    /// True exactly once when an attached fault plan targets `nest_index`
+    /// with an injected panic; the caller panics inside its `catch_unwind`.
+    pub(crate) fn fault_take_panic(&self, nest_index: usize) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|p| p.take_panic(nest_index))
+    }
+
+    /// True exactly once, at the first consultation where the cumulative
+    /// charged-iteration counter has reached the attached fault plan's
+    /// threshold: the dense sweep must take its u32 time-stamp exhaustion
+    /// branch. The counter is monotone and every charge is followed by a
+    /// consultation, so whether the fault lands is thread-count invariant.
+    pub(crate) fn fault_take_overflow(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|p| p.take_overflow(self.iterations.load(Ordering::Relaxed)))
+    }
+
+    /// The deterministic iteration quota a salvage pass may re-sweep after a
+    /// trip for `reason`, or `None` when the trip has no deterministic
+    /// logical position (deadline, table caps, real cancellation, search
+    /// caps). An injected poll fault defines the quota as N × POLL_INTERVAL;
+    /// a real iteration-cap trip uses the cap itself.
+    pub(crate) fn salvage_quota(&self, reason: TripReason) -> Option<u64> {
+        if !matches!(reason, TripReason::MaxIterations | TripReason::Cancelled) {
+            return None;
+        }
+        if let Some(q) = self
+            .fault
+            .as_ref()
+            .and_then(|p| p.trip_quota(self.iterations.load(Ordering::Relaxed)))
+        {
+            return Some(q);
+        }
+        match reason {
+            TripReason::MaxIterations => self.max_iterations,
+            _ => None,
+        }
     }
 }
 

@@ -46,7 +46,9 @@ use crate::budget::{
 };
 use crate::exec::{outer_range, try_for_each_inner_run, try_for_each_iteration_outer};
 use crate::window::{ArrayStats, SimResult};
-use loopmem_ir::{AnalysisError, ArrayId, ArrayRef, ElementBox, LoopNest, TripReason};
+use loopmem_ir::{
+    AnalysisError, ArrayId, ArrayRef, Bounds, BoundsMethod, ElementBox, LoopNest, TripReason,
+};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::ops::ControlFlow;
@@ -63,6 +65,10 @@ pub(crate) enum SweepError {
     Trip(TripReason),
     /// Intermediate arithmetic left `i64`/`u32` range.
     Overflow(String),
+    /// The caller's `stop_after` prefix quota was reached: not a failure —
+    /// [`sweep_chunk`] intercepts it and returns the partial tables. Never
+    /// escapes to `sweep_all` callers.
+    Stopped,
 }
 
 /// Chunk-local "never touched" sentinel for the `first` slot.
@@ -89,6 +95,11 @@ const SPARSITY_FACTOR: u128 = 64;
 /// Nests with (conservatively) fewer iterations than this are swept on
 /// one thread: thread spawn/merge overhead dominates below it.
 const PARALLEL_THRESHOLD: u128 = 1 << 17;
+
+/// Upper limit on the iterations a salvage pass re-sweeps after a budget
+/// trip. Keeps salvage cost bounded (a few milliseconds) even when the
+/// tripped iteration cap was astronomically large.
+const SALVAGE_MAX_ITERS: u64 = 1 << 22;
 
 /// Worker-thread count: `LOOPMEM_THREADS` when set to a positive integer,
 /// otherwise the machine's available parallelism.
@@ -426,12 +437,17 @@ fn dense_run(
 /// the legacy per-iteration checked-arithmetic loop (the dense path
 /// needs none: the planner's `dense_form` already verified every
 /// reachable term product and partial sum fits `i64`).
+///
+/// `stop_after` cleanly stops the sweep once exactly that many iterations
+/// have been stamped, returning the partial tables instead of an error —
+/// the salvage pass uses it to re-sweep a deterministic stream prefix.
 fn sweep_chunk(
     nest: &LoopNest,
     plan: &Plan,
     lo: i64,
     hi: i64,
     tracker: &BudgetTracker,
+    stop_after: Option<u64>,
 ) -> Result<ChunkOut, SweepError> {
     let narrays = nest.arrays().len();
     let depth = nest.depth();
@@ -482,7 +498,14 @@ fn sweep_chunk(
                     "chunk exceeds the engine's u32 iteration budget".to_string(),
                 ));
             }
-            let quota = (POLL_INTERVAL - unpolled).min(cap);
+            let mut quota = (POLL_INTERVAL - unpolled).min(cap);
+            if let Some(limit) = stop_after {
+                let left = limit.saturating_sub(t as u64);
+                if left == 0 {
+                    return ControlFlow::Break(SweepError::Stopped);
+                }
+                quota = quota.min(left.min(u32::MAX as u64) as u32);
+            }
             let seg = remaining.min(quota as u128) as u32;
             let seg_hi = j + (seg as i64 - 1);
             for rp in &plan.refs {
@@ -565,6 +588,17 @@ fn sweep_chunk(
                     return ControlFlow::Break(SweepError::Trip(reason));
                 }
                 unpolled = 0;
+                // Injected overflow: force the u32 clock-exhaustion branch
+                // at the first charge observing the plan's threshold. The
+                // cumulative counter is monotone and every charge is
+                // followed by this consultation, so whether the fault
+                // lands is identical for every thread count; which chunk
+                // reports it may differ, but the error value is fixed.
+                if tracker.fault_take_overflow() {
+                    return ControlFlow::Break(SweepError::Overflow(
+                        "chunk exceeds the engine's u32 iteration budget".to_string(),
+                    ));
+                }
             }
             if remaining > 0 {
                 j = seg_hi + 1;
@@ -572,13 +606,25 @@ fn sweep_chunk(
         }
         ControlFlow::Continue(())
     });
-    if let ControlFlow::Break(err) = flow {
-        return Err(err);
+    match flow {
+        // A clean prefix stop keeps the partial tables: exactly
+        // `stop_after` iterations are stamped.
+        ControlFlow::Break(SweepError::Stopped) => {}
+        ControlFlow::Break(err) => return Err(err),
+        ControlFlow::Continue(()) => {}
     }
     if unpolled > 0 {
         tracker
             .charge_iterations(unpolled as u64)
             .map_err(SweepError::Trip)?;
+        // Trailing-charge consultation: keeps the injected overflow
+        // thread-count invariant even when the threshold lands on a
+        // chunk's final partial quantum.
+        if tracker.fault_take_overflow() {
+            return Err(SweepError::Overflow(
+                "chunk exceeds the engine's u32 iteration budget".to_string(),
+            ));
+        }
     }
     Ok(ChunkOut {
         iters: t as u64,
@@ -841,7 +887,14 @@ fn sweep_all(
 ) -> Result<(Plan, ChunkOut), SweepError> {
     let (olo, ohi) = outer_range(nest);
     let threads = threads.max(1);
-    let plan = make_plan(nest, threads, max_table_bytes);
+    // An injected table-rejection fault plans as if `max_table_bytes` were
+    // zero: every array demotes to the sparse path (results stay exact).
+    let plan_cap = if tracker.fault_reject_tables() {
+        Some(0)
+    } else {
+        max_table_bytes
+    };
+    let plan = make_plan(nest, threads, plan_cap);
     let chunks = if threads == 1 {
         vec![(olo, ohi)]
     } else {
@@ -849,7 +902,7 @@ fn sweep_all(
     };
     if chunks.len() <= 1 {
         let (lo, hi) = chunks[0];
-        let out = sweep_chunk(nest, &plan, lo, hi, tracker)?;
+        let out = sweep_chunk(nest, &plan, lo, hi, tracker, None)?;
         return Ok((plan, out));
     }
     let workers = threads.min(chunks.len());
@@ -875,11 +928,26 @@ fn sweep_all(
                         break;
                     }
                     let (lo, hi) = chunks[k];
-                    match sweep_chunk(nest, plan, lo, hi, tracker) {
+                    match sweep_chunk(nest, plan, lo, hi, tracker, None) {
                         Ok(out) => state.lock().expect("merge state poisoned").deposit(k, out),
                         Err(e) => {
+                            // Overflow outranks budget trips: a u32
+                            // time-stamp overflow fires at a fixed point in
+                            // the charged-iteration stream, while which
+                            // *other* chunks then trip the shared budget is
+                            // schedule-dependent. Among equal ranks the
+                            // smallest chunk index wins, so the reported
+                            // failure is the same at every thread count.
+                            let rank = |err: &SweepError| match err {
+                                SweepError::Overflow(_) => 0usize,
+                                _ => 1,
+                            };
                             let mut slot = failure.lock().expect("failure slot poisoned");
-                            if slot.as_ref().is_none_or(|(prev, _)| k < *prev) {
+                            let replace = match slot.as_ref() {
+                                None => true,
+                                Some((prev_k, prev_e)) => (rank(&e), k) < (rank(prev_e), *prev_k),
+                            };
+                            if replace {
                                 *slot = Some((k, e));
                             }
                             stop.store(true, Ordering::Relaxed);
@@ -928,6 +996,7 @@ pub(crate) fn pass1(nest: &LoopNest, threads: usize) -> NestPass1 {
         // contract (panic) for callers without a governed path.
         Err(SweepError::Trip(_)) => unreachable!("unlimited budget tripped"),
         Err(SweepError::Overflow(msg)) => panic!("{msg}"),
+        Err(SweepError::Stopped) => unreachable!("no prefix quota was set"),
     }
 }
 
@@ -947,6 +1016,7 @@ pub fn bench_pass1(nest: &LoopNest, threads: usize) -> u64 {
         }
         Err(SweepError::Trip(_)) => unreachable!("unlimited budget tripped"),
         Err(SweepError::Overflow(msg)) => panic!("{msg}"),
+        Err(SweepError::Stopped) => unreachable!("no prefix quota was set"),
     }
 }
 
@@ -1045,10 +1115,70 @@ pub fn bench_pass1_interleaved(nest: &LoopNest) -> u64 {
     t as u64
 }
 
+/// Exact maximum window size of the lexicographic stream prefix
+/// `[0, quota)`: a single-threaded, budget-free re-sweep with a clean stop
+/// at the quota, folded through the standard difference-lane pass 2.
+///
+/// Soundness of using it as a *lower bound* on the full MWS: within a
+/// stream prefix every recorded first touch is the element's true first
+/// touch, and every recorded last touch is no later than its true last
+/// touch, so the prefix live count at any time never exceeds the true live
+/// count — the prefix maximum is ≤ the true maximum (DESIGN.md §13).
+fn prefix_mws(nest: &LoopNest, quota: u64, max_table_bytes: Option<u64>) -> Option<u64> {
+    let tracker = BudgetTracker::unlimited();
+    let plan = make_plan(nest, 1, max_table_bytes);
+    let (lo, hi) = outer_range(nest);
+    let out = sweep_chunk(nest, &plan, lo, hi, &tracker, Some(quota)).ok()?;
+    Some(finish(nest.arrays().len(), out, false).mws_total)
+}
+
+/// The `Exhausted` payload after a budget trip: when the trip has a
+/// deterministic logical position (a real iteration-cap trip, or an
+/// injected poll fault — see [`BudgetTracker::salvage_quota`]), salvage the
+/// already-earned work by re-sweeping that exact stream prefix and
+/// reporting its MWS as the lower bound; otherwise (deadline, table caps,
+/// real cancellation) fall back to the purely analytic ladder. The salvaged
+/// payload depends only on the nest and the quota — never on thread count
+/// or steal order — so it stays bit-identical across `t ∈ {1, 2, 4}`.
+fn salvage_nest_bounds(
+    nest: &LoopNest,
+    tracker: &BudgetTracker,
+    reason: TripReason,
+    max_table_bytes: Option<u64>,
+) -> Bounds {
+    let analytic = analytic_nest_bounds(nest);
+    let Some(quota) = tracker.salvage_quota(reason) else {
+        return analytic;
+    };
+    let mut quota = quota.min(SALVAGE_MAX_ITERS);
+    if let Some(cap) = max_table_bytes {
+        // The prefix fold's difference lane costs 4 bytes per iteration;
+        // honour the caller's byte cap during salvage too.
+        quota = quota.min(cap / 4);
+    }
+    if quota == 0 {
+        return analytic;
+    }
+    match catch_unwind(AssertUnwindSafe(|| {
+        prefix_mws(nest, quota, max_table_bytes)
+    })) {
+        Ok(Some(prefix)) => Bounds {
+            lower: prefix.max(analytic.lower),
+            upper: analytic.upper,
+            method: BoundsMethod::SalvagedPrefix,
+        },
+        _ => analytic,
+    }
+}
+
 /// Governed pass 1 of one nest: panics are contained with `catch_unwind`
 /// (a poisoned nest yields [`AnalysisError::NestPanicked`] tagged with
-/// `nest_index`), budget trips degrade to [`analytic_nest_bounds`], and
-/// overflow reports [`AnalysisError::Overflow`].
+/// `nest_index`), budget trips degrade to salvaged-prefix or analytic
+/// bounds ([`salvage_nest_bounds`]), and overflow reports
+/// [`AnalysisError::Overflow`]. Nests whose pass-2 difference lane alone
+/// would exceed `max_table_bytes` (4 bytes per estimated iteration, the
+/// same criterion as the program engine's global gate) are refused up
+/// front, so one oversized nest in a batch degrades alone.
 pub(crate) fn try_pass1(
     nest_index: usize,
     nest: &LoopNest,
@@ -1056,7 +1186,18 @@ pub(crate) fn try_pass1(
     tracker: &BudgetTracker,
     max_table_bytes: Option<u64>,
 ) -> Result<NestPass1, AnalysisError> {
+    if let Some(cap) = max_table_bytes {
+        if estimated_iterations_of(nest).saturating_mul(4) > cap as u128 {
+            return Err(AnalysisError::Exhausted {
+                reason: TripReason::MaxTableBytes,
+                partial: analytic_nest_bounds(nest),
+            });
+        }
+    }
     let swept = catch_unwind(AssertUnwindSafe(|| {
+        if tracker.fault_take_panic(nest_index) {
+            panic!("{}", crate::faults::INJECTED_PANIC);
+        }
         sweep_all(nest, threads, tracker, max_table_bytes)
     }));
     match swept {
@@ -1070,9 +1211,10 @@ pub(crate) fn try_pass1(
         }),
         Ok(Err(SweepError::Trip(reason))) => Err(AnalysisError::Exhausted {
             reason,
-            partial: analytic_nest_bounds(nest),
+            partial: salvage_nest_bounds(nest, tracker, reason, max_table_bytes),
         }),
         Ok(Err(SweepError::Overflow(context))) => Err(AnalysisError::Overflow { context }),
+        Ok(Err(SweepError::Stopped)) => unreachable!("no prefix quota was set"),
         Err(payload) => Err(AnalysisError::NestPanicked {
             nest: nest_index,
             message: panic_message(payload),
@@ -1092,6 +1234,7 @@ pub(crate) fn run(nest: &LoopNest, want_profile: bool, threads: usize) -> SimRes
         Ok((_, merged)) => finish(narrays, merged, want_profile),
         Err(SweepError::Trip(_)) => unreachable!("unlimited budget tripped"),
         Err(SweepError::Overflow(msg)) => panic!("{msg}"),
+        Err(SweepError::Stopped) => unreachable!("no prefix quota was set"),
     }
 }
 
@@ -1107,18 +1250,24 @@ pub(crate) fn try_run(
     budget: &AnalysisBudget,
 ) -> Result<SimResult, AnalysisError> {
     let tracker = BudgetTracker::new(budget);
-    try_run_tracked(
+    try_run_impl(
         nest,
         want_profile,
         threads,
         &tracker,
         budget.max_table_bytes(),
+        true,
     )
 }
 
 /// [`try_run`] charging an externally owned tracker, so a caller running
 /// many simulations (the optimizer's candidate sweep) shares one deadline
-/// and one cumulative iteration count across all of them.
+/// and one cumulative iteration count across all of them. Trip payloads
+/// stay purely analytic here: the optimizer compares many candidates
+/// against one shared budget, and re-sweeping a salvage prefix per failed
+/// candidate would multiply the tripped budget's cost for bounds nobody
+/// reads (the search reports the *original* nest's bounds, not a
+/// candidate's).
 pub(crate) fn try_run_tracked(
     nest: &LoopNest,
     want_profile: bool,
@@ -1126,8 +1275,22 @@ pub(crate) fn try_run_tracked(
     tracker: &BudgetTracker,
     max_table_bytes: Option<u64>,
 ) -> Result<SimResult, AnalysisError> {
+    try_run_impl(nest, want_profile, threads, tracker, max_table_bytes, false)
+}
+
+fn try_run_impl(
+    nest: &LoopNest,
+    want_profile: bool,
+    threads: usize,
+    tracker: &BudgetTracker,
+    max_table_bytes: Option<u64>,
+    salvage: bool,
+) -> Result<SimResult, AnalysisError> {
     let narrays = nest.arrays().len();
     let swept = catch_unwind(AssertUnwindSafe(|| {
+        if tracker.fault_take_panic(0) {
+            panic!("{}", crate::faults::INJECTED_PANIC);
+        }
         let (_, merged) = sweep_all(nest, threads, tracker, max_table_bytes)?;
         Ok(finish(narrays, merged, want_profile))
     }));
@@ -1135,9 +1298,14 @@ pub(crate) fn try_run_tracked(
         Ok(Ok(res)) => Ok(res),
         Ok(Err(SweepError::Trip(reason))) => Err(AnalysisError::Exhausted {
             reason,
-            partial: analytic_nest_bounds(nest),
+            partial: if salvage {
+                salvage_nest_bounds(nest, tracker, reason, max_table_bytes)
+            } else {
+                analytic_nest_bounds(nest)
+            },
         }),
         Ok(Err(SweepError::Overflow(context))) => Err(AnalysisError::Overflow { context }),
+        Ok(Err(SweepError::Stopped)) => unreachable!("no prefix quota was set"),
         Err(payload) => Err(AnalysisError::NestPanicked {
             nest: 0,
             message: panic_message(payload),

@@ -1,0 +1,263 @@
+//! Deterministic fault injection for the governed analysis paths.
+//!
+//! A [`FaultPlan`] describes one fault to inject into a governed run, pinned
+//! to a *logical* fault point rather than a wall-clock one so the same plan
+//! reproduces bit-identically for every thread count and steal order:
+//!
+//! * [`FaultKind::Exhaust`] / [`FaultKind::Cancel`] fire at the Nth poll
+//!   quantum — the first budget poll
+//!   ([`BudgetTracker::check`](crate::BudgetTracker::check)) observing at
+//!   least `N × POLL_INTERVAL` charged iterations. The threshold is a
+//!   predicate on the run's *cumulative* iteration counter, which is
+//!   monotone and schedule-independent, so whether the fault lands — and
+//!   the salvage quota when it does — is identical for every thread count
+//!   and steal order, exactly like a real exhausted cap. Once the counter
+//!   crosses the threshold every later poll reports the same trip, and a
+//!   present cancel token is flagged for real.
+//! * [`FaultKind::Overflow`] forces the dense sweep's u32 time-stamp
+//!   exhaustion branch at the first charge observing the threshold (fires
+//!   once; the error value is the real overflow error, verbatim).
+//! * [`FaultKind::RejectTables`] makes the dense planner behave as if
+//!   `max_table_bytes` rejected every per-array touch table, exercising the
+//!   sparse fallback end to end (results must still be exact).
+//! * [`FaultKind::PanicNest`] panics at the start of the target nest's
+//!   sweep, inside the engine's per-nest `catch_unwind`, to prove panic
+//!   containment and index rebasing.
+//!
+//! Plans are built explicitly or derived from a single seed
+//! ([`FaultPlan::from_seed`]) via the workspace's deterministic
+//! [`Lcg`](loopmem_linalg::rng::Lcg) stream; the chaos harness
+//! (`loopmem-core::chaos`) expands one seed into a whole sweep of plans.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use loopmem_ir::TripReason;
+use loopmem_linalg::rng::Lcg;
+
+use crate::budget::{CancelToken, POLL_INTERVAL};
+
+/// Which failure mode a [`FaultPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Trip the iteration budget (as `TripReason::MaxIterations`) at the
+    /// Nth poll quantum, sticky from then on.
+    Exhaust,
+    /// Fire cancellation at the Nth poll quantum: the tracker's cancel
+    /// token (when present) is flagged for real, and the poll reports
+    /// `TripReason::Cancelled`, sticky from then on.
+    Cancel,
+    /// Make the dense planner reject every per-array touch table as if
+    /// `max_table_bytes` were zero; sweeps fall back to the sparse
+    /// per-iteration path and must still produce exact answers.
+    RejectTables,
+    /// Panic (once) at the start of the target nest's sweep, inside the
+    /// engine's `catch_unwind` containment.
+    PanicNest,
+    /// Force the u32 time-stamp exhaustion (`AnalysisError::Overflow`) at
+    /// the first charge observing the Nth poll quantum (fires once).
+    Overflow,
+}
+
+impl FaultKind {
+    /// All kinds, in a fixed order (used by seeded derivation and sweeps).
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Exhaust,
+        FaultKind::Cancel,
+        FaultKind::RejectTables,
+        FaultKind::PanicNest,
+        FaultKind::Overflow,
+    ];
+}
+
+/// The panic message used by [`FaultKind::PanicNest`] injections.
+///
+/// Fixed so fault-injected `NestPanicked` errors are bit-identical across
+/// thread counts and recognizable in chaos reports.
+pub const INJECTED_PANIC: &str = "injected fault: nest panic";
+
+/// One deterministic fault to inject into a governed run.
+///
+/// The struct carries interior-mutable firing state (for the fire-once
+/// kinds), so one plan instance describes one run; build a fresh plan with
+/// the same parameters for each run that should replay the same fault.
+#[derive(Debug)]
+pub struct FaultPlan {
+    kind: FaultKind,
+    /// 1-based poll-quantum index: poll-triggered kinds fire once
+    /// `at_poll × POLL_INTERVAL` iterations have been charged.
+    at_poll: u64,
+    /// Target nest index for [`FaultKind::PanicNest`].
+    nest: usize,
+    fired: AtomicBool,
+}
+
+impl FaultPlan {
+    /// A plan firing `kind` at the `at_poll`-th poll quantum (1-based;
+    /// clamped to at least 1), targeting nest `nest` for
+    /// [`FaultKind::PanicNest`].
+    pub fn new(kind: FaultKind, at_poll: u64, nest: usize) -> Self {
+        FaultPlan {
+            kind,
+            at_poll: at_poll.max(1),
+            nest,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Derives a plan from a single seed: kind, poll quantum (1..=16) and
+    /// target nest (0..8) all come from the seeded [`Lcg`] stream.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = Lcg::new(seed);
+        let kind = *rng.choose(&FaultKind::ALL);
+        let at_poll = rng.range_i64(1, 16) as u64;
+        let nest = rng.range_usize(0, 7);
+        FaultPlan::new(kind, at_poll, nest)
+    }
+
+    /// The injected failure mode.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// The 1-based poll-quantum index poll-triggered kinds fire at.
+    pub fn at_poll(&self) -> u64 {
+        self.at_poll
+    }
+
+    /// The nest index [`FaultKind::PanicNest`] targets.
+    pub fn target_nest(&self) -> usize {
+        self.nest
+    }
+
+    /// The charged-iteration threshold poll-triggered kinds fire at.
+    fn threshold(&self) -> u64 {
+        self.at_poll.saturating_mul(POLL_INTERVAL as u64)
+    }
+
+    /// Called by `BudgetTracker::check` on every poll with the run's
+    /// cumulative charged-iteration count. Returns the injected trip for
+    /// [`FaultKind::Exhaust`] / [`FaultKind::Cancel`] once the counter
+    /// reaches the threshold (sticky: the counter is monotone, so every
+    /// later poll reports the same trip, and a present cancel token is
+    /// flagged for real so unrelated workers stop like they would under a
+    /// genuine cancellation).
+    pub(crate) fn observe(&self, charged: u64, cancel: Option<&CancelToken>) -> Option<TripReason> {
+        match self.kind {
+            FaultKind::Exhaust if charged >= self.threshold() => Some(TripReason::MaxIterations),
+            FaultKind::Cancel if charged >= self.threshold() => {
+                if let Some(token) = cancel {
+                    token.cancel();
+                }
+                Some(TripReason::Cancelled)
+            }
+            _ => None,
+        }
+    }
+
+    /// True when the planner should reject every per-array touch table.
+    pub(crate) fn reject_tables(&self) -> bool {
+        self.kind == FaultKind::RejectTables
+    }
+
+    /// True exactly once, for the target nest: the caller must panic with
+    /// [`INJECTED_PANIC`] inside its `catch_unwind` scope.
+    pub(crate) fn take_panic(&self, nest_index: usize) -> bool {
+        self.kind == FaultKind::PanicNest
+            && self.nest == nest_index
+            && !self.fired.swap(true, Ordering::Relaxed)
+    }
+
+    /// True exactly once, at the first consultation where the cumulative
+    /// charged-iteration count has reached the threshold: the dense sweep
+    /// must take its u32 time-stamp exhaustion branch.
+    pub(crate) fn take_overflow(&self, charged: u64) -> bool {
+        self.kind == FaultKind::Overflow
+            && charged >= self.threshold()
+            && !self.fired.swap(true, Ordering::Relaxed)
+    }
+
+    /// When a poll-triggered trip has fired (the cumulative counter reached
+    /// the threshold), the deterministic iteration quota of the logical
+    /// fault point: `at_poll × POLL_INTERVAL`. This is what the salvage
+    /// pass re-sweeps, independent of which worker observed the fault
+    /// first.
+    pub(crate) fn trip_quota(&self, charged: u64) -> Option<u64> {
+        match self.kind {
+            FaultKind::Exhaust | FaultKind::Cancel if charged >= self.threshold() => {
+                Some(self.threshold())
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::from_seed(1234);
+        let b = FaultPlan::from_seed(1234);
+        assert_eq!(a.kind(), b.kind());
+        assert_eq!(a.at_poll(), b.at_poll());
+        assert_eq!(a.target_nest(), b.target_nest());
+        let differs = (0..64).any(|s| {
+            let c = FaultPlan::from_seed(s);
+            a.kind() != c.kind() || a.at_poll() != c.at_poll() || a.target_nest() != c.target_nest()
+        });
+        assert!(differs, "distinct seeds should eventually differ");
+    }
+
+    #[test]
+    fn exhaust_fires_sticky_at_the_threshold() {
+        let step = POLL_INTERVAL as u64;
+        let plan = FaultPlan::new(FaultKind::Exhaust, 3, 0);
+        assert_eq!(plan.observe(step, None), None);
+        assert_eq!(plan.observe(2 * step, None), None);
+        assert_eq!(
+            plan.observe(3 * step, None),
+            Some(TripReason::MaxIterations)
+        );
+        // Sticky: the counter is monotone, later polls keep tripping.
+        assert_eq!(
+            plan.observe(4 * step, None),
+            Some(TripReason::MaxIterations)
+        );
+        assert_eq!(plan.trip_quota(3 * step), Some(3 * step));
+        assert_eq!(plan.trip_quota(step), None, "not before the threshold");
+    }
+
+    #[test]
+    fn cancel_flags_the_real_token() {
+        let step = POLL_INTERVAL as u64;
+        let token = CancelToken::new();
+        let plan = FaultPlan::new(FaultKind::Cancel, 1, 0);
+        assert!(!token.is_cancelled());
+        assert_eq!(
+            plan.observe(step, Some(&token)),
+            Some(TripReason::Cancelled)
+        );
+        assert!(token.is_cancelled());
+        assert_eq!(plan.trip_quota(step), Some(step));
+    }
+
+    #[test]
+    fn panic_and_overflow_fire_once() {
+        let plan = FaultPlan::new(FaultKind::PanicNest, 1, 2);
+        assert!(!plan.take_panic(0), "wrong nest must not fire");
+        assert!(plan.take_panic(2));
+        assert!(!plan.take_panic(2), "fires exactly once");
+
+        let step = POLL_INTERVAL as u64;
+        let plan = FaultPlan::new(FaultKind::Overflow, 2, 0);
+        assert!(!plan.take_overflow(step), "not before the threshold");
+        assert!(plan.take_overflow(2 * step));
+        assert!(!plan.take_overflow(3 * step), "fires exactly once");
+        assert_eq!(
+            plan.trip_quota(3 * step),
+            None,
+            "overflow has no salvage quota"
+        );
+    }
+}

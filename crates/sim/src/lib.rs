@@ -32,6 +32,7 @@
 pub mod budget;
 pub mod dense;
 pub mod exec;
+pub mod faults;
 pub mod layout;
 pub mod memory;
 pub mod program;
@@ -48,6 +49,7 @@ pub use exec::{
     count_iterations, for_each_iteration, for_each_iteration_outer, outer_range,
     try_for_each_inner_run, try_for_each_iteration_outer,
 };
+pub use faults::{FaultKind, FaultPlan, INJECTED_PANIC};
 pub use layout::{line_analysis, AddressMap, Layout, LineStats};
 pub use memory::{MemoryReport, ScratchpadModel};
 pub use program::{

@@ -619,6 +619,7 @@ pub fn try_simulate_program_tracked(
         Bounds::exact(sim.mws_total)
     } else {
         let mut failed_upper: u64 = 0;
+        let mut salvaged_lower: u64 = 0;
         for (k, outcome) in per_nest.iter().enumerate() {
             let Err(e) = outcome else { continue };
             // `Exhausted` already carries the nest's analytical upper;
@@ -629,9 +630,16 @@ pub fn try_simulate_program_tracked(
                 None => analytic_nest_bounds(&program.nests()[k]).upper,
             };
             failed_upper = failed_upper.saturating_add(upper);
+            // A salvaged-prefix payload lower-bounds that nest's own MWS,
+            // which in turn lower-bounds the whole program's MWS — so the
+            // best failed-nest lower can tighten the program lower beyond
+            // the successful subset's window.
+            if let Some(b) = e.bounds() {
+                salvaged_lower = salvaged_lower.max(b.lower);
+            }
         }
         Bounds {
-            lower: sim.mws_total,
+            lower: sim.mws_total.max(salvaged_lower),
             upper: sim.mws_total.saturating_add(failed_upper),
             method: BoundsMethod::PartialProgram,
         }

@@ -10,6 +10,7 @@
 //! loopmem formulas <file.loop>             symbolic distinct-access formulas
 //! loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize]
 //! loopmem scratchpad <file.loop> [--fuse] [--threads N]
+//! loopmem chaos    <file.loop>... [--seed N]
 //! loopmem print    <file.loop> [--transform a,b,c,d]
 //! ```
 //!
@@ -30,6 +31,14 @@
 //! `--format json`), exit 1 on any error — and on warnings too under
 //! `--deny warnings`. `--sanitize` additionally cross-checks the closed-form
 //! estimators against the dense simulator on small nests.
+//!
+//! `chaos` runs the deterministic fault-injection sweep
+//! (`loopmem_core::chaos`) over one or more files: every governed entry
+//! point × every injected fault kind × several timings × thread counts
+//! 1/2/4, checking that nothing panics, every returned interval contains
+//! the fault-free exact answer, and the same logical fault point gives
+//! bit-identical results for every thread count. Exit 1 on any oracle
+//! violation.
 //!
 //! `simulate`, `optimize`, and `pipeline` accept resource budgets:
 //! `--timeout-ms N` caps wall-clock time, `--max-iters N` caps swept
@@ -87,6 +96,7 @@ const USAGE: &str = "usage:
   loopmem formulas <file.loop>
   loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize [--mode M]] [budget]
   loopmem scratchpad <file.loop> [--fuse] [--threads N] [budget]
+  loopmem chaos    <file.loop>... [--seed N]
   loopmem print    <file.loop> [--transform a,b,c,d]
 
 budget flags (governed run; degrades to analytical bounds, never crashes):
@@ -103,12 +113,16 @@ const VALUE_FLAGS: &[&str] = &[
     "--max-iters",
     "--format",
     "--deny",
+    "--seed",
 ];
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
     if cmd == "check" {
         return cmd_check(rest);
+    }
+    if cmd == "chaos" {
+        return cmd_chaos(rest);
     }
     let r = match cmd.as_str() {
         "analyze" => cmd_analyze(&load(rest)?),
@@ -331,6 +345,53 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    })
+}
+
+/// `loopmem chaos`: deterministic fault-injection sweep over one or more
+/// `.loop` files (`loopmem_core::chaos`). Prints one line per file and a
+/// `violations : N` summary; exits 1 when any oracle was violated or a
+/// file failed to load. Injected panics are contained by the engines, so
+/// the panic hook is quieted like any governed run.
+fn cmd_chaos(rest: &[String]) -> Result<ExitCode, String> {
+    GOVERNED.store(true, std::sync::atomic::Ordering::Relaxed);
+    let seed: u64 = match rest.iter().position(|a| a == "--seed") {
+        None => 0xC0FFEE,
+        Some(pos) => rest
+            .get(pos + 1)
+            .ok_or("--seed needs an integer")?
+            .parse()
+            .map_err(|e| format!("--seed: {e}"))?,
+    };
+    let files = positionals(rest);
+    if files.is_empty() {
+        return Err("missing <file.loop> argument".into());
+    }
+    let mut violations = 0usize;
+    let mut salvaged = 0usize;
+    for path in files {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let report = loopmem::core::chaos_source(path, &src, seed).map_err(|e| e.to_string())?;
+        println!(
+            "{path}: {} cases, {} runs, {} violations, {} salvaged-tighter",
+            report.cases,
+            report.runs,
+            report.violations.len(),
+            report.salvaged_tighter
+        );
+        for v in &report.violations {
+            println!("  VIOLATION {v}");
+        }
+        violations += report.violations.len();
+        salvaged += report.salvaged_tighter;
+    }
+    println!("seed       : {seed}");
+    println!("salvaged   : {salvaged}");
+    println!("violations : {violations}");
+    Ok(if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     })
 }
 

@@ -210,3 +210,25 @@ fn check_reports_parse_errors_in_band_with_a_caret() {
     assert_eq!(v.get("code").and_then(Json::as_str), Some("LM0000"));
     assert_eq!(v.get("line").and_then(Json::as_i64), Some(2));
 }
+
+#[test]
+fn zero_budgets_degrade_to_typed_outcomes_without_panicking() {
+    // A zero iteration cap trips at the very first poll; a zero timeout
+    // trips before the sweep starts. Both must exit 0 with a typed
+    // outcome line and analytic bounds, never a panic.
+    for flags in [["--max-iters", "0"], ["--timeout-ms", "0"]] {
+        let (ok, stdout, stderr) = run(&["simulate", "kernels/example8.loop", flags[0], flags[1]]);
+        assert!(ok, "governed degradation must exit 0: {stderr}");
+        assert!(stdout.contains("outcome    : bounded"), "{stdout}");
+        assert!(stdout.contains("budget exhausted"), "{stdout}");
+        assert!(!stderr.contains("panicked"), "{stderr}");
+    }
+}
+
+#[test]
+fn chaos_subcommand_reports_a_clean_sweep() {
+    let (ok, stdout, stderr) = run(&["chaos", "kernels/example8.loop", "--seed", "5"]);
+    assert!(ok, "chaos sweep must pass on a healthy kernel: {stderr}");
+    assert!(stdout.contains("violations : 0"), "{stdout}");
+    assert!(stdout.contains("28 cases"), "{stdout}");
+}
