@@ -7,6 +7,9 @@
 # gate (`loopmem check` over every kernel and pathological input);
 # `./ci.sh scratchpad` runs only the shared-scratchpad sizing gate;
 # `./ci.sh chaos` runs only the fault-injection chaos-differential gate;
+# `./ci.sh verify` runs only the proof-carrying certificate gate
+# (`loopmem verify` over every kernel and pathological input, plus a
+# tampered-certificate rejection check);
 # `./ci.sh bench-multicore` runs the perfsuite smoke and requires the
 # host to be multi-core (the GitHub-runner bench matrix job).
 set -euo pipefail
@@ -97,7 +100,7 @@ check_step() {
     check_case kernels/example8.loop    0 "LM0002"
     check_case kernels/rasta_flt.loop   0 "LM0002"
     check_case kernels/example6.loop    1 "LM0003"
-    check_case kernels/pipeline.loop    1 "LM0008"
+    check_case kernels/pipeline.loop    1 "LM0008,LM0011"
     local c=tests/robustness
     # Every pathological input is classified statically — the lint pass
     # predicts, without running them, exactly why each one needs the
@@ -198,6 +201,78 @@ chaos_step() {
     fi
 }
 
+# The proof-carrying certificate gate: every kernel and every
+# pathological input must emit a certificate stream that the independent
+# checker accepts (degraded outcomes must yield valid bounds
+# certificates, never silence), and a tampered certificate must be
+# rejected — the checker is not a rubber stamp.
+verify_step() {
+    echo "== verify: proof-carrying certificates over kernels + robustness corpus =="
+    local start
+    start=$(date +%s)
+    local tmp
+    tmp="$(mktemp -d)"
+    local f out
+    for f in kernels/*.loop tests/robustness/*.loop; do
+        if ! out="$(./target/release/loopmem verify "$f" --emit-cert "$tmp/certs.ndjson" 2>&1)"; then
+            echo "FAIL (exit): loopmem verify $f"
+            echo "$out"
+            rm -rf "$tmp"
+            return 1
+        fi
+        if ! grep -qF ", 0 violations" <<<"$out"; then
+            echo "FAIL (missing ', 0 violations'): loopmem verify $f"
+            echo "$out"
+            rm -rf "$tmp"
+            return 1
+        fi
+        if ! grep -q '"cert":' "$tmp/certs.ndjson"; then
+            echo "FAIL: loopmem verify $f emitted an empty certificate stream"
+            rm -rf "$tmp"
+            return 1
+        fi
+        case "$f" in
+        tests/robustness/*)
+            # Degraded analyses still certify: each pathological file
+            # must carry at least one checkable bounds certificate.
+            if ! grep -q '"cert":"bounds"' "$tmp/certs.ndjson"; then
+                echo "FAIL: $f carries no bounds certificate"
+                cat "$tmp/certs.ndjson"
+                rm -rf "$tmp"
+                return 1
+            fi
+            ;;
+        esac
+        echo "ok   loopmem verify $f => 0 violations"
+    done
+    ./target/release/loopmem verify kernels/example8.loop \
+        --emit-cert "$tmp/ex8.ndjson" > /dev/null
+    sed 's/"mws_after":21/"mws_after":20/' "$tmp/ex8.ndjson" > "$tmp/ex8-tampered.ndjson"
+    if cmp -s "$tmp/ex8.ndjson" "$tmp/ex8-tampered.ndjson"; then
+        echo "FAIL: tamper sed matched nothing in example8's certificate stream"
+        rm -rf "$tmp"
+        return 1
+    fi
+    set +e
+    out="$(./target/release/loopmem verify kernels/example8.loop \
+        --cert "$tmp/ex8-tampered.ndjson" 2>&1)"
+    local code=$?
+    set -e
+    rm -rf "$tmp"
+    if [ "$code" -eq 0 ] || ! grep -q "LM7004" <<<"$out"; then
+        echo "FAIL (exit $code): tampered optimality certificate was not rejected with LM7004"
+        echo "$out"
+        return 1
+    fi
+    echo "ok   tampered certificate rejected => exit $code, LM7004"
+    local elapsed=$(( $(date +%s) - start ))
+    echo "verify step completed in ${elapsed}s"
+    if [ "$elapsed" -ge 10 ]; then
+        echo "FAIL: verify step took ${elapsed}s (budget: <10s)"
+        return 1
+    fi
+}
+
 if [ "${1:-}" = "robustness" ]; then
     cargo build --release --offline -p loopmem
     robustness_step
@@ -223,6 +298,13 @@ if [ "${1:-}" = "chaos" ]; then
     cargo build --release --offline -p loopmem-bench --bin chaossuite
     chaos_step
     echo "== ci (chaos only) passed =="
+    exit 0
+fi
+
+if [ "${1:-}" = "verify" ]; then
+    cargo build --release --offline -p loopmem
+    verify_step
+    echo "== ci (verify only) passed =="
     exit 0
 fi
 
@@ -256,6 +338,8 @@ check_step
 scratchpad_step
 
 chaos_step
+
+verify_step
 
 echo "== perfsuite (smoke) =="
 rm -f BENCH_loopmem.json

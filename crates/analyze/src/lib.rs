@@ -25,7 +25,12 @@
 //! | `LM0008` | warning | duplicate reference within one statement | — |
 //! | `LM0009` | error | bound/subscript arithmetic will overflow i64 in simulation | — |
 //! | `LM0010` | warning | iteration volume exceeds the analysis budget | — |
+//! | `LM0011` | warning | dead store: array written but never read afterwards | — |
 //! | `LM9001`–`LM9003` | error | differential sanitizer disagreements (`--sanitize`) | §3 |
+//!
+//! Certificate violations (`LM7001`–`LM7007`) are reported by the
+//! independent checker in `loopmem-verify` and rendered by the CLI with
+//! this crate's diagnostic machinery.
 //!
 //! # Quickstart
 //!
@@ -47,13 +52,15 @@
 //! same source always produces byte-identical reports.
 
 pub mod diag;
-pub mod json;
 pub mod lints;
 pub mod sanitize;
 
 pub use diag::{Diagnostic, Report, Severity};
-pub use json::{escape_json, parse_json, Json};
-pub use lints::{lint_nest, unused_array_diagnostics};
+pub use lints::{dead_store_diagnostics, lint_nest, unused_array_diagnostics};
+/// Re-export of the shared JSON module (moved to `loopmem-ir` so the
+/// certificate checker can use it without depending on this crate).
+pub use loopmem_ir::json;
+pub use loopmem_ir::{escape_json, parse_json, Json};
 pub use sanitize::sanitize_nest;
 
 use loopmem_ir::{parse_program_spanned, LoopNest, NestSpans, ParseError};
@@ -89,6 +96,10 @@ impl Default for CheckOptions {
 pub fn check_nest(nest: &LoopNest, spans: &NestSpans, opts: &CheckOptions) -> Report {
     let mut diagnostics = lint_nest(nest, spans, opts);
     diagnostics.extend(unused_array_diagnostics(&[nest], spans));
+    diagnostics.extend(lints::dead_store_diagnostics(
+        &[nest],
+        std::slice::from_ref(spans),
+    ));
     if opts.sanitize && !diagnostics.iter().any(|d| d.code == "LM0009") {
         diagnostics.extend(sanitize_nest(nest, spans, opts));
     }
@@ -123,6 +134,7 @@ pub fn check_source(src: &str, opts: &CheckOptions) -> Result<Report, ParseError
     if let Some(decl_spans) = all_spans.first() {
         let nests: Vec<&LoopNest> = program.nests().iter().collect();
         diagnostics.extend(unused_array_diagnostics(&nests, decl_spans));
+        diagnostics.extend(lints::dead_store_diagnostics(&nests, &all_spans));
     }
     sort_diagnostics(&mut diagnostics);
     Ok(Report { diagnostics })
@@ -203,6 +215,47 @@ mod tests {
         assert_eq!(unused.len(), 1);
         assert!(unused[0].message.contains("'Z'"));
         assert_eq!(unused[0].nest, None);
+    }
+
+    #[test]
+    fn dead_store_is_suffix_sensitive() {
+        // A is written by nest 0 and read by nest 1: alive. C is written
+        // by nest 1 and read by nothing afterwards: dead. B is read-only:
+        // never a store at all.
+        let src = "array A[8]\narray B[8]\narray C[8]\n\
+                   for i = 1 to 8 { A[i] = B[i]; }\n\
+                   for i = 1 to 8 { C[i] = A[i]; }";
+        let r = check_source(src, &CheckOptions::default()).unwrap();
+        let dead: Vec<&Diagnostic> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "LM0011")
+            .collect();
+        assert_eq!(dead.len(), 1, "{:?}", r.diagnostics);
+        assert!(dead[0].message.contains("'C'"));
+        assert_eq!(dead[0].nest, Some(1));
+
+        // A same-nest read suppresses the lint (accumulations are alive).
+        let acc = "array C[8]\nfor i = 1 to 8 { C[i] = C[i] + 1; }";
+        let r = check_source(acc, &CheckOptions::default()).unwrap();
+        assert!(
+            !r.diagnostics.iter().any(|d| d.code == "LM0011"),
+            "{:?}",
+            r.diagnostics
+        );
+
+        // A *later* write does not resurrect an earlier dead store.
+        let twice = "array C[8]\narray B[8]\n\
+                     for i = 1 to 8 { C[i] = B[i]; }\n\
+                     for i = 1 to 8 { C[i] = B[i] + B[i]; }";
+        let r = check_source(twice, &CheckOptions::default()).unwrap();
+        let dead: Vec<usize> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "LM0011")
+            .map(|d| d.nest.unwrap())
+            .collect();
+        assert_eq!(dead, vec![0, 1], "{:?}", r.diagnostics);
     }
 
     #[test]

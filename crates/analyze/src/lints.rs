@@ -1,4 +1,4 @@
-//! The ~10 paper-grounded lints (`LM0001` … `LM0010`).
+//! The paper-grounded lints (`LM0001` … `LM0011`).
 //!
 //! Every lint is *static*: cost is polynomial in the nest description,
 //! never in the iteration count, and every helper here is total on
@@ -14,7 +14,7 @@ use crate::CheckOptions;
 use loopmem_core::{classify_formulas, FormulaClass};
 use loopmem_dep::cone::{constraining_distances, tileable_row_rank, MAX_CONE_DEPTH};
 use loopmem_dep::uniform::uniform_groups;
-use loopmem_ir::{ArrayId, LoopNest, NestSpans, Span};
+use loopmem_ir::{AccessKind, ArrayId, LoopNest, NestSpans, Span};
 use loopmem_linalg::integer_nullspace;
 
 /// Per-loop interval facts derived by one i128 sweep over the bounds.
@@ -493,6 +493,70 @@ pub fn unused_array_diagnostics(nests: &[&LoopNest], decl_spans: &NestSpans) -> 
                 span: decl_spans.arrays.get(a).copied().unwrap_or_default(),
                 nest: None,
             });
+        }
+    }
+    out
+}
+
+/// `LM0011`: dead stores — an array written by some nest but read by no
+/// nest from that point on (a write in nest `k` is dead only if neither
+/// nest `k` itself nor any later nest reads the array; within one nest
+/// iterations interleave, so a same-nest read always counts). Program-wide
+/// like [`unused_array_diagnostics`]: the caller passes every nest in
+/// execution order with its span table. One diagnostic per `(nest, array)`
+/// pair, anchored at the first dead write and stamped with the nest index.
+pub fn dead_store_diagnostics(nests: &[&LoopNest], all_spans: &[NestSpans]) -> Vec<Diagnostic> {
+    let Some(first) = nests.first() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (a, decl) in first.arrays().iter().enumerate() {
+        let id = ArrayId(a);
+        for (k, nest) in nests.iter().enumerate() {
+            let read_later = nests[k..].iter().any(|n| {
+                n.refs()
+                    .any(|r| r.array == id && r.kind == AccessKind::Read)
+            });
+            if read_later {
+                // A read from nest k onward keeps nest k's writes alive;
+                // later nests are re-examined with their own suffix.
+                continue;
+            }
+            // No read from nest k to the end: the first write here is dead.
+            let dead_write = nest.statements().iter().enumerate().find_map(|(s, st)| {
+                st.refs()
+                    .iter()
+                    .position(|r| r.array == id && r.kind == AccessKind::Write)
+                    .map(|r| (s, r))
+            });
+            if let Some((s, r)) = dead_write {
+                let span = all_spans
+                    .get(k)
+                    .and_then(|sp| sp.refs.get(s))
+                    .and_then(|row| row.get(r))
+                    .copied()
+                    .unwrap_or_default();
+                out.push(Diagnostic {
+                    code: "LM0011",
+                    severity: Severity::Warn,
+                    message: format!(
+                        "array '{}' is written here but never read afterwards",
+                        decl.name
+                    ),
+                    notes: vec![
+                        "the stored values are dead: no later nest (and no other \
+                         reference in this nest) reads them"
+                            .into(),
+                        format!(
+                            "dropping the store frees {} declared elements from the \
+                             default memory requirement",
+                            decl.size()
+                        ),
+                    ],
+                    span,
+                    nest: Some(k),
+                });
+            }
         }
     }
     out

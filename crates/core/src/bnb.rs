@@ -43,6 +43,14 @@ pub struct BnbResult {
     /// `tileable_row_basis` facts) before any window was evaluated; also
     /// counted in `nodes_pruned`.
     pub cone_pruned: u64,
+    /// The primitive rank-1 direction when the cone certificate collapsed
+    /// the search to a line (`None` for full-rank or empty cones) —
+    /// exported into cone-prune certificates (see [`crate::cert`]).
+    pub cone_direction: Option<(i64, i64)>,
+    /// Every box the cone certificate discarded, as `(alo, ahi, blo, bhi)`
+    /// — the evidence behind `cone_pruned`, re-checkable by interval
+    /// division against `cone_direction`.
+    pub pruned_boxes: Vec<(i64, i64, i64, i64)>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -257,6 +265,7 @@ fn bnb_impl(
     let mut explored = 0u64;
     let mut pruned = 0u64;
     let mut cone_pruned = 0u64;
+    let mut pruned_boxes: Vec<(i64, i64, i64, i64)> = Vec::new();
     let mut stack = vec![root];
     while let Some(bx) = stack.pop() {
         if let Err(reason) = tracker.charge_search_nodes(1) {
@@ -274,6 +283,7 @@ fn bnb_impl(
         if off_cone {
             pruned += 1;
             cone_pruned += 1;
+            pruned_boxes.push((bx.alo, bx.ahi, bx.blo, bx.bhi));
             continue;
         }
         // Infeasibility pruning: a tiling half-plane violated everywhere.
@@ -310,6 +320,11 @@ fn bnb_impl(
         nodes_explored: explored,
         nodes_pruned: pruned,
         cone_pruned,
+        cone_direction: match cert {
+            ConeCert::Line(v1, v2) => Some((v1, v2)),
+            _ => None,
+        },
+        pruned_boxes,
     }))
 }
 

@@ -1,5 +1,5 @@
 //! Chaos-differential harness: sweeps deterministic injected faults across
-//! the governed entry points and checks four oracles on every run.
+//! the governed entry points and checks five oracles on every run.
 //!
 //! One seed expands into a full case matrix — (entry point × fault kind ×
 //! fault timing × thread count) — over a parsed source file. Faults are
@@ -26,6 +26,10 @@
 //! 4. **Panic rebasing.** An injected panic targeting nest `k` must surface
 //!    as [`AnalysisError::NestPanicked`] with exactly `nest == k` and the
 //!    fixed [`INJECTED_PANIC`] message.
+//! 5. **Degradation certifies.** A fault-tripped run must not be silent:
+//!    every `Exhausted` claim converts into a bounds certificate
+//!    ([`crate::cert::certify_bounds`]) that the *independent* checker in
+//!    `loopmem-verify` replays and accepts.
 //!
 //! The harness also counts **salvaged-tighter** outcomes: `Exhausted`
 //! payloads whose method is `salvaged-prefix` with `lower > 0` — strictly
@@ -480,6 +484,11 @@ pub fn chaos_program(name: &str, program: &Program, seed: u64) -> ChaosReport {
         vec![Entry::Pipeline, Entry::Scratchpad]
     };
     let mut pools: Vec<(Quantity, String, Bounds)> = Vec::new();
+    // Oracle 5's dedup set, program-wide: checking a certificate is pure
+    // in (program, quantity, bounds), and the analytic enclosures recur
+    // identically across most of the fault matrix, so replaying each
+    // distinct claim once covers every case that produced it.
+    let mut certified: Vec<(Quantity, Bounds)> = Vec::new();
 
     for entry in &entries {
         for spec in fault_specs(seed, nnests) {
@@ -531,6 +540,50 @@ pub fn chaos_program(name: &str, program: &Program, seed: u64) -> ChaosReport {
                 }
                 report.salvaged_tighter += out.salvaged_tighter;
                 outcomes.push((t, out));
+            }
+            // Oracle 5: degraded outcomes must still certify. Every
+            // `Exhausted` claim is converted into a bounds certificate and
+            // replayed by the independent checker; a rejection means the
+            // degradation path produced evidence it cannot back up.
+            // Claims are deduplicated program-wide first (the same
+            // analytic enclosure recurs across most cases and thread
+            // counts) to keep the replay work bounded.
+            for (t, out) in &outcomes {
+                if !out.exhausted {
+                    continue;
+                }
+                for (q, b) in &out.claims {
+                    if certified.contains(&(*q, *b)) {
+                        continue;
+                    }
+                    certified.push((*q, *b));
+                    let cert = match q {
+                        Quantity::Nest0Mws => crate::cert::certify_bounds(
+                            Some(0),
+                            "nest-mws",
+                            b,
+                            "degraded under chaos",
+                        ),
+                        Quantity::Words => crate::cert::certify_bounds(
+                            None,
+                            "program-words",
+                            b,
+                            "degraded under chaos",
+                        ),
+                        // Program-MWS intervals bound a quantity the
+                        // certificate vocabulary does not carry (words
+                        // dominate it, so containment would be vacuous).
+                        Quantity::ProgramMws => continue,
+                    };
+                    for v in
+                        loopmem_verify::check_certificates(program, std::slice::from_ref(&cert))
+                    {
+                        report.violations.push(format!(
+                            "{case} t={t}: degraded bounds certificate rejected: {} {}",
+                            v.code, v.message
+                        ));
+                    }
+                }
             }
             // Oracle 3: determinism across thread counts. Always for
             // single-nest quantities (one nest's Ok/Err outcome depends

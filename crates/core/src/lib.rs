@@ -49,6 +49,7 @@
 //! ```
 
 pub mod bnb;
+pub mod cert;
 pub mod chaos;
 pub mod classify;
 pub mod distinct;
@@ -65,6 +66,10 @@ pub mod transform;
 pub mod union_count;
 
 pub use bnb::{branch_and_bound, try_branch_and_bound, BnbResult};
+pub use cert::{
+    certify_bnb, certify_bounds, certify_degraded, certify_fusion, certify_governed_scratchpad,
+    certify_optimization, certify_sizing,
+};
 pub use chaos::{chaos_program, chaos_source, ChaosReport};
 pub use classify::{classify_formulas, ArrayClassification, FormulaClass};
 pub use distinct::{

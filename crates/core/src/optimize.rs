@@ -109,6 +109,11 @@ pub struct Optimization {
     /// How many candidate simulations this search served from the
     /// process-wide memo table instead of re-simulating.
     pub cache_hits: usize,
+    /// Every candidate the search exactly simulated, as
+    /// `(transform, exact MWS)` pairs in candidate-rank order — the
+    /// evidence frontier behind the winner's minimality claim, exported
+    /// into optimality certificates (see [`crate::cert`]).
+    pub evaluated: Vec<(IMat, u64)>,
 }
 
 // ------------------------------------------------------------------ memo --
@@ -253,14 +258,20 @@ pub fn minimize_mws_with_threads(
     {
         return Err(e.clone());
     }
-    let (mws_after, rank) = evals
+    let mut by_rank: Vec<(usize, u64)> = evals
         .into_iter()
-        .map(|(rank, r)| {
-            let mws = r.expect("errors were handled above");
-            (mws, rank)
-        })
+        .map(|(rank, r)| (rank, r.expect("errors were handled above")))
+        .collect();
+    by_rank.sort_unstable_by_key(|&(rank, _)| rank);
+    let (mws_after, rank) = by_rank
+        .iter()
+        .map(|&(rank, mws)| (mws, rank))
         .min()
         .expect("candidates were non-empty");
+    let evaluated: Vec<(IMat, u64)> = by_rank
+        .into_iter()
+        .map(|(rank, mws)| (candidates[rank].clone(), mws))
+        .collect();
     let transform = candidates.into_iter().nth(rank).expect("rank is in range");
     let transformed = apply_transform(nest, &transform)?;
     Ok(Optimization {
@@ -270,6 +281,7 @@ pub fn minimize_mws_with_threads(
         mws_after,
         candidates_considered: considered,
         cache_hits: hits.into_inner(),
+        evaluated,
     })
 }
 
@@ -501,14 +513,20 @@ fn try_minimize_impl(
         return Err(normalize_error(nest, e));
     }
 
-    let (mws_after, rank) = evals
+    let mut by_rank: Vec<(usize, u64)> = evals
         .into_iter()
-        .map(|(rank, r)| {
-            let mws = r.expect("errors were handled above");
-            (mws, rank)
-        })
+        .map(|(rank, r)| (rank, r.expect("errors were handled above")))
+        .collect();
+    by_rank.sort_unstable_by_key(|&(rank, _)| rank);
+    let (mws_after, rank) = by_rank
+        .iter()
+        .map(|&(rank, mws)| (mws, rank))
         .min()
         .expect("candidates were non-empty");
+    let evaluated: Vec<(IMat, u64)> = by_rank
+        .into_iter()
+        .map(|(rank, mws)| (candidates[rank].clone(), mws))
+        .collect();
     let transform = candidates.into_iter().nth(rank).expect("rank is in range");
     let transformed = apply_transform(nest, &transform).map_err(|e| AnalysisError::Invalid {
         message: e.to_string(),
@@ -520,6 +538,7 @@ fn try_minimize_impl(
         mws_after,
         candidates_considered: considered,
         cache_hits: 0,
+        evaluated,
     })
 }
 

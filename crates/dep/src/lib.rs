@@ -1,5 +1,5 @@
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Data-dependence and reuse analysis for affine loop nests.
 //!
 //! This crate computes the paper's central abstraction (§2.1): *dependence

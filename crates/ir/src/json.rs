@@ -1,13 +1,19 @@
-//! Hand-rolled JSON helpers: string escaping for the emitter and a
-//! minimal value parser used by the schema round-trip tests.
+//! Hand-rolled JSON helpers: string escaping for emitters and a minimal
+//! value parser shared by every NDJSON surface in the workspace.
 //!
-//! The workspace builds offline with no external crates, so the analyzer
-//! writes its NDJSON by hand ([`crate::Diagnostic::render_json`]) and this
-//! module provides the inverse — just enough of RFC 8259 to parse what we
-//! emit (and any similarly plain JSON): objects, arrays, strings with
-//! escapes, integers, finite decimal floats (the perfsuite's speedup
-//! fields), booleans, null. `NaN`/`Infinity` are not JSON and fail the
-//! parse — exactly what the bench-report validator wants.
+//! The workspace builds offline with no external crates, so the analyzer's
+//! diagnostics, the bench-report validator, and the certificate checker all
+//! write their NDJSON by hand and this module provides the inverse — just
+//! enough of RFC 8259 to parse what we emit (and any similarly plain JSON):
+//! objects, arrays, strings with escapes, integers, finite decimal floats
+//! (the perfsuite's speedup fields), booleans, null. `NaN`/`Infinity` are
+//! not JSON and fail the parse — exactly what the validators want.
+//!
+//! The module lives in `loopmem-ir` (the workspace's root crate after
+//! `loopmem-linalg`) so that crates below `loopmem-analyze` in the
+//! dependency order — notably `loopmem-verify`, whose checker must not
+//! depend on the optimizer — can parse certificates with the same code the
+//! tests use to round-trip them.
 
 use std::collections::BTreeMap;
 

@@ -38,6 +38,7 @@ pub mod access;
 pub mod bounds;
 pub mod error;
 pub mod expr;
+pub mod json;
 pub mod nest;
 pub mod parser;
 pub mod printer;
@@ -48,6 +49,7 @@ pub use access::{AccessKind, ArrayDecl, ArrayId, ArrayRef, ElementBox};
 pub use bounds::{Bound, Loop};
 pub use error::{AnalysisError, Bounds, BoundsMethod, TripReason};
 pub use expr::Affine;
+pub use json::{escape_json, parse_json, Json};
 pub use nest::{LoopNest, NestError, Statement};
 pub use parser::{parse, parse_spanned, ParseError};
 pub use printer::{print_nest, print_program};

@@ -1,5 +1,5 @@
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Exact integer and rational linear algebra for loop-nest analysis.
 //!
 //! This crate is the numeric substrate of the `loopmem` workspace, the

@@ -10,6 +10,7 @@
 //! loopmem formulas <file.loop>             symbolic distinct-access formulas
 //! loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize]
 //! loopmem scratchpad <file.loop> [--fuse] [--threads N]
+//! loopmem verify   <file.loop> [--emit-cert out] [--cert in] [--format text|json]
 //! loopmem chaos    <file.loop>... [--seed N]
 //! loopmem print    <file.loop> [--transform a,b,c,d]
 //! ```
@@ -31,6 +32,19 @@
 //! `--format json`), exit 1 on any error — and on warnings too under
 //! `--deny warnings`. `--sanitize` additionally cross-checks the closed-form
 //! estimators against the dense simulator on small nests.
+//!
+//! `verify` runs the proof-carrying layer end to end: every answer the
+//! optimizer would hand the user (per-nest minimization, cone pruning,
+//! scratchpad sizing, fusion) is converted into a structured certificate
+//! (`loopmem_core::cert`) and replayed by the *independent* checker in
+//! `loopmem-verify`, which re-derives each claim from the source program
+//! alone. `--emit-cert out.ndjson` writes the certificate stream;
+//! `--cert in.ndjson` checks a previously emitted stream instead of
+//! generating one (so a tampered certificate is rejected). Violations are
+//! rendered as `LM7xxx` diagnostics with the same caret machinery as
+//! `check`; exit 1 on any violation. The run is governed by default —
+//! a nest too large to simulate degrades to a checkable bounds
+//! certificate rather than silence.
 //!
 //! `chaos` runs the deterministic fault-injection sweep
 //! (`loopmem_core::chaos`) over one or more files: every governed entry
@@ -94,8 +108,9 @@ const USAGE: &str = "usage:
   loopmem optimize <file.loop> [--mode compound|interchange|li-pingali] [budget]
   loopmem simulate <file.loop> [--profile] [budget]
   loopmem formulas <file.loop>
-  loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize [--mode M]] [budget]
-  loopmem scratchpad <file.loop> [--fuse] [--threads N] [budget]
+  loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize [--mode M]] [--emit-cert out] [budget]
+  loopmem scratchpad <file.loop> [--fuse] [--threads N] [--emit-cert out] [budget]
+  loopmem verify   <file.loop> [--emit-cert out] [--cert in] [--format text|json] [budget]
   loopmem chaos    <file.loop>... [--seed N]
   loopmem print    <file.loop> [--transform a,b,c,d]
 
@@ -114,6 +129,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--format",
     "--deny",
     "--seed",
+    "--emit-cert",
+    "--cert",
 ];
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -123,6 +140,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     if cmd == "chaos" {
         return cmd_chaos(rest);
+    }
+    if cmd == "verify" {
+        return cmd_verify(rest);
     }
     let r = match cmd.as_str() {
         "analyze" => cmd_analyze(&load(rest)?),
@@ -395,6 +415,229 @@ fn cmd_chaos(rest: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// `loopmem verify`: generate (or load) certificates for every answer the
+/// optimizer gives on this program and replay them through the independent
+/// checker in `loopmem-verify`. Exit 1 on any `LM7xxx` violation; a
+/// degraded answer still yields a checkable bounds certificate, so the
+/// robustness corpus verifies rather than timing out.
+fn cmd_verify(rest: &[String]) -> Result<ExitCode, String> {
+    // Generation replays governed searches; contained failures are
+    // reported as degraded certificates, not stack traces.
+    GOVERNED.store(true, std::sync::atomic::Ordering::Relaxed);
+    let json = match rest.iter().position(|a| a == "--format") {
+        None => false,
+        Some(pos) => match rest.get(pos + 1).map(String::as_str) {
+            Some("text") => false,
+            Some("json") => true,
+            other => return Err(format!("bad --format {other:?} (expected text or json)")),
+        },
+    };
+    let path = positional(rest).ok_or("missing <file.loop> argument")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let (program, spans) =
+        loopmem::ir::parse_program_spanned(&src).map_err(|e| format!("{path}: {e}"))?;
+    // Governed by default: a nest too large to simulate within the budget
+    // degrades to a bounds certificate instead of hanging the gate. The
+    // default is an iteration cap, not a timeout, so whether a run
+    // verifies exactly or via bounds is machine-independent.
+    let budget = parse_budget(rest)?
+        .unwrap_or_else(|| AnalysisBudget::unlimited().with_max_iterations(2_000_000));
+    let certs = match rest.iter().position(|a| a == "--cert") {
+        Some(pos) => {
+            let cert_path = rest.get(pos + 1).ok_or("--cert needs an input path")?;
+            let stream =
+                std::fs::read_to_string(cert_path).map_err(|e| format!("{cert_path}: {e}"))?;
+            match loopmem::verify::parse_certificates(&stream) {
+                Ok(certs) => certs,
+                Err((line, why)) => {
+                    // A stream that does not parse is itself a violation:
+                    // report it with the malformed-certificate code.
+                    let d = Diagnostic {
+                        code: "LM7007",
+                        severity: Severity::Error,
+                        message: format!("{cert_path}:{line}: malformed certificate: {why}"),
+                        notes: Vec::new(),
+                        span: loopmem::ir::Span::point(0),
+                        nest: None,
+                    };
+                    if json {
+                        println!("{}", d.render_json(&src, Some(path)));
+                    } else {
+                        println!("{}", d.render_text(&src, Some(path)));
+                        println!("{path}: 0 certificates, 1 violation (stream did not parse)");
+                    }
+                    return Ok(ExitCode::FAILURE);
+                }
+            }
+        }
+        None => generate_certificates(&program, parse_threads(rest)?, &budget),
+    };
+    emit_certs(rest, &certs)?;
+    let violations = loopmem::verify::check_certificates(&program, &certs);
+    for v in &violations {
+        // Anchor each violation at the loop header of the nest it indicts;
+        // program-level certificates point at the top of the file.
+        let span = v
+            .nest
+            .and_then(|k| spans.get(k))
+            .map(|s| s.loops.first().copied().unwrap_or(s.nest))
+            .unwrap_or_else(|| loopmem::ir::Span::point(0));
+        let d = Diagnostic {
+            code: v.code,
+            severity: Severity::Error,
+            message: v.message.clone(),
+            notes: v.notes.clone(),
+            span,
+            nest: v.nest,
+        };
+        if json {
+            println!("{}", d.render_json(&src, Some(path)));
+        } else {
+            println!("{}", d.render_text(&src, Some(path)));
+        }
+    }
+    if !json {
+        println!(
+            "{path}: {} certificates, {} violations",
+            certs.len(),
+            violations.len()
+        );
+    }
+    Ok(if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// The §4.2 leading access row `(α₁, α₂)` used to weight the
+/// branch-and-bound objective: the first nonzero access-matrix row in the
+/// nest, falling back to `(1, 0)`.
+fn leading_alpha(nest: &LoopNest) -> (i64, i64) {
+    nest.refs()
+        .find_map(|r| {
+            let row = r.matrix.rows_iter().next()?;
+            (row.len() == 2 && (row[0] != 0 || row[1] != 0)).then(|| (row[0], row[1]))
+        })
+        .unwrap_or((1, 0))
+}
+
+/// Runs the whole governed optimizer surface over `program` and converts
+/// every answer into certificates: legality/optimality/exact bounds for
+/// each minimized nest (degraded bounds when the budget trips), cone-prune
+/// evidence for 2-deep nests, and sizing/fusion certificates for the
+/// shared scratchpad.
+fn generate_certificates(
+    program: &loopmem::ir::Program,
+    threads: usize,
+    budget: &AnalysisBudget,
+) -> Vec<loopmem::verify::Certificate> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    /// Coefficient box half-width certified by the cone-prune run.
+    const BNB_BOUND: i64 = 6;
+    let mut certs = Vec::new();
+    for (k, nest) in program.nests().iter().enumerate() {
+        // The robustness corpus deliberately overflows ungoverned
+        // arithmetic; like the chaos harness, contain the panic and
+        // degrade to a bounds certificate rather than crash.
+        let nest_certs = catch_unwind(AssertUnwindSafe(|| {
+            let mut out = Vec::new();
+            match loopmem::core::try_minimize_mws(nest, SearchMode::default(), budget) {
+                Ok(opt) => out.extend(loopmem::core::certify_optimization(k, nest, &opt)),
+                Err(e) => out.push(loopmem::core::certify_degraded(k, nest, &e)),
+            }
+            out
+        }))
+        .or_else(|_| {
+            catch_unwind(AssertUnwindSafe(|| {
+                let b = loopmem::sim::analytic_nest_bounds(nest);
+                vec![loopmem::core::certify_bounds(
+                    Some(k),
+                    "nest-mws",
+                    &b,
+                    "analysis panicked; analytic enclosure",
+                )]
+            }))
+        })
+        .unwrap_or_else(|_| {
+            // Even the analytic ladder panicked: the vacuous enclosure is
+            // still a sound, checkable claim.
+            vec![loopmem::core::certify_bounds(
+                Some(k),
+                "nest-mws",
+                &loopmem::ir::Bounds {
+                    lower: 0,
+                    upper: u64::MAX,
+                    method: loopmem::ir::BoundsMethod::UnionBox,
+                },
+                "analysis panicked; vacuous enclosure",
+            )]
+        });
+        certs.extend(nest_certs);
+        let cone = catch_unwind(AssertUnwindSafe(|| {
+            if nest.depth() != 2 {
+                return None;
+            }
+            let vr = nest.var_ranges()?;
+            let extents = (
+                vr[0].1.checked_sub(vr[0].0)?.checked_add(1)?,
+                vr[1].1.checked_sub(vr[1].0)?.checked_add(1)?,
+            );
+            if extents.0 <= 1 || extents.1 <= 1 {
+                return None;
+            }
+            let deps = analyze(nest);
+            let r = loopmem::core::try_branch_and_bound(
+                leading_alpha(nest),
+                &deps,
+                extents,
+                BNB_BOUND,
+                budget,
+            )
+            .ok()??;
+            loopmem::core::certify_bnb(k, BNB_BOUND, &r)
+        }))
+        .unwrap_or(None);
+        certs.extend(cone);
+    }
+    let scratchpad = catch_unwind(AssertUnwindSafe(|| {
+        match loopmem::core::try_scratchpad_with_fusion(program, threads, budget) {
+            Ok((gov, plan)) => {
+                let mut out = loopmem::core::certify_governed_scratchpad(&gov);
+                if let Some(p) = plan {
+                    out.push(loopmem::core::certify_fusion(&p));
+                }
+                out
+            }
+            // A whole-program scratchpad failure is already visible
+            // through the per-nest degraded certificates above.
+            Err(_) => Vec::new(),
+        }
+    }))
+    .unwrap_or_default();
+    certs.extend(scratchpad);
+    certs
+}
+
+/// Honors `--emit-cert out.ndjson`: writes one certificate per line in the
+/// deterministic wire format. A no-op when the flag is absent.
+fn emit_certs(rest: &[String], certs: &[loopmem::verify::Certificate]) -> Result<(), String> {
+    let Some(pos) = rest.iter().position(|a| a == "--emit-cert") else {
+        return Ok(());
+    };
+    let path = rest
+        .get(pos + 1)
+        .ok_or("--emit-cert needs an output path")?;
+    let mut out = String::new();
+    for c in certs {
+        out.push_str(&c.to_json_line());
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))?;
+    println!("certificates      : {} written to {path}", certs.len());
+    Ok(())
+}
+
 fn cmd_analyze(nest: &LoopNest) -> Result<(), String> {
     let m = analyze_memory(nest);
     println!("declared storage : {} words", m.default_words);
@@ -639,10 +882,17 @@ fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
         println!("boundary {}->{}      : {} words live", k, k + 1, live);
     }
     println!("\n{:<7} {:>12} {:>10}", "nest", "iterations", "MWS");
+    let mut certs = Vec::new();
     for (k, nest) in program.nests().iter().enumerate() {
         // Memoized: a kernel repeated across the pipeline (even under
         // renamed loop variables) is simulated once.
         let mws = loopmem::core::nest_mws_memoized(nest);
+        certs.push(loopmem::core::certify_bounds(
+            Some(k),
+            "nest-mws",
+            &loopmem::ir::Bounds::exact(mws),
+            "exact simulation (pipeline pass 1)",
+        ));
         println!(
             "{:<7} {:>12} {:>10}",
             format!("nest{k}"),
@@ -650,6 +900,7 @@ fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
             mws
         );
     }
+    emit_certs(rest, &certs)?;
     // Point out fusable adjacent pairs.
     for k in 0..program.len().saturating_sub(1) {
         match loopmem::core::fuse(&program, k) {
@@ -700,16 +951,39 @@ fn cmd_pipeline_governed(
         println!("outcome           : bounded");
         println!("whole-program MWS : in {}", gov.mws_bounds);
     }
+    let want_certs = rest.iter().any(|a| a == "--emit-cert");
+    let mut certs = Vec::new();
     for (k, r) in gov.per_nest.iter().enumerate() {
         match r {
-            Ok(iters) => println!("  nest{k} : exact ({iters} iterations)"),
-            Err(AnalysisError::Exhausted { reason, partial }) => {
-                println!("  nest{k} : bounded {partial}; budget exhausted ({reason})");
+            Ok(iters) => {
+                println!("  nest{k} : exact ({iters} iterations)");
+                if want_certs {
+                    // The nest simulated within budget, so re-deriving its
+                    // MWS through the memo is affordable.
+                    let mws = loopmem::core::nest_mws_memoized(&program.nests()[k]);
+                    certs.push(loopmem::core::certify_bounds(
+                        Some(k),
+                        "nest-mws",
+                        &loopmem::ir::Bounds::exact(mws),
+                        "exact simulation (governed pipeline)",
+                    ));
+                }
             }
-            Err(e @ AnalysisError::Overflow { .. }) => println!("  nest{k} : overflow; {e}"),
-            Err(e) => println!("  nest{k} : failed; {e}"),
+            Err(e) => {
+                match e {
+                    AnalysisError::Exhausted { reason, partial } => {
+                        println!("  nest{k} : bounded {partial}; budget exhausted ({reason})");
+                    }
+                    AnalysisError::Overflow { .. } => println!("  nest{k} : overflow; {e}"),
+                    _ => println!("  nest{k} : failed; {e}"),
+                }
+                if want_certs {
+                    certs.push(loopmem::core::certify_degraded(k, &program.nests()[k], e));
+                }
+            }
         }
     }
+    emit_certs(rest, &certs)?;
     if rest.iter().any(|a| a == "--optimize") {
         let mode = parse_mode(rest)?;
         println!();
@@ -807,16 +1081,24 @@ fn cmd_scratchpad(rest: &[String]) -> Result<(), String> {
                 None => println!("fusion            : skipped (baseline not exact)"),
             }
         }
+        let mut certs = loopmem::core::certify_governed_scratchpad(&gov);
+        if let Some(p) = &plan {
+            certs.push(loopmem::core::certify_fusion(p));
+        }
+        emit_certs(rest, &certs)?;
         return Ok(());
     }
 
     let sizing = loopmem::core::scratchpad_program_with_threads(&program, threads);
     println!("outcome           : exact");
     print_scratchpad_sizing(&sizing);
+    let mut certs = vec![loopmem::core::certify_sizing(&sizing)];
     if want_fuse {
         let plan = loopmem::core::scratchpad_with_fusion(&program, threads);
         print_scratchpad_plan(&plan);
+        certs.push(loopmem::core::certify_fusion(&plan));
     }
+    emit_certs(rest, &certs)?;
     Ok(())
 }
 

@@ -9,3 +9,4 @@ pub use loopmem_ir as ir;
 pub use loopmem_linalg as linalg;
 pub use loopmem_poly as poly;
 pub use loopmem_sim as sim;
+pub use loopmem_verify as verify;

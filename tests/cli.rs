@@ -226,6 +226,93 @@ fn zero_budgets_degrade_to_typed_outcomes_without_panicking() {
 }
 
 #[test]
+fn verify_passes_kernels_and_rejects_tampered_certificates() {
+    let (ok, stdout, _) = run(&["verify", "kernels/example8.loop"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("6 certificates, 0 violations"), "{stdout}");
+
+    let dir = std::env::temp_dir().join("loopmem-verify-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let certs = dir.join("ex8.ndjson").to_str().unwrap().to_string();
+    let (ok, _, _) = run(&["verify", "kernels/example8.loop", "--emit-cert", &certs]);
+    assert!(ok);
+
+    // The emitted stream checks clean when replayed from disk.
+    let (ok, stdout, _) = run(&["verify", "kernels/example8.loop", "--cert", &certs]);
+    assert!(ok, "{stdout}");
+
+    // Tampering one claim makes the checker reject with a caret-rendered
+    // LM7xxx diagnostic.
+    let stream = std::fs::read_to_string(&certs).unwrap();
+    assert!(stream.contains("\"mws_after\":21"), "{stream}");
+    let bad = dir.join("ex8-bad.ndjson").to_str().unwrap().to_string();
+    std::fs::write(&bad, stream.replace("\"mws_after\":21", "\"mws_after\":20")).unwrap();
+    let (ok, stdout, _) = run(&["verify", "kernels/example8.loop", "--cert", &bad]);
+    assert!(!ok, "tampered certificate must fail: {stdout}");
+    assert!(stdout.contains("error[LM7004]"), "{stdout}");
+    assert!(stdout.contains("^^^"), "caret underline missing: {stdout}");
+
+    // A stream that does not parse is a malformed-certificate violation.
+    let junk = dir.join("junk.ndjson").to_str().unwrap().to_string();
+    std::fs::write(&junk, "{\"cert\":\"bogus\"}\n").unwrap();
+    let (ok, stdout, _) = run(&["verify", "kernels/example8.loop", "--cert", &junk]);
+    assert!(!ok);
+    assert!(stdout.contains("error[LM7007]"), "{stdout}");
+}
+
+#[test]
+fn verify_degrades_to_checkable_bounds_on_the_robustness_corpus() {
+    let dir = std::env::temp_dir().join("loopmem-verify-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for file in [
+        "tests/robustness/overflow_coeffs.loop",
+        "tests/robustness/panicking_program.loop",
+    ] {
+        let certs = dir
+            .join(file.rsplit('/').next().unwrap().replace(".loop", ".ndjson"))
+            .to_str()
+            .unwrap()
+            .to_string();
+        let (ok, stdout, stderr) = run(&["verify", file, "--emit-cert", &certs]);
+        assert!(ok, "{file}: {stdout}{stderr}");
+        assert!(stdout.contains("0 violations"), "{file}: {stdout}");
+        // A degraded run must emit bounds certificates, not silence.
+        let stream = std::fs::read_to_string(&certs).unwrap();
+        assert!(
+            stream.contains("\"cert\":\"bounds\""),
+            "{file}: no bounds certificate in {stream}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_and_scratchpad_emit_checkable_certificates() {
+    let dir = std::env::temp_dir().join("loopmem-verify-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let certs = dir.join("pipe.ndjson").to_str().unwrap().to_string();
+    let (ok, stdout, _) = run(&["pipeline", "kernels/pipeline.loop", "--emit-cert", &certs]);
+    assert!(ok);
+    assert!(stdout.contains("written to"), "{stdout}");
+    let (ok, stdout, _) = run(&["verify", "kernels/pipeline.loop", "--cert", &certs]);
+    assert!(ok, "pipeline certificates must check clean: {stdout}");
+
+    let certs = dir.join("pad.ndjson").to_str().unwrap().to_string();
+    let (ok, _, _) = run(&[
+        "scratchpad",
+        "kernels/pipeline.loop",
+        "--fuse",
+        "--emit-cert",
+        &certs,
+    ]);
+    assert!(ok);
+    let stream = std::fs::read_to_string(&certs).unwrap();
+    assert!(stream.contains("\"cert\":\"sizing\""), "{stream}");
+    assert!(stream.contains("\"cert\":\"fusion\""), "{stream}");
+    let (ok, stdout, _) = run(&["verify", "kernels/pipeline.loop", "--cert", &certs]);
+    assert!(ok, "scratchpad certificates must check clean: {stdout}");
+}
+
+#[test]
 fn chaos_subcommand_reports_a_clean_sweep() {
     let (ok, stdout, stderr) = run(&["chaos", "kernels/example8.loop", "--seed", "5"]);
     assert!(ok, "chaos sweep must pass on a healthy kernel: {stderr}");
