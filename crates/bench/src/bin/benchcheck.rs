@@ -154,7 +154,11 @@ fn check_file(path: &str, require_multicore: bool) -> Result<(String, Vec<String
             None => problems.push(format!("speedup {name} is not a number")),
         }
     }
-    for required in ["dense1t_vs_hashmap", "lanesplit_vs_interleaved"] {
+    for required in [
+        "dense1t_vs_hashmap",
+        "lanesplit_vs_interleaved",
+        "trace_overhead",
+    ] {
         if !speedups.keys().any(|k| k.ends_with(required)) {
             problems.push(format!("no *_{required} speedup recorded"));
         }
@@ -178,11 +182,15 @@ fn check_file(path: &str, require_multicore: bool) -> Result<(String, Vec<String
         }
         Ok((
             format!(
-                "{} rows, {} speedups{}",
+                // Always name the recording host's parallelism: a stale
+                // baseline re-recorded on different hardware is the #1
+                // source of phantom regressions, and the provenance should
+                // be visible without opening the JSON.
+                "{} rows, {} speedups, recorded with available_parallelism={avail}{}",
                 rows.len(),
                 speedups.len(),
                 if require_multicore {
-                    format!(", multicore sweep verified ({avail} CPUs)")
+                    ", multicore sweep verified".to_string()
                 } else {
                     String::new()
                 }

@@ -26,10 +26,13 @@ use loopmem_core::{
     optimize_program_with_threads, scratchpad_program_with_threads, scratchpad_with_fusion,
 };
 use loopmem_ir::{parse, parse_program, LoopNest, Program};
+use loopmem_obs::NullSink;
 use loopmem_sim::{
     bench_pass1, bench_pass1_interleaved, simulate_hashmap, simulate_program_with_threads,
-    simulate_with_profile, simulate_with_threads, thread_count, try_simulate, AnalysisBudget,
+    simulate_with_profile, simulate_with_threads, thread_count, try_simulate,
+    try_simulate_with_threads, AnalysisBudget,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One timed measurement.
@@ -562,6 +565,68 @@ fn main() {
             mws_total: mws,
             outcome,
         });
+    }
+
+    // --- trace: a disabled NullSink must be free ---------------------------
+    // `NullSink::enabled()` is false, so `budget.trace()` stays `None` and
+    // both runs take the identical untraced fast path. The gated ratio
+    // (~1.0) pins the "zero-cost when disabled" claim against structural
+    // drift — e.g. an emission site that stops consulting the sink, or a
+    // future budget change that routes disabled sinks onto the governed
+    // path. Repeats per sample tame scheduler noise on the sub-ms smoke
+    // subject.
+    {
+        let nest = synthetic_reuse(smoke);
+        let repeats: u32 = if smoke { 16 } else { 2 };
+        let plain_budget = AnalysisBudget::unlimited();
+        let null_budget = AnalysisBudget::unlimited().with_trace(Arc::new(NullSink));
+        let run = |budget: &AnalysisBudget| {
+            let mut last = None;
+            for _ in 0..repeats {
+                last = Some(try_simulate_with_threads(&nest, false, 1, budget));
+            }
+            last.unwrap().expect("unlimited budget is exact")
+        };
+        // Alternate the two configurations and keep each one's best
+        // round: scheduler noise only ever adds time, so min-of-N is the
+        // stable estimator for a ratio expected to sit at ~1.0 (a median
+        // over separate blocks still lets one noisy block skew the gate).
+        let mut plain_ms = f64::INFINITY;
+        let mut null_ms = f64::INFINITY;
+        let mut answers = (None, None);
+        for _ in 0..5 {
+            let (ms, s) = time_ms(|| run(&plain_budget));
+            plain_ms = plain_ms.min(ms);
+            answers.0 = Some(s);
+            let (ms, s) = time_ms(|| run(&null_budget));
+            null_ms = null_ms.min(ms);
+            answers.1 = Some(s);
+        }
+        let (s, s2) = (answers.0.unwrap(), answers.1.unwrap());
+        record(
+            &mut rows,
+            "trace-plain",
+            "synth-reuse",
+            1,
+            plain_ms,
+            s.iterations * repeats as u64,
+            Some(s.mws_total),
+        );
+        assert_eq!(s2.mws_total, s.mws_total, "NullSink changed the answer");
+        record(
+            &mut rows,
+            "trace-nullsink",
+            "synth-reuse",
+            1,
+            null_ms,
+            s2.iterations * repeats as u64,
+            Some(s2.mws_total),
+        );
+        println!(
+            "  trace/nullsink: {plain_ms:.3}ms plain vs {null_ms:.3}ms with NullSink ({:.3}x)",
+            plain_ms / null_ms
+        );
+        speedups.push(("trace_overhead".to_string(), plain_ms / null_ms));
     }
 
     let (hits, misses) = loopmem_core::optimize::memo_stats();

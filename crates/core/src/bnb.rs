@@ -26,6 +26,7 @@ use loopmem_dep::DependenceSet;
 use loopmem_ir::{AnalysisError, Bounds, BoundsMethod, TripReason};
 use loopmem_linalg::gcd::gcd_i64;
 use loopmem_linalg::Rational;
+use loopmem_obs::{EventKind, Phase, TraceEvent};
 use loopmem_sim::{AnalysisBudget, BudgetTracker};
 
 /// Outcome of the branch-and-bound search.
@@ -313,6 +314,22 @@ fn bnb_impl(
             stack.push(l);
             stack.push(r);
         }
+    }
+    // The search is a serial deterministic scan, so the node counts are
+    // reproducible; emitted only on completion (a tripped search's
+    // progress depends on where the budget landed).
+    if let Some(sink) = tracker.trace() {
+        sink.record(TraceEvent {
+            phase: Phase::Search,
+            nest: None,
+            ord: (0, 1),
+            thread: 0,
+            kind: EventKind::ConePrune {
+                boxes: cone_pruned,
+                explored,
+                pruned,
+            },
+        });
     }
     Ok(best.map(|(row, objective)| BnbResult {
         row,

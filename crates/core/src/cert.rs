@@ -18,10 +18,12 @@ use crate::scratchpad::{GovernedScratchpad, ScratchpadPlan, ScratchpadSizing};
 use loopmem_dep::{analyze, constraining_distances, is_tileable};
 use loopmem_ir::{AnalysisError, Bounds, LoopNest};
 use loopmem_linalg::IMat;
+use loopmem_obs::{EventKind, Phase, TraceEvent, TraceSink};
 use loopmem_verify::{
     BoundsCert, Certificate, ConePruneCert, DistanceImage, FrontierEntry, FusionCert, FusionStep,
     LegalityCert, OptimalityCert, PrunedBox, SizingCert, SizingTerm,
 };
+use std::sync::Arc;
 
 fn rows_of(t: &IMat) -> Vec<Vec<i64>> {
     t.rows_iter().map(<[i64]>::to_vec).collect()
@@ -204,6 +206,29 @@ pub fn certify_governed_scratchpad(governed: &GovernedScratchpad) -> Vec<Certifi
         out.push(certify_sizing(&governed.sizing));
     }
     out
+}
+
+/// Records one `certificate` event per element of `certs` into `sink`
+/// (phase `verify`, `ord` = position in the slice), so traces account
+/// for every certificate a run emitted without duplicating their
+/// payloads. No-op when the sink is disabled.
+pub fn trace_certificates(sink: &Arc<dyn TraceSink>, certs: &[Certificate]) {
+    if !sink.enabled() {
+        return;
+    }
+    sink.record_all(
+        certs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| TraceEvent {
+                phase: Phase::Verify,
+                nest: None,
+                ord: (i as u64, 0),
+                thread: 0,
+                kind: EventKind::Certificate { kind: c.kind() },
+            })
+            .collect(),
+    );
 }
 
 #[cfg(test)]

@@ -31,6 +31,15 @@
 //!    ([`crate::cert::certify_bounds`]) that the *independent* checker in
 //!    `loopmem-verify` replays and accepts.
 //!
+//! 6. **Observability is read-only.** Every case is replayed with a
+//!    [`CollectingSink`] attached: the traced answer must be bit-identical
+//!    to the untraced one (same scoping as oracle 3), and the canonical
+//!    NDJSON trace must be bit-identical across thread counts wherever the
+//!    event multiset is schedule-free — everywhere except the optimizer
+//!    entry under fire-once faults, where *which candidate simulation*
+//!    absorbs the fault is scheduler-chosen even though the normalized
+//!    answer is not.
+//!
 //! The harness also counts **salvaged-tighter** outcomes: `Exhausted`
 //! payloads whose method is `salvaged-prefix` with `lower > 0` — strictly
 //! tighter than the analytic fallback, whose lower bound is always 0.
@@ -40,6 +49,7 @@ use std::sync::Arc;
 
 use loopmem_ir::{parse_program, AnalysisError, Bounds, BoundsMethod, LoopNest, Program};
 use loopmem_linalg::rng::Lcg;
+use loopmem_obs::{CollectingSink, TraceSink};
 use loopmem_sim::{
     try_simulate_program_with_threads, try_simulate_with_threads, AnalysisBudget, CancelToken,
     FaultKind, FaultPlan, INJECTED_PANIC,
@@ -222,6 +232,7 @@ fn run_case(
     entry: Entry,
     spec: &FaultSpec,
     threads: usize,
+    trace: Option<&Arc<dyn TraceSink>>,
 ) -> RunOutcome {
     let mut out = RunOutcome {
         canon: String::new(),
@@ -230,7 +241,10 @@ fn run_case(
         exhausted: false,
         salvaged_tighter: 0,
     };
-    let budget = spec.budget();
+    let mut budget = spec.budget();
+    if let Some(sink) = trace {
+        budget = budget.with_trace(sink.clone());
+    }
     // Each arm yields (canon, pool claim, errors to fold). Per-nest
     // degradations inside Ok payloads are errors too: their salvage, panic
     // and trip facts feed the oracles. A nest-0 degradation inside the
@@ -495,9 +509,22 @@ pub fn chaos_program(name: &str, program: &Program, seed: u64) -> ChaosReport {
             report.cases += 1;
             let case = format!("{name}/{}/{}", entry.label(), spec.label());
             let mut outcomes: Vec<(usize, RunOutcome)> = Vec::new();
+            // Oracle 6 replays: per thread count, the same run with a
+            // collecting sink attached — `(threads, ndjson, canon)`.
+            let mut traced: Vec<(usize, String, String)> = Vec::new();
             for &t in &THREADS {
                 report.runs += 1;
-                let out = run_case(program, nest0, *entry, &spec, t);
+                let out = run_case(program, nest0, *entry, &spec, t, None);
+                report.runs += 1;
+                let sink = Arc::new(CollectingSink::new());
+                let dyn_sink: Arc<dyn TraceSink> = sink.clone();
+                let traced_out = run_case(program, nest0, *entry, &spec, t, Some(&dyn_sink));
+                if traced_out.canon == "PANIC-ESCAPED" {
+                    report.violations.push(format!(
+                        "{case} t={t}: panic escaped the governed entry point under tracing"
+                    ));
+                }
+                traced.push((t, sink.drain().render_ndjson(), traced_out.canon));
                 // Oracle 1: containment — nothing unwinds past a governed
                 // entry point, faulted or not.
                 if out.canon == "PANIC-ESCAPED" {
@@ -600,13 +627,56 @@ pub fn chaos_program(name: &str, program: &Program, seed: u64) -> ChaosReport {
             );
             let single_nest_quantity =
                 matches!(*entry, Entry::Simulate | Entry::Optimize) || nnests == 1;
-            if single_nest_quantity || (!counter_fault && !any_exhausted) {
+            let determinism_scope = single_nest_quantity || (!counter_fault && !any_exhausted);
+            if determinism_scope {
                 let (t0, first) = &outcomes[0];
                 for (t, o) in &outcomes[1..] {
                     if o.canon != first.canon {
                         report.violations.push(format!(
                             "{case}: t={t0} and t={t} disagree:\n  t={t0}: {}\n  t={t}: {}",
                             first.canon, o.canon
+                        ));
+                    }
+                }
+            }
+            // Oracle 6a: wherever the answer is promised deterministic,
+            // attaching a sink must not perturb it — the traced run's
+            // canonical result equals the untraced one at every t.
+            if determinism_scope {
+                for ((t, _, traced_canon), (tu, out)) in traced.iter().zip(&outcomes) {
+                    debug_assert_eq!(t, tu);
+                    if traced_canon != &out.canon {
+                        report.violations.push(format!(
+                            "{case} t={t}: tracing perturbed the answer:\n  untraced: {}\n  traced:   {}",
+                            out.canon, traced_canon
+                        ));
+                    }
+                }
+            }
+            // Oracle 6b: the canonical NDJSON trace is bit-identical
+            // across thread counts wherever the event multiset is
+            // schedule-free. The optimizer entry under a fire-once fault
+            // is the one exception even for single-nest quantities: the
+            // fault lands in whichever candidate simulation polls first,
+            // so the set of completed (flushed) candidate sweeps is
+            // scheduler-chosen although the normalized answer is not.
+            let fire_once_fault = matches!(
+                spec.kind,
+                Some(FaultKind::Exhaust)
+                    | Some(FaultKind::Cancel)
+                    | Some(FaultKind::Overflow)
+                    | Some(FaultKind::PanicNest)
+            );
+            let trace_scope = match *entry {
+                Entry::Optimize => !fire_once_fault && !any_exhausted,
+                _ => determinism_scope,
+            };
+            if trace_scope {
+                let (t0, first, _) = &traced[0];
+                for (t, ndjson, _) in &traced[1..] {
+                    if ndjson != first {
+                        report.violations.push(format!(
+                            "{case}: trace bytes differ between t={t0} and t={t}"
                         ));
                     }
                 }

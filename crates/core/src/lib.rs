@@ -60,6 +60,7 @@ pub mod nonuniform;
 pub mod optimize;
 pub mod program_opt;
 pub mod scratchpad;
+pub mod session;
 pub mod symbolic;
 pub mod tile;
 pub mod transform;
@@ -68,7 +69,7 @@ pub mod union_count;
 pub use bnb::{branch_and_bound, try_branch_and_bound, BnbResult};
 pub use cert::{
     certify_bnb, certify_bounds, certify_degraded, certify_fusion, certify_governed_scratchpad,
-    certify_optimization, certify_sizing,
+    certify_optimization, certify_sizing, trace_certificates,
 };
 pub use chaos::{chaos_program, chaos_source, ChaosReport};
 pub use classify::{classify_formulas, ArrayClassification, FormulaClass};
@@ -80,8 +81,8 @@ pub use estimator::{analyze_memory, MemoryAnalysis};
 pub use fusion::{fuse, FusionError};
 pub use mws::{estimate_nest_mws, three_level_estimate, two_level_estimate, two_level_objective};
 pub use optimize::{
-    memo_stats, minimize_mws, minimize_mws_with_threads, nest_mws_memoized, try_minimize_mws,
-    try_minimize_mws_with_threads, Optimization, OptimizeError, SearchMode,
+    memo_stats, minimize_mws, minimize_mws_traced, minimize_mws_with_threads, nest_mws_memoized,
+    try_minimize_mws, try_minimize_mws_with_threads, Optimization, OptimizeError, SearchMode,
 };
 pub use program_opt::{
     analyze_program, optimize_program, optimize_program_with_threads, try_optimize_program,
@@ -90,10 +91,11 @@ pub use program_opt::{
 };
 pub use scratchpad::{
     scratchpad_program, scratchpad_program_with_threads, scratchpad_with_fusion,
-    try_scratchpad_program, try_scratchpad_program_tracked, try_scratchpad_program_with_threads,
-    try_scratchpad_with_fusion, FusionStep, GovernedScratchpad, NestTerm, ScratchpadPlan,
-    ScratchpadSizing,
+    scratchpad_with_fusion_traced, try_scratchpad_program, try_scratchpad_program_tracked,
+    try_scratchpad_program_with_threads, try_scratchpad_with_fusion, FusionStep,
+    GovernedScratchpad, NestTerm, ScratchpadPlan, ScratchpadSizing,
 };
+pub use session::Session;
 pub use symbolic::{distinct_formulas, Poly, SymbolicEstimate};
 pub use tile::{tile, tile_count, TileError};
 pub use transform::{apply_transform, TransformError};

@@ -27,6 +27,7 @@ use loopmem_ir::LoopNest;
 use loopmem_ir::{AnalysisError, TripReason};
 use loopmem_linalg::gcd::{extended_gcd, gcd_i64};
 use loopmem_linalg::{complete_unimodular_rows, IMat};
+use loopmem_obs::{EventKind, Phase, TraceEvent, TraceSink};
 use loopmem_sim::{
     panic_message, simulate_with_threads, try_simulate_tracked, AnalysisBudget, BudgetTracker,
 };
@@ -35,7 +36,7 @@ use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which transformation space to search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -212,6 +213,104 @@ fn memoized_mws(nest: &LoopNest) -> (u64, bool) {
     (v, false)
 }
 
+/// Serial [`minimize_mws`] that narrates the search into `sink`: one
+/// `memo-lookup` event per exact-simulation probe of the process-wide
+/// memo (the baseline probe first, then candidates in rank order),
+/// bracketed by a `search` span charging the candidate count. Runs
+/// single-threaded so the event order *is* the serial scan order. Falls
+/// back to the plain serial search when `sink` is disabled (the
+/// zero-cost contract).
+///
+/// Hit/miss flags reflect the process-wide memo's state, so they depend
+/// on what ran earlier in the process; the event *structure* (count,
+/// order) is deterministic for a given nest and mode.
+///
+/// # Errors
+///
+/// Same as [`minimize_mws`].
+pub fn minimize_mws_traced(
+    nest: &LoopNest,
+    mode: SearchMode,
+    sink: &Arc<dyn TraceSink>,
+) -> Result<Optimization, OptimizeError> {
+    if !sink.enabled() {
+        return minimize_mws_with_threads(nest, mode, 1);
+    }
+    let started = std::time::Instant::now();
+    let deps = analyze(nest);
+    let candidates = generate_candidates(nest, &deps, mode);
+    if candidates.is_empty() {
+        return Err(OptimizeError::NoLegalTransform);
+    }
+    let mut events = vec![TraceEvent {
+        phase: Phase::Search,
+        nest: None,
+        ord: (0, 0),
+        thread: 0,
+        kind: EventKind::SpanBegin { label: "search" },
+    }];
+    let mut seq = 0u64;
+    let mut probe = |events: &mut Vec<TraceEvent>, hit: bool| {
+        seq += 1;
+        events.push(TraceEvent {
+            phase: Phase::Search,
+            nest: None,
+            ord: (seq, 0),
+            thread: 0,
+            kind: EventKind::MemoLookup { hit },
+        });
+    };
+    let mut hits = 0usize;
+    let (mws_before, before_hit) = memoized_mws(nest);
+    probe(&mut events, before_hit);
+    if before_hit {
+        hits += 1;
+    }
+    let considered = candidates.len();
+    let mut by_rank: Vec<(usize, u64)> = Vec::with_capacity(considered);
+    for (rank, t) in candidates.iter().enumerate() {
+        let out = apply_transform(nest, t)?;
+        let (mws, hit) = memoized_mws(&out);
+        probe(&mut events, hit);
+        if hit {
+            hits += 1;
+        }
+        by_rank.push((rank, mws));
+    }
+    let (mws_after, rank) = by_rank
+        .iter()
+        .map(|&(rank, mws)| (mws, rank))
+        .min()
+        .expect("candidates were non-empty");
+    let evaluated: Vec<(IMat, u64)> = by_rank
+        .into_iter()
+        .map(|(rank, mws)| (candidates[rank].clone(), mws))
+        .collect();
+    let transform = candidates.into_iter().nth(rank).expect("rank is in range");
+    let transformed = apply_transform(nest, &transform)?;
+    events.push(TraceEvent {
+        phase: Phase::Search,
+        nest: None,
+        ord: (u64::MAX, 0),
+        thread: 0,
+        kind: EventKind::SpanEnd {
+            label: "search",
+            micros: started.elapsed().as_micros() as u64,
+            charged: considered as u64,
+        },
+    });
+    sink.record_all(events);
+    Ok(Optimization {
+        transform,
+        transformed,
+        mws_before,
+        mws_after,
+        candidates_considered: considered,
+        cache_hits: hits,
+        evaluated,
+    })
+}
+
 /// Searches `mode`'s space for the transformation minimizing the exact MWS.
 ///
 /// The identity is always a candidate, so `mws_after <= mws_before` holds
@@ -363,12 +462,18 @@ fn exact_iteration_count(nest: &LoopNest) -> Option<u128> {
 
 /// Governed [`minimize_mws`]: auto thread count, see
 /// [`try_minimize_mws_with_threads`].
+///
+/// Thin wrapper over [`Session::optimize`](crate::Session) — prefer the
+/// session builder in new code.
 pub fn try_minimize_mws(
     nest: &LoopNest,
     mode: SearchMode,
     budget: &AnalysisBudget,
 ) -> Result<Optimization, AnalysisError> {
-    try_minimize_mws_with_threads(nest, mode, loopmem_sim::thread_count(), budget)
+    crate::Session::new()
+        .search_mode(mode)
+        .budget(budget.clone())
+        .optimize(nest)
 }
 
 /// Governed [`minimize_mws_with_threads`]: never panics and respects
@@ -384,14 +489,20 @@ pub fn try_minimize_mws(
 /// [`AnalysisError::NestPanicked`]. The governed path skips the process
 /// -wide simulation memo so repeated calls charge the same work and trip
 /// (or not) reproducibly; `cache_hits` is therefore always 0.
+///
+/// Thin wrapper over [`Session::optimize`](crate::Session) — prefer the
+/// session builder in new code.
 pub fn try_minimize_mws_with_threads(
     nest: &LoopNest,
     mode: SearchMode,
     threads: usize,
     budget: &AnalysisBudget,
 ) -> Result<Optimization, AnalysisError> {
-    let tracker = BudgetTracker::new(budget);
-    try_minimize_mws_tracked(0, nest, mode, threads, &tracker, budget)
+    crate::Session::new()
+        .threads(threads)
+        .search_mode(mode)
+        .budget(budget.clone())
+        .optimize(nest)
 }
 
 /// Tracker-sharing variant backing the program-level governed optimizer:
@@ -439,6 +550,10 @@ fn try_minimize_impl(
             return Err(exhausted(nest, TripReason::MaxIterations));
         }
     }
+    // The span is flushed only on success: on a budget trip the set of
+    // candidates that completed is schedule-dependent, so nothing about
+    // the failed search may reach the sink.
+    let search_started = tracker.trace().map(|_| std::time::Instant::now());
     tracker.check().map_err(|r| exhausted(nest, r))?;
     let deps = analyze(nest);
     let candidates = generate_candidates(nest, &deps, mode);
@@ -531,6 +646,29 @@ fn try_minimize_impl(
     let transformed = apply_transform(nest, &transform).map_err(|e| AnalysisError::Invalid {
         message: e.to_string(),
     })?;
+    if let Some(sink) = tracker.trace() {
+        let micros = search_started.map_or(0, |s| s.elapsed().as_micros() as u64);
+        sink.record_all(vec![
+            TraceEvent {
+                phase: Phase::Search,
+                nest: None,
+                ord: (0, 0),
+                thread: 0,
+                kind: EventKind::SpanBegin { label: "search" },
+            },
+            TraceEvent {
+                phase: Phase::Search,
+                nest: None,
+                ord: (u64::MAX, 0),
+                thread: 0,
+                kind: EventKind::SpanEnd {
+                    label: "search",
+                    micros,
+                    charged: considered as u64,
+                },
+            },
+        ]);
+    }
     Ok(Optimization {
         transform,
         transformed,

@@ -198,12 +198,18 @@ pub struct GovernedProgramOptimization {
 
 /// Governed [`optimize_program`]: auto thread count, see
 /// [`try_optimize_program_with_threads`].
+///
+/// Thin wrapper over [`Session::optimize_program`](crate::Session) —
+/// prefer the session builder in new code.
 pub fn try_optimize_program(
     program: &Program,
     mode: SearchMode,
     budget: &AnalysisBudget,
 ) -> Result<GovernedProgramOptimization, AnalysisError> {
-    try_optimize_program_with_threads(program, mode, loopmem_sim::thread_count(), budget)
+    crate::Session::new()
+        .search_mode(mode)
+        .budget(budget.clone())
+        .optimize_program(program)
 }
 
 /// Governed [`optimize_program_with_threads`]: never panics and runs the
@@ -219,7 +225,25 @@ pub fn try_optimize_program(
 /// <= mws_before.upper` always holds. The top-level `Err` is reserved for
 /// whole-program failures of the *baseline* simulation (e.g. the global
 /// table fold exceeding `max_table_bytes`).
+///
+/// Thin wrapper over [`Session::optimize_program`](crate::Session) —
+/// prefer the session builder in new code.
 pub fn try_optimize_program_with_threads(
+    program: &Program,
+    mode: SearchMode,
+    threads: usize,
+    budget: &AnalysisBudget,
+) -> Result<GovernedProgramOptimization, AnalysisError> {
+    crate::Session::new()
+        .threads(threads)
+        .search_mode(mode)
+        .budget(budget.clone())
+        .optimize_program(program)
+}
+
+/// The governed optimizer body shared by [`crate::Session`] and the
+/// legacy `try_optimize_program*` wrappers above.
+pub(crate) fn governed_optimize_program(
     program: &Program,
     mode: SearchMode,
     threads: usize,

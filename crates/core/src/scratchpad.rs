@@ -40,10 +40,12 @@
 
 use crate::fusion::fuse;
 use loopmem_ir::{AnalysisError, Bounds, BoundsMethod, Program};
+use loopmem_obs::{EventKind, Phase, TraceEvent, TraceSink};
 use loopmem_sim::{
     analytic_nest_bounds, simulate_program_with_threads, try_simulate_program_tracked,
     AnalysisBudget, BudgetTracker, GovernedProgramSim, ProgramSimResult,
 };
+use std::sync::Arc;
 
 /// One nest's contribution to the shared-scratchpad size.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -204,6 +206,104 @@ pub fn scratchpad_with_fusion(program: &Program, threads: usize) -> ScratchpadPl
     }
 }
 
+// ---------------------------------------------------------------- trace --
+
+/// Fusion-step events sort after every per-nest sizing term: nest counts
+/// stay far below this base, so the two ord ranges never collide.
+const FUSION_ORD_BASE: u64 = 1 << 32;
+
+fn sizing_span_begin() -> TraceEvent {
+    TraceEvent {
+        phase: Phase::Sizing,
+        nest: None,
+        ord: (0, 0),
+        thread: 0,
+        kind: EventKind::SpanBegin { label: "sizing" },
+    }
+}
+
+fn sizing_span_end(micros: u64, charged: u64) -> TraceEvent {
+    TraceEvent {
+        phase: Phase::Sizing,
+        nest: None,
+        ord: (u64::MAX, 0),
+        thread: 0,
+        kind: EventKind::SpanEnd {
+            label: "sizing",
+            micros,
+            charged,
+        },
+    }
+}
+
+/// One `sizing-term` event per exactly-sized nest, at `ord = 1 + k` so a
+/// degraded nest leaves a gap instead of shifting later terms.
+fn sizing_term_events(terms: impl Iterator<Item = Option<NestTerm>>) -> Vec<TraceEvent> {
+    terms
+        .enumerate()
+        .filter_map(|(k, t)| {
+            t.map(|term| TraceEvent {
+                phase: Phase::Sizing,
+                nest: Some(k as u32),
+                ord: (1 + k as u64, 0),
+                thread: 0,
+                kind: EventKind::SizingTerm {
+                    mws: term.mws,
+                    live_through: term.live_through,
+                },
+            })
+        })
+        .collect()
+}
+
+/// One `fusion-step` event per accepted step, in acceptance order.
+pub(crate) fn fusion_step_events(steps: &[FusionStep]) -> Vec<TraceEvent> {
+    steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| TraceEvent {
+            phase: Phase::Sizing,
+            nest: None,
+            ord: (FUSION_ORD_BASE + i as u64, 0),
+            thread: 0,
+            kind: EventKind::FusionStep {
+                at: s.at as u64,
+                before: s.words_before,
+                after: s.words_after,
+            },
+        })
+        .collect()
+}
+
+/// [`scratchpad_with_fusion`] narrating its work into `sink`: a `sizing`
+/// span bracketing one `sizing-term` event per nest of the *unfused*
+/// program and one `fusion-step` event per accepted fusion. The search is
+/// bit-identical for every `threads` value, so the event stream is too.
+/// Falls back to the plain search when `sink` is disabled.
+pub fn scratchpad_with_fusion_traced(
+    program: &Program,
+    threads: usize,
+    sink: &Arc<dyn TraceSink>,
+) -> ScratchpadPlan {
+    if !sink.enabled() {
+        return scratchpad_with_fusion(program, threads);
+    }
+    let started = std::time::Instant::now();
+    let plan = scratchpad_with_fusion(program, threads);
+    let mut events = vec![sizing_span_begin()];
+    events.extend(sizing_term_events(
+        plan.unfused.per_nest.iter().map(|&t| Some(t)),
+    ));
+    events.extend(fusion_step_events(&plan.steps));
+    let charged = plan.unfused.per_nest.len() as u64 + plan.steps.len() as u64;
+    events.push(sizing_span_end(
+        started.elapsed().as_micros() as u64,
+        charged,
+    ));
+    sink.record_all(events);
+    plan
+}
+
 /// Governed shared-scratchpad sizing: per-nest outcomes plus an interval
 /// on the scratchpad size that stays honest when nests degrade.
 #[derive(Debug)]
@@ -287,6 +387,9 @@ fn governed_sizing(program: &Program, gov: GovernedProgramSim) -> GovernedScratc
 /// Governed [`scratchpad_program`]: auto thread count, see
 /// [`try_scratchpad_program_with_threads`].
 ///
+/// Thin wrapper over [`Session::scratchpad_sizing`](crate::Session) —
+/// prefer the session builder in new code.
+///
 /// # Errors
 ///
 /// Only whole-program failures of the underlying simulation (e.g. the
@@ -296,7 +399,9 @@ pub fn try_scratchpad_program(
     program: &Program,
     budget: &AnalysisBudget,
 ) -> Result<GovernedScratchpad, AnalysisError> {
-    try_scratchpad_program_with_threads(program, loopmem_sim::thread_count(), budget)
+    crate::Session::new()
+        .budget(budget.clone())
+        .scratchpad_sizing(program)
 }
 
 /// Governed [`scratchpad_program_with_threads`]: sizes the scratchpad
@@ -306,6 +411,9 @@ pub fn try_scratchpad_program(
 /// still contributes exactly. Results are bit-identical for every
 /// `threads` value.
 ///
+/// Thin wrapper over [`Session::scratchpad_sizing`](crate::Session) —
+/// prefer the session builder in new code.
+///
 /// # Errors
 ///
 /// See [`try_scratchpad_program`].
@@ -314,8 +422,10 @@ pub fn try_scratchpad_program_with_threads(
     threads: usize,
     budget: &AnalysisBudget,
 ) -> Result<GovernedScratchpad, AnalysisError> {
-    let tracker = BudgetTracker::new(budget);
-    try_scratchpad_program_tracked(program, threads, &tracker, budget.max_table_bytes())
+    crate::Session::new()
+        .threads(threads)
+        .budget(budget.clone())
+        .scratchpad_sizing(program)
 }
 
 /// [`try_scratchpad_program_with_threads`] charging an externally owned
@@ -332,8 +442,20 @@ pub fn try_scratchpad_program_tracked(
     tracker: &BudgetTracker,
     max_table_bytes: Option<u64>,
 ) -> Result<GovernedScratchpad, AnalysisError> {
+    let started = tracker.trace().map(|_| std::time::Instant::now());
     let gov = try_simulate_program_tracked(program, threads, tracker, max_table_bytes)?;
-    Ok(governed_sizing(program, gov))
+    let governed = governed_sizing(program, gov);
+    if let Some(sink) = tracker.trace() {
+        let mut events = vec![sizing_span_begin()];
+        events.extend(sizing_term_events(
+            governed.per_nest.iter().map(|r| r.as_ref().ok().copied()),
+        ));
+        let charged = governed.per_nest.iter().filter(|r| r.is_ok()).count() as u64;
+        let micros = started.map_or(0, |s| s.elapsed().as_micros() as u64);
+        events.push(sizing_span_end(micros, charged));
+        sink.record_all(events);
+    }
+    Ok(governed)
 }
 
 /// Governed sizing plus the fusion search. The search runs only when the
@@ -341,6 +463,9 @@ pub fn try_scratchpad_program_tracked(
 /// pair's full trace ungoverned, which is affordable exactly when the
 /// budget already covered the whole-program sweep. On a degraded
 /// baseline the plan is `None` and the interval stands alone.
+///
+/// Thin wrapper over [`Session::scratchpad`](crate::Session) — prefer
+/// the session builder in new code.
 ///
 /// # Errors
 ///
@@ -350,11 +475,10 @@ pub fn try_scratchpad_with_fusion(
     threads: usize,
     budget: &AnalysisBudget,
 ) -> Result<(GovernedScratchpad, Option<ScratchpadPlan>), AnalysisError> {
-    let baseline = try_scratchpad_program_with_threads(program, threads, budget)?;
-    let plan = baseline
-        .all_exact()
-        .then(|| scratchpad_with_fusion(program, threads));
-    Ok((baseline, plan))
+    crate::Session::new()
+        .threads(threads)
+        .budget(budget.clone())
+        .scratchpad(program)
 }
 
 #[cfg(test)]

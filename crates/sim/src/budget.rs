@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use loopmem_ir::{Bounds, BoundsMethod, LoopNest, TripReason};
+use loopmem_obs::{EventKind, Phase, TraceEvent, TraceSink};
 
 use crate::faults::FaultPlan;
 
@@ -58,7 +59,7 @@ impl CancelToken {
 
 /// Declarative resource limits for one analysis. All limits default to
 /// unlimited; builder methods tighten them.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct AnalysisBudget {
     timeout: Option<Duration>,
     max_iterations: Option<u64>,
@@ -66,6 +67,21 @@ pub struct AnalysisBudget {
     max_search_nodes: Option<u64>,
     cancel: Option<CancelToken>,
     fault: Option<Arc<FaultPlan>>,
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for AnalysisBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisBudget")
+            .field("timeout", &self.timeout)
+            .field("max_iterations", &self.max_iterations)
+            .field("max_table_bytes", &self.max_table_bytes)
+            .field("max_search_nodes", &self.max_search_nodes)
+            .field("cancel", &self.cancel)
+            .field("fault", &self.fault)
+            .field("trace", &self.trace.as_ref().map(|s| s.enabled()))
+            .finish()
+    }
 }
 
 impl AnalysisBudget {
@@ -116,8 +132,24 @@ impl AnalysisBudget {
         self
     }
 
+    /// Attaches a trace sink ([`loopmem_obs::TraceSink`]); the materialized
+    /// tracker carries it to every instrumentation seam the run crosses.
+    /// A disabled sink (the [`loopmem_obs::NullSink`]) is indistinguishable
+    /// from attaching nothing — the engine keeps its fast paths.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// The attached trace sink, when one is present *and enabled*.
+    pub fn trace(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace.as_ref().filter(|s| s.enabled())
+    }
+
     /// True when no limit is set (the legacy fast path). A fault plan counts
     /// as a limit: injected faults must flow through the governed machinery.
+    /// An *enabled* trace sink also counts — events only flow on governed
+    /// paths — while a disabled one preserves the fast path untouched.
     pub fn is_unlimited(&self) -> bool {
         self.timeout.is_none()
             && self.max_iterations.is_none()
@@ -125,6 +157,7 @@ impl AnalysisBudget {
             && self.max_search_nodes.is_none()
             && self.cancel.is_none()
             && self.fault.is_none()
+            && self.trace().is_none()
     }
 
     /// The touch-table byte cap, if any.
@@ -146,7 +179,6 @@ impl AnalysisBudget {
 /// One run's live view of an [`AnalysisBudget`]: shared atomic counters plus
 /// the resolved deadline. Create one per governed run and share it (by
 /// reference) across the run's worker threads.
-#[derive(Debug)]
 pub struct BudgetTracker {
     deadline: Option<Instant>,
     max_iterations: Option<u64>,
@@ -155,6 +187,22 @@ pub struct BudgetTracker {
     nodes: AtomicU64,
     cancel: Option<CancelToken>,
     fault: Option<Arc<FaultPlan>>,
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for BudgetTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BudgetTracker")
+            .field("deadline", &self.deadline)
+            .field("max_iterations", &self.max_iterations)
+            .field("max_search_nodes", &self.max_search_nodes)
+            .field("iterations", &self.iterations)
+            .field("nodes", &self.nodes)
+            .field("cancel", &self.cancel)
+            .field("fault", &self.fault)
+            .field("trace", &self.trace.as_ref().map(|s| s.enabled()))
+            .finish()
+    }
 }
 
 impl BudgetTracker {
@@ -168,7 +216,15 @@ impl BudgetTracker {
             nodes: AtomicU64::new(0),
             cancel: budget.cancel.clone(),
             fault: budget.fault.clone(),
+            trace: budget.trace().cloned(),
         }
+    }
+
+    /// The attached (enabled) trace sink, if any. Engines guard every
+    /// emission site on this being `Some`, so the untraced path keeps a
+    /// single predictable branch.
+    pub fn trace(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace.as_ref()
     }
 
     /// A tracker that never trips (legacy paths).
@@ -205,6 +261,9 @@ impl BudgetTracker {
         if let Some(plan) = &self.fault {
             let charged = self.iterations.load(Ordering::Relaxed);
             if let Some(reason) = plan.observe(charged, self.cancel.as_ref()) {
+                if plan.take_trip_log() {
+                    self.trace_fault_trip(plan);
+                }
                 return Err(reason);
             }
         }
@@ -237,12 +296,38 @@ impl BudgetTracker {
         self.fault.as_ref().is_some_and(|p| p.reject_tables())
     }
 
+    /// Emits the fire-once [`EventKind::FaultTrip`] event for an attached
+    /// plan. The payload is derived from the plan alone (kind label and
+    /// poll threshold), never from run progress, so the event is
+    /// bit-identical at every thread count.
+    fn trace_fault_trip(&self, plan: &FaultPlan) {
+        if let Some(sink) = &self.trace {
+            sink.record(TraceEvent {
+                phase: Phase::Pass1,
+                nest: None,
+                ord: (plan.at_poll(), 0),
+                thread: 0,
+                kind: EventKind::FaultTrip {
+                    kind: plan.kind().label(),
+                    at_poll: plan.at_poll(),
+                },
+            });
+        }
+    }
+
     /// True exactly once when an attached fault plan targets `nest_index`
     /// with an injected panic; the caller panics inside its `catch_unwind`.
     pub(crate) fn fault_take_panic(&self, nest_index: usize) -> bool {
-        self.fault
+        let hit = self
+            .fault
             .as_ref()
-            .is_some_and(|p| p.take_panic(nest_index))
+            .is_some_and(|p| p.take_panic(nest_index));
+        if hit {
+            if let Some(plan) = &self.fault {
+                self.trace_fault_trip(plan);
+            }
+        }
+        hit
     }
 
     /// True exactly once, at the first consultation where the cumulative
@@ -251,9 +336,16 @@ impl BudgetTracker {
     /// branch. The counter is monotone and every charge is followed by a
     /// consultation, so whether the fault lands is thread-count invariant.
     pub(crate) fn fault_take_overflow(&self) -> bool {
-        self.fault
+        let hit = self
+            .fault
             .as_ref()
-            .is_some_and(|p| p.take_overflow(self.iterations.load(Ordering::Relaxed)))
+            .is_some_and(|p| p.take_overflow(self.iterations.load(Ordering::Relaxed)));
+        if hit {
+            if let Some(plan) = &self.fault {
+                self.trace_fault_trip(plan);
+            }
+        }
+        hit
     }
 
     /// The deterministic iteration quota a salvage pass may re-sweep after a

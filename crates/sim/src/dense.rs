@@ -49,6 +49,7 @@ use crate::window::{ArrayStats, SimResult};
 use loopmem_ir::{
     AnalysisError, ArrayId, ArrayRef, Bounds, BoundsMethod, ElementBox, LoopNest, TripReason,
 };
+use loopmem_obs::{EventKind, Phase, TraceEvent};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::ops::ControlFlow;
@@ -100,6 +101,13 @@ const PARALLEL_THRESHOLD: u128 = 1 << 17;
 /// trip. Keeps salvage cost bounded (a few milliseconds) even when the
 /// tripped iteration cap was astronomically large.
 const SALVAGE_MAX_ITERS: u64 = 1 << 22;
+
+/// Chunk-grid size used whenever an enabled trace sink is attached. The
+/// untraced grid is `threads × CHUNKS_PER_THREAD`, which would make the
+/// poll/commit event stream depend on the thread count; pinning the grid
+/// makes the trace bytes bit-identical across t ∈ {1, 2, 4} (answers are
+/// chunking-invariant already — the merge folds strictly in chunk order).
+const TRACE_CHUNK_PARTS: usize = 16;
 
 /// Worker-thread count: `LOOPMEM_THREADS` when set to a positive integer,
 /// otherwise the machine's available parallelism.
@@ -327,6 +335,12 @@ struct ChunkOut {
     /// [`UNTOUCHED`] — always read through the `first` lane's mask.
     last: Vec<Vec<u32>>,
     sparse: Vec<HashMap<Vec<i64>, (u32, u32)>>,
+    /// Chunk-local trace events (polls, the trailing commit), buffered
+    /// here and flushed by [`MergeState::deposit`] in chunk-commit order
+    /// only when the whole sweep succeeds — a failed sweep's set of
+    /// completed chunks is schedule-dependent, so its events never reach
+    /// the sink. Empty (never allocated) when no sink is attached.
+    events: Vec<TraceEvent>,
 }
 
 /// Applies one dense reference over the run segment `j ∈ [jlo, jhi]`
@@ -483,6 +497,22 @@ fn sweep_chunk(
         .collect();
     let mut t: u32 = 0;
     let mut unpolled: u32 = 0;
+    // Chunk-local event buffer: `ord` starts as (0, seq); the merge
+    // rewrites the chunk component when the chunk is folded, so the key
+    // is (chunk index, poll sequence) — schedule-independent.
+    let tracing = tracker.trace().is_some();
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut seq: u64 = 0;
+    let poll_event = |events: &mut Vec<TraceEvent>, seq: &mut u64, delta: u64| {
+        events.push(TraceEvent {
+            phase: Phase::Pass1,
+            nest: None,
+            ord: (0, *seq),
+            thread: 0,
+            kind: EventKind::Poll { delta },
+        });
+        *seq += 1;
+    };
     let flow = try_for_each_inner_run(nest, lo, hi, &mut |iter, run_lo, run_hi| {
         let mut j = run_lo;
         let mut remaining = (run_hi as i128 - run_lo as i128) as u128 + 1;
@@ -587,6 +617,9 @@ fn sweep_chunk(
                 if let Err(reason) = tracker.charge_iterations(unpolled as u64) {
                     return ControlFlow::Break(SweepError::Trip(reason));
                 }
+                if tracing {
+                    poll_event(&mut events, &mut seq, unpolled as u64);
+                }
                 unpolled = 0;
                 // Injected overflow: force the u32 clock-exhaustion branch
                 // at the first charge observing the plan's threshold. The
@@ -625,6 +658,22 @@ fn sweep_chunk(
                 "chunk exceeds the engine's u32 iteration budget".to_string(),
             ));
         }
+        if tracing {
+            poll_event(&mut events, &mut seq, unpolled as u64);
+        }
+    }
+    if tracing {
+        events.push(TraceEvent {
+            phase: Phase::Pass1,
+            nest: None,
+            ord: (0, seq),
+            thread: 0,
+            kind: EventKind::ChunkCommit {
+                lo,
+                hi,
+                iters: t as u64,
+            },
+        });
     }
     Ok(ChunkOut {
         iters: t as u64,
@@ -632,6 +681,7 @@ fn sweep_chunk(
         first,
         last,
         sparse,
+        events,
     })
 }
 
@@ -691,17 +741,28 @@ struct MergeState {
     upto: usize,
     base: Option<ChunkOut>,
     pending: BTreeMap<usize, ChunkOut>,
+    /// Trace events of folded chunks, accumulated in chunk-commit order
+    /// (the fold is strictly in chunk order, so this sequence is
+    /// schedule-independent). Flushed by `sweep_all` on success.
+    events: Vec<TraceEvent>,
 }
 
 impl MergeState {
-    fn deposit(&mut self, k: usize, out: ChunkOut) {
+    fn deposit(&mut self, k: usize, mut out: ChunkOut) {
+        // Stamp the chunk component of the ordering key: chunk k's events
+        // sort after every chunk < k and after the sweep's span-begin
+        // (which uses chunk component 0).
+        for e in &mut out.events {
+            e.ord.0 = 1 + k as u64;
+        }
         self.pending.insert(k, out);
         loop {
             let next = self.upto;
-            let Some(c) = self.pending.remove(&next) else {
+            let Some(mut c) = self.pending.remove(&next) else {
                 break;
             };
             self.upto += 1;
+            self.events.append(&mut c.events);
             match &mut self.base {
                 None => self.base = Some(c),
                 Some(b) => merge_into(b, c),
@@ -881,12 +942,15 @@ pub(crate) fn auto_threads(nest: &LoopNest) -> usize {
 /// deterministic.
 fn sweep_all(
     nest: &LoopNest,
+    nest_index: usize,
     threads: usize,
     tracker: &BudgetTracker,
     max_table_bytes: Option<u64>,
 ) -> Result<(Plan, ChunkOut), SweepError> {
     let (olo, ohi) = outer_range(nest);
     let threads = threads.max(1);
+    let tracing = tracker.trace().is_some();
+    let started = tracing.then(std::time::Instant::now);
     // An injected table-rejection fault plans as if `max_table_bytes` were
     // zero: every array demotes to the sparse path (results stay exact).
     let plan_cap = if tracker.fault_reject_tables() {
@@ -895,28 +959,46 @@ fn sweep_all(
         max_table_bytes
     };
     let plan = make_plan(nest, threads, plan_cap);
-    let chunks = if threads == 1 {
+    // Tracing pins the chunk grid (see [`TRACE_CHUNK_PARTS`]) so the
+    // event stream is independent of the worker count; the untraced path
+    // keeps its thread-scaled grid untouched.
+    let chunks = if tracing {
+        chunk_ranges(nest, olo, ohi, TRACE_CHUNK_PARTS)
+    } else if threads == 1 {
         vec![(olo, ohi)]
     } else {
         chunk_ranges(nest, olo, ohi, threads * CHUNKS_PER_THREAD)
     };
     if chunks.len() <= 1 {
         let (lo, hi) = chunks[0];
-        let out = sweep_chunk(nest, &plan, lo, hi, tracker, None)?;
+        let mut out = sweep_chunk(nest, &plan, lo, hi, tracker, None)?;
+        if tracing {
+            for e in &mut out.events {
+                e.ord.0 = 1;
+            }
+            let events = std::mem::take(&mut out.events);
+            flush_sweep_events(tracker, nest_index, started, events, out.iters);
+        }
         return Ok((plan, out));
     }
     let workers = threads.min(chunks.len());
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let failure: Mutex<Option<(usize, SweepError)>> = Mutex::new(None);
+    // A panic inside a chunk is caught here and re-raised with its
+    // original payload after the scope joins; letting it escape the
+    // scoped thread would replace the payload with the generic
+    // "a scoped thread panicked", diverging from the serial sweep.
+    let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
     let state = Mutex::new(MergeState {
         upto: 0,
         base: None,
         pending: BTreeMap::new(),
+        events: Vec::new(),
     });
     {
-        let (plan, chunks, next, stop, failure, state) =
-            (&plan, &chunks, &next, &stop, &failure, &state);
+        let (plan, chunks, next, stop, failure, panicked, state) =
+            (&plan, &chunks, &next, &stop, &failure, &panicked, &state);
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(move || loop {
@@ -928,9 +1010,11 @@ fn sweep_all(
                         break;
                     }
                     let (lo, hi) = chunks[k];
-                    match sweep_chunk(nest, plan, lo, hi, tracker, None) {
-                        Ok(out) => state.lock().expect("merge state poisoned").deposit(k, out),
-                        Err(e) => {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        sweep_chunk(nest, plan, lo, hi, tracker, None)
+                    })) {
+                        Ok(Ok(out)) => state.lock().expect("merge state poisoned").deposit(k, out),
+                        Ok(Err(e)) => {
                             // Overflow outranks budget trips: a u32
                             // time-stamp overflow fires at a fixed point in
                             // the charged-iteration stream, while which
@@ -952,18 +1036,92 @@ fn sweep_all(
                             }
                             stop.store(true, Ordering::Relaxed);
                         }
+                        Err(payload) => {
+                            let mut slot = panicked.lock().expect("panic slot poisoned");
+                            let replace = match slot.as_ref() {
+                                None => true,
+                                Some((prev_k, _)) => k < *prev_k,
+                            };
+                            if replace {
+                                *slot = Some((k, payload));
+                            }
+                            stop.store(true, Ordering::Relaxed);
+                        }
                     }
                 });
             }
         });
     }
-    if let Some((_, e)) = failure.into_inner().expect("failure slot poisoned") {
+    // A panic fires at a fixed point in the iteration stream (like an
+    // overflow), so it ranks with the deterministic failures: between a
+    // panic and a rank-0 error the smaller chunk index wins, and any
+    // schedule-dependent budget trip loses to it — the serial sweep would
+    // have panicked before ever reaching the later chunk.
+    let panic_hit = panicked.into_inner().expect("panic slot poisoned");
+    let err_hit = failure.into_inner().expect("failure slot poisoned");
+    if let Some((pk, payload)) = panic_hit {
+        let panic_wins = match &err_hit {
+            Some((ek, SweepError::Overflow(_))) => pk < *ek,
+            _ => true,
+        };
+        if panic_wins {
+            std::panic::resume_unwind(payload);
+        }
+    }
+    if let Some((_, e)) = err_hit {
         return Err(e);
     }
     let st = state.into_inner().expect("merge state poisoned");
     debug_assert_eq!(st.upto, chunks.len(), "every chunk merged");
     let merged = st.base.expect("at least one chunk swept");
+    if tracing {
+        flush_sweep_events(tracker, nest_index, started, st.events, merged.iters);
+    }
     Ok((plan, merged))
+}
+
+/// Flushes one successful sweep's buffered chunk events to the attached
+/// sink, bracketed by the nest's pass-1 span. Everything canonical in
+/// the batch (ordering keys, deltas, the charged total) derives from the
+/// nest and the pinned chunk grid alone, never from the schedule; only
+/// the span's wall-clock micros vary, and those are excluded from the
+/// canonical rendering.
+fn flush_sweep_events(
+    tracker: &BudgetTracker,
+    nest_index: usize,
+    started: Option<std::time::Instant>,
+    events: Vec<TraceEvent>,
+    iters: u64,
+) {
+    let Some(sink) = tracker.trace() else {
+        return;
+    };
+    let micros = started.map_or(0, |s| s.elapsed().as_micros() as u64);
+    let nest = Some(nest_index as u32);
+    let mut out = Vec::with_capacity(events.len() + 2);
+    out.push(TraceEvent {
+        phase: Phase::Pass1,
+        nest,
+        ord: (0, 0),
+        thread: 0,
+        kind: EventKind::SpanBegin { label: "pass1" },
+    });
+    for mut e in events {
+        e.nest = nest;
+        out.push(e);
+    }
+    out.push(TraceEvent {
+        phase: Phase::Pass1,
+        nest,
+        ord: (u64::MAX, 0),
+        thread: 0,
+        kind: EventKind::SpanEnd {
+            label: "pass1",
+            micros,
+            charged: iters,
+        },
+    });
+    sink.record_all(out);
 }
 
 /// Merged pass-1 touch tables of one nest in nest-local 32-bit time —
@@ -983,7 +1141,7 @@ pub(crate) struct NestPass1 {
 /// Runs pass 1 only and hands the merged tables to the caller.
 pub(crate) fn pass1(nest: &LoopNest, threads: usize) -> NestPass1 {
     let tracker = BudgetTracker::unlimited();
-    match sweep_all(nest, threads, &tracker, None) {
+    match sweep_all(nest, 0, threads, &tracker, None) {
         Ok((plan, merged)) => NestPass1 {
             iters: merged.iters,
             accesses: merged.accesses,
@@ -1006,7 +1164,7 @@ pub(crate) fn pass1(nest: &LoopNest, threads: usize) -> NestPass1 {
 /// so the optimizer cannot discard the recording work being measured.
 pub fn bench_pass1(nest: &LoopNest, threads: usize) -> u64 {
     let tracker = BudgetTracker::unlimited();
-    match sweep_all(nest, threads, &tracker, None) {
+    match sweep_all(nest, 0, threads, &tracker, None) {
         Ok((_, merged)) => {
             let iters = merged.iters;
             std::hint::black_box(&merged.first);
@@ -1142,6 +1300,7 @@ fn prefix_mws(nest: &LoopNest, quota: u64, max_table_bytes: Option<u64>) -> Opti
 /// or steal order — so it stays bit-identical across `t ∈ {1, 2, 4}`.
 fn salvage_nest_bounds(
     nest: &LoopNest,
+    nest_index: usize,
     tracker: &BudgetTracker,
     reason: TripReason,
     max_table_bytes: Option<u64>,
@@ -1162,11 +1321,29 @@ fn salvage_nest_bounds(
     match catch_unwind(AssertUnwindSafe(|| {
         prefix_mws(nest, quota, max_table_bytes)
     })) {
-        Ok(Some(prefix)) => Bounds {
-            lower: prefix.max(analytic.lower),
-            upper: analytic.upper,
-            method: BoundsMethod::SalvagedPrefix,
-        },
+        Ok(Some(prefix)) => {
+            // The salvage event carries only plan/quota-derived values
+            // (the quota and the deterministic prefix bound), so it is
+            // safe to emit on this failure path: which worker observed
+            // the trip varies, what was salvaged does not.
+            if let Some(sink) = tracker.trace() {
+                sink.record(TraceEvent {
+                    phase: Phase::Pass1,
+                    nest: Some(nest_index as u32),
+                    ord: (u64::MAX, 1),
+                    thread: 0,
+                    kind: EventKind::Salvage {
+                        iterations: quota,
+                        lower: prefix.max(analytic.lower),
+                    },
+                });
+            }
+            Bounds {
+                lower: prefix.max(analytic.lower),
+                upper: analytic.upper,
+                method: BoundsMethod::SalvagedPrefix,
+            }
+        }
         _ => analytic,
     }
 }
@@ -1198,7 +1375,7 @@ pub(crate) fn try_pass1(
         if tracker.fault_take_panic(nest_index) {
             panic!("{}", crate::faults::INJECTED_PANIC);
         }
-        sweep_all(nest, threads, tracker, max_table_bytes)
+        sweep_all(nest, nest_index, threads, tracker, max_table_bytes)
     }));
     match swept {
         Ok(Ok((plan, merged))) => Ok(NestPass1 {
@@ -1211,7 +1388,7 @@ pub(crate) fn try_pass1(
         }),
         Ok(Err(SweepError::Trip(reason))) => Err(AnalysisError::Exhausted {
             reason,
-            partial: salvage_nest_bounds(nest, tracker, reason, max_table_bytes),
+            partial: salvage_nest_bounds(nest, nest_index, tracker, reason, max_table_bytes),
         }),
         Ok(Err(SweepError::Overflow(context))) => Err(AnalysisError::Overflow { context }),
         Ok(Err(SweepError::Stopped)) => unreachable!("no prefix quota was set"),
@@ -1230,7 +1407,7 @@ pub(crate) fn try_pass1(
 pub(crate) fn run(nest: &LoopNest, want_profile: bool, threads: usize) -> SimResult {
     let narrays = nest.arrays().len();
     let tracker = BudgetTracker::unlimited();
-    match sweep_all(nest, threads, &tracker, None) {
+    match sweep_all(nest, 0, threads, &tracker, None) {
         Ok((_, merged)) => finish(narrays, merged, want_profile),
         Err(SweepError::Trip(_)) => unreachable!("unlimited budget tripped"),
         Err(SweepError::Overflow(msg)) => panic!("{msg}"),
@@ -1291,7 +1468,7 @@ fn try_run_impl(
         if tracker.fault_take_panic(0) {
             panic!("{}", crate::faults::INJECTED_PANIC);
         }
-        let (_, merged) = sweep_all(nest, threads, tracker, max_table_bytes)?;
+        let (_, merged) = sweep_all(nest, 0, threads, tracker, max_table_bytes)?;
         Ok(finish(narrays, merged, want_profile))
     }));
     match swept {
@@ -1299,7 +1476,7 @@ fn try_run_impl(
         Ok(Err(SweepError::Trip(reason))) => Err(AnalysisError::Exhausted {
             reason,
             partial: if salvage {
-                salvage_nest_bounds(nest, tracker, reason, max_table_bytes)
+                salvage_nest_bounds(nest, 0, tracker, reason, max_table_bytes)
             } else {
                 analytic_nest_bounds(nest)
             },

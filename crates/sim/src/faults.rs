@@ -67,6 +67,17 @@ impl FaultKind {
         FaultKind::PanicNest,
         FaultKind::Overflow,
     ];
+
+    /// Stable kebab-case label, used by trace events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Exhaust => "exhaust",
+            FaultKind::Cancel => "cancel",
+            FaultKind::RejectTables => "reject-tables",
+            FaultKind::PanicNest => "panic-nest",
+            FaultKind::Overflow => "overflow",
+        }
+    }
 }
 
 /// The panic message used by [`FaultKind::PanicNest`] injections.
@@ -157,6 +168,14 @@ impl FaultPlan {
     /// True when the planner should reject every per-array touch table.
     pub(crate) fn reject_tables(&self) -> bool {
         self.kind == FaultKind::RejectTables
+    }
+
+    /// True exactly once, at the first poll that observed the injected
+    /// trip: the tracker emits its fire-once `fault-trip` trace event.
+    /// Reuses the `fired` flag, which the sticky poll-triggered kinds
+    /// ([`FaultKind::Exhaust`] / [`FaultKind::Cancel`]) never consume.
+    pub(crate) fn take_trip_log(&self) -> bool {
+        !self.fired.swap(true, Ordering::Relaxed)
     }
 
     /// True exactly once, for the target nest: the caller must panic with

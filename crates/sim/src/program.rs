@@ -23,6 +23,7 @@
 use crate::budget::{analytic_nest_bounds, analytic_program_bounds, AnalysisBudget, BudgetTracker};
 use crate::dense::{self, NestPass1, UNTOUCHED};
 use loopmem_ir::{AnalysisError, ArrayId, Bounds, BoundsMethod, ElementBox, Program, TripReason};
+use loopmem_obs::{EventKind, Phase, TraceEvent};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -325,6 +326,9 @@ fn fold_dense_table(
 /// Simulates the program (every nest in order) with exact window
 /// tracking across nest boundaries. Uses every available worker thread
 /// ([`crate::thread_count`]); results are bit-identical for any count.
+///
+/// The unified front door for analysis is `loopmem::Session` (defined in
+/// `loopmem-core`); see `Session::simulate_program`.
 pub fn simulate_program(program: &Program) -> ProgramSimResult {
     simulate_program_with_threads(program, crate::dense::thread_count())
 }
@@ -562,6 +566,9 @@ pub fn try_simulate_program(
 /// simulation with those bounds. The top-level `Err` is reserved for
 /// whole-program failures (the global fold itself exceeding
 /// `max_table_bytes`).
+///
+/// `loopmem::Session::simulate_program` is the front-door equivalent;
+/// the facade's `session_equivalence` tests pin the two bit-identical.
 pub fn try_simulate_program_with_threads(
     program: &Program,
     threads: usize,
@@ -613,7 +620,34 @@ pub fn try_simulate_program_tracked(
             }
         })
         .collect();
+    // The global fold + pass-2 sweep is serial and deterministic; its span
+    // charges the global iteration total (schedule-independent whenever
+    // the per-nest outcome set is — the scope chaos oracle 6 pins).
+    let fold_started = tracker.trace().map(|_| std::time::Instant::now());
     let sim = assemble(narrays, slots, max_table_bytes);
+    if let Some(sink) = tracker.trace() {
+        let micros = fold_started.map_or(0, |s| s.elapsed().as_micros() as u64);
+        sink.record_all(vec![
+            TraceEvent {
+                phase: Phase::Pass2,
+                nest: None,
+                ord: (0, 0),
+                thread: 0,
+                kind: EventKind::SpanBegin { label: "pass2" },
+            },
+            TraceEvent {
+                phase: Phase::Pass2,
+                nest: None,
+                ord: (1, 0),
+                thread: 0,
+                kind: EventKind::SpanEnd {
+                    label: "pass2",
+                    micros,
+                    charged: total_iters,
+                },
+            },
+        ]);
+    }
 
     let mws_bounds = if per_nest.iter().all(Result::is_ok) {
         Bounds::exact(sim.mws_total)

@@ -67,6 +67,10 @@ impl SimResult {
 /// Runs the dense-event engine ([`crate::dense`]): flat touch tables with
 /// a hashmap fallback, swept in parallel for large nests (worker count
 /// from `LOOPMEM_THREADS`, defaulting to the available parallelism).
+///
+/// The unified front door for analysis — carrying threads, budget, fault
+/// plan and trace sink in one builder — is `loopmem::Session` (defined in
+/// `loopmem-core`, which this crate cannot depend on).
 pub fn simulate(nest: &LoopNest) -> SimResult {
     crate::dense::run(nest, false, crate::dense::auto_threads(nest))
 }
@@ -99,6 +103,9 @@ pub fn try_simulate(
 /// `Exhausted` payloads are both bit-identical for every `threads` value
 /// (the analytical fallback depends only on the nest, never on how far a
 /// particular sweep got).
+///
+/// `loopmem::Session::simulate` is the front-door equivalent; the
+/// facade's `session_equivalence` tests pin the two bit-identical.
 pub fn try_simulate_with_threads(
     nest: &LoopNest,
     want_profile: bool,

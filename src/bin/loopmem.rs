@@ -12,6 +12,7 @@
 //! loopmem scratchpad <file.loop> [--fuse] [--threads N]
 //! loopmem verify   <file.loop> [--emit-cert out] [--cert in] [--format text|json]
 //! loopmem chaos    <file.loop>... [--seed N]
+//! loopmem trace    <file.loop> [--format text|json] [--out trace.ndjson]
 //! loopmem print    <file.loop> [--transform a,b,c,d]
 //! ```
 //!
@@ -60,6 +61,19 @@
 //! when a budget trips the analysis degrades to guaranteed analytical
 //! bounds (`outcome : bounded`) instead of an exact answer; the process
 //! still exits 0 because a degraded answer is a result, not an error.
+//!
+//! `trace` runs the whole governed surface (program simulation,
+//! scratchpad sizing + fusion, per-nest §4 searches, cone prunes,
+//! certificate emission) with a collecting `loopmem-obs` sink attached
+//! and renders the deterministic trace: per-phase totals with `--format
+//! text` (default), the canonical NDJSON stream with `--format json`;
+//! `--out trace.ndjson` writes the NDJSON to a file either way. The
+//! NDJSON bytes are bit-identical for every `--threads` value.
+//! `pipeline`, `scratchpad`, `chaos`, and `verify` accept `--trace
+//! out.ndjson` to capture the same stream for their own runs (on
+//! `pipeline`/`scratchpad` this selects the governed path, with an
+//! unlimited budget unless budget flags say otherwise; on `chaos` it
+//! captures the fault-free traced baseline of each file).
 
 use loopmem::analyze::{check_source, CheckOptions, Diagnostic, Severity};
 use loopmem::core::optimize::{minimize_mws, SearchMode};
@@ -67,8 +81,11 @@ use loopmem::core::{analyze_memory, apply_transform, estimate_distinct};
 use loopmem::dep::analyze;
 use loopmem::ir::{parse, print_nest, AnalysisError, LoopNest};
 use loopmem::linalg::IMat;
+use loopmem::obs::{CollectingSink, TraceSink};
 use loopmem::sim::{simulate, simulate_with_profile, AnalysisBudget, ScratchpadModel};
+use loopmem::Session;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Set once budget flags are parsed: governed runs contain panics with
 /// `catch_unwind` and report them as per-nest outcomes, so the panic hook
@@ -108,10 +125,11 @@ const USAGE: &str = "usage:
   loopmem optimize <file.loop> [--mode compound|interchange|li-pingali] [budget]
   loopmem simulate <file.loop> [--profile] [budget]
   loopmem formulas <file.loop>
-  loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize [--mode M]] [--emit-cert out] [budget]
-  loopmem scratchpad <file.loop> [--fuse] [--threads N] [--emit-cert out] [budget]
-  loopmem verify   <file.loop> [--emit-cert out] [--cert in] [--format text|json] [budget]
-  loopmem chaos    <file.loop>... [--seed N]
+  loopmem pipeline <file.loop> [--fuse k] [--threads N] [--optimize [--mode M]] [--emit-cert out] [--trace out] [budget]
+  loopmem scratchpad <file.loop> [--fuse] [--threads N] [--emit-cert out] [--trace out] [budget]
+  loopmem verify   <file.loop> [--emit-cert out] [--cert in] [--format text|json] [--trace out] [budget]
+  loopmem chaos    <file.loop>... [--seed N] [--trace out]
+  loopmem trace    <file.loop> [--threads N] [--format text|json] [--out trace.ndjson] [budget]
   loopmem print    <file.loop> [--transform a,b,c,d]
 
 budget flags (governed run; degrades to analytical bounds, never crashes):
@@ -131,6 +149,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--seed",
     "--emit-cert",
     "--cert",
+    "--trace",
+    "--out",
 ];
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -143,6 +163,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     if cmd == "verify" {
         return cmd_verify(rest);
+    }
+    if cmd == "trace" {
+        return cmd_trace(rest);
     }
     let r = match cmd.as_str() {
         "analyze" => cmd_analyze(&load(rest)?),
@@ -192,18 +215,107 @@ fn positionals_with<'a>(rest: &'a [String], value_flags: &[&str]) -> Vec<&'a Str
     out
 }
 
-/// Worker-thread count: `--threads N`, defaulting to available
-/// parallelism.
-fn parse_threads(rest: &[String]) -> Result<usize, String> {
-    match rest.iter().position(|a| a == "--threads") {
-        None => Ok(loopmem::sim::thread_count()),
-        Some(pos) => rest
-            .get(pos + 1)
-            .ok_or("--threads needs a positive count")?
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .ok_or_else(|| "--threads needs a positive count".into()),
+/// The cross-cutting flags every subcommand understands, parsed by one
+/// shared routine so `--threads` (and the rest) accept the same syntax
+/// and fail with the same message everywhere.
+struct CommonOpts {
+    /// `--threads N`, defaulting to available parallelism.
+    threads: usize,
+    /// `--timeout-ms` / `--max-iters` combined; `None` when neither was
+    /// given (the run is ungoverned unless something else demands a
+    /// budget, e.g. `--trace`).
+    budget: Option<AnalysisBudget>,
+    /// `--trace out.ndjson`: capture the run's deterministic trace.
+    trace: Option<String>,
+    /// `--emit-cert out.ndjson`: write the certificate stream.
+    emit_cert: Option<String>,
+    /// `--format json` (default is text).
+    json: bool,
+}
+
+impl CommonOpts {
+    fn parse(rest: &[String]) -> Result<Self, String> {
+        let threads = match rest.iter().position(|a| a == "--threads") {
+            None => loopmem::sim::thread_count(),
+            Some(pos) => rest
+                .get(pos + 1)
+                .ok_or("--threads needs a positive count")?
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or("--threads needs a positive count")?,
+        };
+        let mut budget = AnalysisBudget::unlimited();
+        let mut any = false;
+        if let Some(pos) = rest.iter().position(|a| a == "--timeout-ms") {
+            let ms: u64 = rest
+                .get(pos + 1)
+                .ok_or("--timeout-ms needs a millisecond count")?
+                .parse()
+                .map_err(|e| format!("--timeout-ms: {e}"))?;
+            budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+            any = true;
+        }
+        if let Some(pos) = rest.iter().position(|a| a == "--max-iters") {
+            let n: u64 = rest
+                .get(pos + 1)
+                .ok_or("--max-iters needs an iteration count")?
+                .parse()
+                .map_err(|e| format!("--max-iters: {e}"))?;
+            budget = budget.with_max_iterations(n);
+            any = true;
+        }
+        let trace = Self::path_flag(rest, "--trace")?;
+        let emit_cert = Self::path_flag(rest, "--emit-cert")?;
+        let json = match rest.iter().position(|a| a == "--format") {
+            None => false,
+            Some(pos) => match rest.get(pos + 1).map(String::as_str) {
+                Some("text") => false,
+                Some("json") => true,
+                other => return Err(format!("bad --format {other:?} (expected text or json)")),
+            },
+        };
+        if any || trace.is_some() {
+            // Governed and traced runs both contain panics in-band.
+            GOVERNED.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok(CommonOpts {
+            threads,
+            budget: any.then_some(budget),
+            trace,
+            emit_cert,
+            json,
+        })
+    }
+
+    fn path_flag(rest: &[String], flag: &str) -> Result<Option<String>, String> {
+        match rest.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(pos) => rest
+                .get(pos + 1)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("{flag} needs an output path")),
+        }
+    }
+
+    /// The collecting sink backing `--trace`, when requested.
+    fn trace_sink(&self) -> Option<Arc<CollectingSink>> {
+        self.trace.as_ref().map(|_| Arc::new(CollectingSink::new()))
+    }
+
+    /// Drain `sink` and write its NDJSON stream to the `--trace` path.
+    fn write_trace(&self, sink: &Arc<CollectingSink>) -> Result<(), String> {
+        let Some(path) = &self.trace else {
+            return Ok(());
+        };
+        let report = sink.drain();
+        std::fs::write(path, report.render_ndjson()).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "trace             : {} events written to {path}",
+            report.events.len()
+        );
+        Ok(())
     }
 }
 
@@ -214,30 +326,7 @@ fn load(rest: &[String]) -> Result<LoopNest, String> {
 }
 
 fn parse_budget(rest: &[String]) -> Result<Option<AnalysisBudget>, String> {
-    let mut budget = AnalysisBudget::unlimited();
-    let mut any = false;
-    if let Some(pos) = rest.iter().position(|a| a == "--timeout-ms") {
-        let ms: u64 = rest
-            .get(pos + 1)
-            .ok_or("--timeout-ms needs a millisecond count")?
-            .parse()
-            .map_err(|e| format!("--timeout-ms: {e}"))?;
-        budget = budget.with_timeout(std::time::Duration::from_millis(ms));
-        any = true;
-    }
-    if let Some(pos) = rest.iter().position(|a| a == "--max-iters") {
-        let n: u64 = rest
-            .get(pos + 1)
-            .ok_or("--max-iters needs an iteration count")?
-            .parse()
-            .map_err(|e| format!("--max-iters: {e}"))?;
-        budget = budget.with_max_iterations(n);
-        any = true;
-    }
-    if any {
-        GOVERNED.store(true, std::sync::atomic::Ordering::Relaxed);
-    }
-    Ok(any.then_some(budget))
+    Ok(CommonOpts::parse(rest)?.budget)
 }
 
 /// Report a governed run that could not finish exactly. A tripped budget or
@@ -297,14 +386,7 @@ fn parse_transform(rest: &[String]) -> Result<Option<IMat>, String> {
 /// diagnostic; `--deny warnings` also fails the run on warnings. A clean
 /// run (hints only, or nothing) exits 0.
 fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
-    let json = match rest.iter().position(|a| a == "--format") {
-        None => false,
-        Some(pos) => match rest.get(pos + 1).map(String::as_str) {
-            Some("text") => false,
-            Some("json") => true,
-            other => return Err(format!("bad --format {other:?} (expected text or json)")),
-        },
-    };
+    let json = CommonOpts::parse(rest)?.json;
     let deny_warnings = match rest.iter().position(|a| a == "--deny") {
         None => false,
         Some(pos) => match rest.get(pos + 1).map(String::as_str) {
@@ -375,6 +457,7 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
 /// the panic hook is quieted like any governed run.
 fn cmd_chaos(rest: &[String]) -> Result<ExitCode, String> {
     GOVERNED.store(true, std::sync::atomic::Ordering::Relaxed);
+    let opts = CommonOpts::parse(rest)?;
     let seed: u64 = match rest.iter().position(|a| a == "--seed") {
         None => 0xC0FFEE,
         Some(pos) => rest
@@ -387,10 +470,24 @@ fn cmd_chaos(rest: &[String]) -> Result<ExitCode, String> {
     if files.is_empty() {
         return Err("missing <file.loop> argument".into());
     }
+    let trace_sink = opts.trace_sink();
     let mut violations = 0usize;
     let mut salvaged = 0usize;
     for path in files {
         let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        if let Some(sink) = &trace_sink {
+            // `--trace` captures the fault-free traced baseline of each
+            // file — the same stream chaos oracle 6 pins byte-identical
+            // across thread counts — one epoch per file.
+            let dyn_sink: Arc<dyn TraceSink> = sink.clone();
+            dyn_sink.begin_epoch();
+            if let Ok(program) = loopmem::ir::parse_program(&src) {
+                let budget = AnalysisBudget::unlimited()
+                    .with_max_iterations(2_000_000)
+                    .with_trace(dyn_sink.clone());
+                let _ = loopmem::sim::try_simulate_program_with_threads(&program, 1, &budget);
+            }
+        }
         let report = loopmem::core::chaos_source(path, &src, seed).map_err(|e| e.to_string())?;
         println!(
             "{path}: {} cases, {} runs, {} violations, {} salvaged-tighter",
@@ -404,6 +501,9 @@ fn cmd_chaos(rest: &[String]) -> Result<ExitCode, String> {
         }
         violations += report.violations.len();
         salvaged += report.salvaged_tighter;
+    }
+    if let Some(sink) = &trace_sink {
+        opts.write_trace(sink)?;
     }
     println!("seed       : {seed}");
     println!("salvaged   : {salvaged}");
@@ -424,14 +524,8 @@ fn cmd_verify(rest: &[String]) -> Result<ExitCode, String> {
     // Generation replays governed searches; contained failures are
     // reported as degraded certificates, not stack traces.
     GOVERNED.store(true, std::sync::atomic::Ordering::Relaxed);
-    let json = match rest.iter().position(|a| a == "--format") {
-        None => false,
-        Some(pos) => match rest.get(pos + 1).map(String::as_str) {
-            Some("text") => false,
-            Some("json") => true,
-            other => return Err(format!("bad --format {other:?} (expected text or json)")),
-        },
-    };
+    let opts = CommonOpts::parse(rest)?;
+    let json = opts.json;
     let path = positional(rest).ok_or("missing <file.loop> argument")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let (program, spans) =
@@ -440,8 +534,14 @@ fn cmd_verify(rest: &[String]) -> Result<ExitCode, String> {
     // degrades to a bounds certificate instead of hanging the gate. The
     // default is an iteration cap, not a timeout, so whether a run
     // verifies exactly or via bounds is machine-independent.
-    let budget = parse_budget(rest)?
+    let mut budget = opts
+        .budget
+        .clone()
         .unwrap_or_else(|| AnalysisBudget::unlimited().with_max_iterations(2_000_000));
+    let trace_sink = opts.trace_sink();
+    if let Some(sink) = &trace_sink {
+        budget = budget.with_trace(sink.clone() as Arc<dyn TraceSink>);
+    }
     let certs = match rest.iter().position(|a| a == "--cert") {
         Some(pos) => {
             let cert_path = rest.get(pos + 1).ok_or("--cert needs an input path")?;
@@ -470,9 +570,17 @@ fn cmd_verify(rest: &[String]) -> Result<ExitCode, String> {
                 }
             }
         }
-        None => generate_certificates(&program, parse_threads(rest)?, &budget),
+        None => generate_certificates(&program, opts.threads, &budget),
     };
-    emit_certs(rest, &certs)?;
+    emit_certs(opts.emit_cert.as_deref(), &certs)?;
+    if let Some(sink) = &trace_sink {
+        // The trace accounts for every certificate this run settled on,
+        // loaded or generated.
+        let dyn_sink: Arc<dyn TraceSink> = sink.clone();
+        dyn_sink.begin_epoch();
+        loopmem::core::trace_certificates(&dyn_sink, &certs);
+        opts.write_trace(sink)?;
+    }
     let violations = loopmem::verify::check_certificates(&program, &certs);
     for v in &violations {
         // Anchor each violation at the loop header of the nest it indicts;
@@ -508,6 +616,104 @@ fn cmd_verify(rest: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// `loopmem trace`: run the whole governed analysis surface over the
+/// program — simulation, scratchpad sizing + fusion, per-nest §4
+/// searches (with a serial memoized replay for memo events), cone-prune
+/// scans, certificate emission — with a collecting `loopmem-obs` sink
+/// attached, and render the deterministic trace. `--format text`
+/// (default) prints per-phase totals; `--format json` prints the
+/// canonical NDJSON stream, whose bytes are identical for every
+/// `--threads` value; `--out` writes the NDJSON to a file either way.
+fn cmd_trace(rest: &[String]) -> Result<ExitCode, String> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    /// Coefficient box half-width for the cone-prune stage (matches
+    /// `verify`).
+    const BNB_BOUND: i64 = 6;
+    GOVERNED.store(true, std::sync::atomic::Ordering::Relaxed);
+    let opts = CommonOpts::parse(rest)?;
+    let out_path = CommonOpts::path_flag(rest, "--out")?;
+    let path = positional(rest).ok_or("missing <file.loop> argument")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = loopmem::ir::parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+    let sink = Arc::new(CollectingSink::new());
+    let dyn_sink: Arc<dyn TraceSink> = sink.clone();
+    // Governed by default (like `verify`): a robustness-corpus nest trips
+    // the iteration cap and degrades instead of hanging the trace.
+    let budget = opts
+        .budget
+        .clone()
+        .unwrap_or_else(|| AnalysisBudget::unlimited().with_max_iterations(2_000_000))
+        .with_trace(dyn_sink.clone());
+    let session = Session::new()
+        .threads(opts.threads)
+        .budget(budget.clone())
+        .certify(true);
+
+    // Stage 1: governed program simulation + scratchpad sizing + fusion
+    // (pass-1/pass-2 spans, polls, chunk commits, sizing terms, fusion
+    // steps, certificates).
+    dyn_sink.begin_epoch();
+    let _ = catch_unwind(AssertUnwindSafe(|| session.scratchpad(&program)));
+
+    // Stage 2: per-nest §4 searches, one epoch each. The governed search
+    // contributes the search span and its certificates; when it completes
+    // within budget, the serial memoized search replays for memo hit/miss
+    // events (nests that trip the budget skip the replay).
+    for nest in program.nests() {
+        dyn_sink.begin_epoch();
+        let searched = catch_unwind(AssertUnwindSafe(|| session.optimize(nest)));
+        if matches!(searched, Ok(Ok(_))) {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                loopmem::core::minimize_mws_traced(nest, SearchMode::default(), &dyn_sink)
+            }));
+        }
+    }
+
+    // Stage 3: cone-prune scans for 2-deep nests (the same scan `verify`
+    // certifies), one epoch each.
+    for nest in program.nests() {
+        dyn_sink.begin_epoch();
+        let _ = catch_unwind(AssertUnwindSafe(|| cone_scan(nest, &budget, BNB_BOUND)));
+    }
+
+    let report = sink.drain();
+    if let Some(out) = &out_path {
+        std::fs::write(out, report.render_ndjson()).map_err(|e| format!("{out}: {e}"))?;
+        // Stderr, so a piped `--format json` stdout stays pure NDJSON.
+        eprintln!("trace: {} events written to {out}", report.events.len());
+    }
+    if opts.json {
+        print!("{}", report.render_ndjson());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Branch-and-bound cone-prune scan over a 2-deep rectangular nest:
+/// `None` when the nest has the wrong shape, the extents degenerate, the
+/// run trips `budget`, or the dependence cone never collapsed to a line.
+/// Emits `cone-prune` trace events when `budget` carries a sink.
+fn cone_scan(
+    nest: &LoopNest,
+    budget: &AnalysisBudget,
+    bound: i64,
+) -> Option<loopmem::core::BnbResult> {
+    if nest.depth() != 2 {
+        return None;
+    }
+    let vr = nest.var_ranges()?;
+    let extents = (
+        vr[0].1.checked_sub(vr[0].0)?.checked_add(1)?,
+        vr[1].1.checked_sub(vr[1].0)?.checked_add(1)?,
+    );
+    if extents.0 <= 1 || extents.1 <= 1 {
+        return None;
+    }
+    let deps = analyze(nest);
+    loopmem::core::try_branch_and_bound(leading_alpha(nest), &deps, extents, bound, budget).ok()?
 }
 
 /// The §4.2 leading access row `(α₁, α₂)` used to weight the
@@ -621,13 +827,10 @@ fn generate_certificates(
 
 /// Honors `--emit-cert out.ndjson`: writes one certificate per line in the
 /// deterministic wire format. A no-op when the flag is absent.
-fn emit_certs(rest: &[String], certs: &[loopmem::verify::Certificate]) -> Result<(), String> {
-    let Some(pos) = rest.iter().position(|a| a == "--emit-cert") else {
+fn emit_certs(path: Option<&str>, certs: &[loopmem::verify::Certificate]) -> Result<(), String> {
+    let Some(path) = path else {
         return Ok(());
     };
-    let path = rest
-        .get(pos + 1)
-        .ok_or("--emit-cert needs an output path")?;
     let mut out = String::new();
     for c in certs {
         out.push_str(&c.to_json_line());
@@ -844,10 +1047,11 @@ fn cmd_formulas(nest: &LoopNest) -> Result<(), String> {
 }
 
 fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
+    let opts = CommonOpts::parse(rest)?;
     let path = positional(rest).ok_or("missing <file.loop> argument")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut program = loopmem::ir::parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
-    let threads = parse_threads(rest)?;
+    let threads = opts.threads;
     if let Some(pos) = rest.iter().position(|a| a == "--fuse") {
         let k: usize = rest
             .get(pos + 1)
@@ -858,8 +1062,22 @@ fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
         println!("fused nests {k} and {}:", k + 1);
         println!("{}", loopmem::ir::print_program(&program));
     }
-    if let Some(budget) = parse_budget(rest)? {
-        return cmd_pipeline_governed(&program, threads, &budget, rest);
+    // `--trace` needs a budget to carry the sink, so it selects the
+    // governed path even without budget flags.
+    if opts.budget.is_some() || opts.trace.is_some() {
+        let mut budget = opts
+            .budget
+            .clone()
+            .unwrap_or_else(AnalysisBudget::unlimited);
+        let trace_sink = opts.trace_sink();
+        if let Some(sink) = &trace_sink {
+            budget = budget.with_trace(sink.clone() as Arc<dyn TraceSink>);
+        }
+        cmd_pipeline_governed(&program, threads, &budget, rest)?;
+        if let Some(sink) = &trace_sink {
+            opts.write_trace(sink)?;
+        }
+        return Ok(());
     }
     // Batch analysis: pass 1 shards across nests on `threads` workers;
     // results are bit-identical for every worker count.
@@ -900,7 +1118,7 @@ fn cmd_pipeline(rest: &[String]) -> Result<(), String> {
             mws
         );
     }
-    emit_certs(rest, &certs)?;
+    emit_certs(opts.emit_cert.as_deref(), &certs)?;
     // Point out fusable adjacent pairs.
     for k in 0..program.len().saturating_sub(1) {
         match loopmem::core::fuse(&program, k) {
@@ -951,7 +1169,8 @@ fn cmd_pipeline_governed(
         println!("outcome           : bounded");
         println!("whole-program MWS : in {}", gov.mws_bounds);
     }
-    let want_certs = rest.iter().any(|a| a == "--emit-cert");
+    let emit_cert = CommonOpts::path_flag(rest, "--emit-cert")?;
+    let want_certs = emit_cert.is_some();
     let mut certs = Vec::new();
     for (k, r) in gov.per_nest.iter().enumerate() {
         match r {
@@ -983,10 +1202,15 @@ fn cmd_pipeline_governed(
             }
         }
     }
-    emit_certs(rest, &certs)?;
+    emit_certs(emit_cert.as_deref(), &certs)?;
     if rest.iter().any(|a| a == "--optimize") {
         let mode = parse_mode(rest)?;
         println!();
+        if let Some(sink) = budget.trace() {
+            // A fresh epoch keeps the optimize stage's events ordered
+            // after the simulation's in the drained stream.
+            sink.begin_epoch();
+        }
         match loopmem::core::try_optimize_program_with_threads(program, mode, threads, budget) {
             Ok(opt) => {
                 println!(
@@ -1013,6 +1237,7 @@ fn cmd_pipeline_governed(
 /// fusion search; budget flags make the run governed, degrading to a
 /// size interval (`outcome : bounded`) instead of crashing.
 fn cmd_scratchpad(rest: &[String]) -> Result<(), String> {
+    let opts = CommonOpts::parse(rest)?;
     // `--fuse` is a bare switch here, unlike pipeline's `--fuse k`.
     let value_flags: Vec<&str> = VALUE_FLAGS
         .iter()
@@ -1025,7 +1250,7 @@ fn cmd_scratchpad(rest: &[String]) -> Result<(), String> {
         .ok_or("missing <file.loop> argument")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let program = loopmem::ir::parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
-    let threads = parse_threads(rest)?;
+    let threads = opts.threads;
     let want_fuse = rest.iter().any(|a| a == "--fuse");
     println!(
         "nests             : {} ({} worker threads)",
@@ -1034,7 +1259,15 @@ fn cmd_scratchpad(rest: &[String]) -> Result<(), String> {
     );
     println!("declared storage  : {} words", program.default_memory());
 
-    if let Some(budget) = parse_budget(rest)? {
+    if opts.budget.is_some() || opts.trace.is_some() {
+        let mut budget = opts
+            .budget
+            .clone()
+            .unwrap_or_else(AnalysisBudget::unlimited);
+        let trace_sink = opts.trace_sink();
+        if let Some(sink) = &trace_sink {
+            budget = budget.with_trace(sink.clone() as Arc<dyn TraceSink>);
+        }
         let r = if want_fuse {
             loopmem::core::try_scratchpad_with_fusion(&program, threads, &budget)
         } else {
@@ -1085,7 +1318,10 @@ fn cmd_scratchpad(rest: &[String]) -> Result<(), String> {
         if let Some(p) = &plan {
             certs.push(loopmem::core::certify_fusion(p));
         }
-        emit_certs(rest, &certs)?;
+        emit_certs(opts.emit_cert.as_deref(), &certs)?;
+        if let Some(sink) = &trace_sink {
+            opts.write_trace(sink)?;
+        }
         return Ok(());
     }
 
@@ -1098,7 +1334,7 @@ fn cmd_scratchpad(rest: &[String]) -> Result<(), String> {
         print_scratchpad_plan(&plan);
         certs.push(loopmem::core::certify_fusion(&plan));
     }
-    emit_certs(rest, &certs)?;
+    emit_certs(opts.emit_cert.as_deref(), &certs)?;
     Ok(())
 }
 

@@ -7,6 +7,9 @@ pub use loopmem_core as core;
 pub use loopmem_dep as dep;
 pub use loopmem_ir as ir;
 pub use loopmem_linalg as linalg;
+pub use loopmem_obs as obs;
 pub use loopmem_poly as poly;
 pub use loopmem_sim as sim;
 pub use loopmem_verify as verify;
+
+pub use loopmem_core::Session;

@@ -1,0 +1,121 @@
+//! Flag-matrix tests for the shared `CommonOpts` parser: every
+//! subcommand that takes the cross-cutting flags (`--threads`,
+//! `--timeout-ms`, `--max-iters`, `--trace`, `--emit-cert`, `--format`)
+//! must accept the same syntax and reject bad values with the same
+//! message, regardless of which subcommand the flag rode in on.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_loopmem"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The first stderr line carries the parse error; the rest is usage text.
+fn parse_error(args: &[&str]) -> String {
+    let (ok, _, stderr) = run(args);
+    assert!(!ok, "expected a parse failure for {args:?}");
+    stderr.lines().next().unwrap_or_default().to_owned()
+}
+
+const KERNEL: &str = "kernels/example8.loop";
+
+/// The subcommands swept by the matrix. Two is the contract minimum;
+/// `verify` and `trace` ride along since they share the parser too.
+const SUBCOMMANDS: [&str; 4] = ["pipeline", "scratchpad", "verify", "trace"];
+
+/// Each bad flag value must produce the identical first-line error on
+/// every subcommand in the matrix.
+#[test]
+fn bad_flag_values_fail_identically_across_subcommands() {
+    let cases: [(&[&str], &str); 6] = [
+        (
+            &["--threads", "0"],
+            "loopmem: --threads needs a positive count",
+        ),
+        (&["--threads"], "loopmem: --threads needs a positive count"),
+        (
+            &["--timeout-ms", "abc"],
+            "loopmem: --timeout-ms: invalid digit found in string",
+        ),
+        (
+            &["--max-iters"],
+            "loopmem: --max-iters needs an iteration count",
+        ),
+        (&["--trace"], "loopmem: --trace needs an output path"),
+        (
+            &["--emit-cert"],
+            "loopmem: --emit-cert needs an output path",
+        ),
+    ];
+    for (flags, want) in cases {
+        for cmd in SUBCOMMANDS {
+            let mut args = vec![cmd, KERNEL];
+            args.extend_from_slice(flags);
+            assert_eq!(parse_error(&args), want, "{cmd} {flags:?}");
+        }
+    }
+}
+
+#[test]
+fn bad_format_fails_identically_where_format_is_accepted() {
+    // `pipeline`/`scratchpad` ignore --format today, so sweep the
+    // subcommands that honor it.
+    for cmd in ["check", "verify", "trace"] {
+        assert_eq!(
+            parse_error(&[cmd, KERNEL, "--format", "yaml"]),
+            "loopmem: bad --format Some(\"yaml\") (expected text or json)",
+            "{cmd}"
+        );
+    }
+}
+
+/// Good values succeed on every subcommand and `--trace` writes the same
+/// NDJSON header everywhere.
+#[test]
+fn trace_flag_writes_ndjson_on_every_subcommand() {
+    let dir = std::env::temp_dir();
+    for cmd in SUBCOMMANDS {
+        let path = dir.join(format!(
+            "loopmem_cli_flags_{cmd}_{}.ndjson",
+            std::process::id()
+        ));
+        let path_str = path.to_str().unwrap();
+        // `trace` spells its output flag --out; the others use --trace.
+        let flag = if cmd == "trace" { "--out" } else { "--trace" };
+        let (ok, _, stderr) = run(&[cmd, KERNEL, "--threads", "2", flag, path_str]);
+        assert!(ok, "{cmd}: {stderr}");
+        let written = std::fs::read_to_string(&path).expect("trace file written");
+        assert!(
+            written.starts_with("{\"suite\":\"loopmem-trace\",\"version\":1,"),
+            "{cmd}: {written}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Budget flags select the governed path and still exit 0 (a degraded
+/// answer is an answer) on both contract subcommands.
+#[test]
+fn budget_flags_parse_identically_and_keep_exit_zero() {
+    for cmd in ["pipeline", "scratchpad"] {
+        let (ok, stdout, stderr) = run(&[
+            cmd,
+            KERNEL,
+            "--timeout-ms",
+            "10000",
+            "--max-iters",
+            "100000",
+        ]);
+        assert!(ok, "{cmd}: {stderr}");
+        assert!(stdout.contains("outcome"), "{cmd}: {stdout}");
+    }
+}

@@ -1,0 +1,319 @@
+//! Pins every legacy entry point to its `Session` equivalent: the
+//! governed `try_*` / `*_with_threads` zoo now delegates to
+//! [`loopmem::Session`], and these tests keep that delegation honest by
+//! asserting bit-identical results against a hand-built session. The
+//! ungoverned fast paths (which a `Session` with the default unlimited
+//! budget replaces) are pinned too, modulo the optimizer's process-wide
+//! memo (`cache_hits` is 0 on every governed path by contract).
+
+use loopmem::core::{
+    minimize_mws_with_threads, optimize_program_with_threads, scratchpad_program_with_threads,
+    scratchpad_with_fusion, try_minimize_mws, try_minimize_mws_with_threads, try_optimize_program,
+    try_optimize_program_with_threads, try_scratchpad_program, try_scratchpad_program_with_threads,
+    try_scratchpad_with_fusion, SearchMode,
+};
+use loopmem::ir::{parse, parse_program, ArrayId, LoopNest, Program};
+use loopmem::sim::{
+    simulate_program_with_threads, simulate_with_threads, try_simulate, try_simulate_program,
+    try_simulate_program_with_threads, try_simulate_with_threads, AnalysisBudget, ArrayStats,
+    GovernedProgramSim, ProgramSimResult, SimResult,
+};
+use loopmem::Session;
+use std::collections::BTreeMap;
+
+fn example8() -> LoopNest {
+    parse(
+        "array X[200]\n\
+         for i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }",
+    )
+    .unwrap()
+}
+
+fn three_nest_program() -> Program {
+    parse_program(
+        "array A[24][24]\narray X[200]\n\
+         for i = 2 to 24 { for j = 1 to 24 { A[i][j] = A[i-1][j] + A[i][j]; } }\n\
+         for i = 1 to 24 { for j = i to 24 { A[i][j] = A[j][i]; } }\n\
+         for i = 1 to 25 { for j = 1 to 10 { X[2i + 5j + 1] = X[2i + 5j + 5]; } }",
+    )
+    .unwrap()
+}
+
+fn fusion_program() -> Program {
+    parse_program(
+        "array A[8][8]\narray B[8][8]\narray C[8][8]\n\
+         for i = 1 to 8 { for j = 1 to 8 { A[i][j] = B[i][j]; } }\n\
+         for i = 1 to 8 { for j = 1 to 8 { C[i][j] = A[i][j] + A[i][j]; } }",
+    )
+    .unwrap()
+}
+
+fn budget() -> AnalysisBudget {
+    AnalysisBudget::unlimited().with_max_iterations(1_000_000)
+}
+
+/// `SimResult` holds a `HashMap`, whose `Debug` order is unstable —
+/// compare through a sorted projection instead of the raw `Debug` string.
+fn sim_key(sim: &SimResult) -> (u64, u64, BTreeMap<ArrayId, ArrayStats>) {
+    (
+        sim.iterations,
+        sim.mws_total,
+        sim.per_array.iter().map(|(k, v)| (*k, v.clone())).collect(),
+    )
+}
+
+/// Same story for `ProgramSimResult::distinct`: sort the per-array map,
+/// keep everything else as its (stable) `Debug` rendering.
+fn program_sim_key(sim: &ProgramSimResult) -> (String, BTreeMap<ArrayId, u64>) {
+    let sorted: BTreeMap<ArrayId, u64> = sim.distinct.iter().map(|(k, v)| (*k, *v)).collect();
+    let rest = format!(
+        "{:?} {:?} {:?} {:?} {:?} {:?}",
+        sim.per_nest_iterations,
+        sim.mws_total,
+        sim.boundary_live,
+        sim.peak_nest,
+        sim.per_nest_mws,
+        sim.live_through
+    );
+    (rest, sorted)
+}
+
+fn governed_program_key(gov: &GovernedProgramSim) -> (String, (String, BTreeMap<ArrayId, u64>)) {
+    (
+        format!("{:?} {:?}", gov.per_nest, gov.mws_bounds),
+        program_sim_key(&gov.sim),
+    )
+}
+
+#[test]
+fn wrapper_try_simulate_matches_session() {
+    let nest = example8();
+    let b = budget();
+    let legacy = try_simulate(&nest, &b).unwrap();
+    let session = Session::new().budget(b.clone()).simulate(&nest).unwrap();
+    assert_eq!(sim_key(&legacy), sim_key(&session));
+}
+
+#[test]
+fn wrapper_try_simulate_with_threads_matches_session() {
+    let nest = example8();
+    let b = budget();
+    for t in [1, 2, 4] {
+        let legacy = try_simulate_with_threads(&nest, false, t, &b).unwrap();
+        let session = Session::new()
+            .threads(t)
+            .budget(b.clone())
+            .simulate(&nest)
+            .unwrap();
+        assert_eq!(sim_key(&legacy), sim_key(&session), "threads={t}");
+    }
+}
+
+#[test]
+fn ungoverned_simulate_matches_default_session() {
+    let nest = example8();
+    for t in [1, 2, 4] {
+        let legacy = simulate_with_threads(&nest, false, t);
+        let session = Session::new().threads(t).simulate(&nest).unwrap();
+        assert_eq!(sim_key(&legacy), sim_key(&session), "threads={t}");
+    }
+}
+
+#[test]
+fn wrapper_try_simulate_program_matches_session() {
+    let program = three_nest_program();
+    let b = budget();
+    let legacy = try_simulate_program(&program, &b).unwrap();
+    let session = Session::new()
+        .budget(b.clone())
+        .simulate_program(&program)
+        .unwrap();
+    assert_eq!(
+        governed_program_key(&legacy),
+        governed_program_key(&session)
+    );
+}
+
+#[test]
+fn wrapper_try_simulate_program_with_threads_matches_session() {
+    let program = three_nest_program();
+    let b = budget();
+    for t in [1, 2, 4] {
+        let legacy = try_simulate_program_with_threads(&program, t, &b).unwrap();
+        let session = Session::new()
+            .threads(t)
+            .budget(b.clone())
+            .simulate_program(&program)
+            .unwrap();
+        assert_eq!(
+            governed_program_key(&legacy),
+            governed_program_key(&session),
+            "threads={t}"
+        );
+    }
+}
+
+#[test]
+fn ungoverned_simulate_program_matches_default_session() {
+    let program = three_nest_program();
+    let legacy = simulate_program_with_threads(&program, 2);
+    let session = Session::new()
+        .threads(2)
+        .simulate_program(&program)
+        .unwrap();
+    assert!(session.all_exact());
+    assert_eq!(program_sim_key(&legacy), program_sim_key(&session.sim));
+}
+
+#[test]
+fn wrapper_try_minimize_mws_matches_session() {
+    let nest = example8();
+    let b = budget();
+    let legacy = try_minimize_mws(&nest, SearchMode::default(), &b).unwrap();
+    let session = Session::new().budget(b.clone()).optimize(&nest).unwrap();
+    assert_eq!(format!("{legacy:?}"), format!("{session:?}"));
+}
+
+#[test]
+fn wrapper_try_minimize_mws_with_threads_matches_session() {
+    let nest = example8();
+    let b = budget();
+    for t in [1, 2, 4] {
+        let legacy = try_minimize_mws_with_threads(&nest, SearchMode::default(), t, &b).unwrap();
+        let session = Session::new()
+            .threads(t)
+            .budget(b.clone())
+            .optimize(&nest)
+            .unwrap();
+        assert_eq!(format!("{legacy:?}"), format!("{session:?}"), "threads={t}");
+    }
+}
+
+#[test]
+fn ungoverned_minimize_mws_matches_default_session_modulo_memo() {
+    let nest = example8();
+    let legacy = minimize_mws_with_threads(&nest, SearchMode::default(), 2).unwrap();
+    let session = Session::new().threads(2).optimize(&nest).unwrap();
+    // The ungoverned path consults the process-wide memo (cache_hits may
+    // be non-zero); the governed path skips it by contract. Everything
+    // the caller acts on is identical.
+    assert_eq!(legacy.transform, session.transform);
+    assert_eq!(legacy.transformed, session.transformed);
+    assert_eq!(legacy.mws_before, session.mws_before);
+    assert_eq!(legacy.mws_after, session.mws_after);
+    assert_eq!(legacy.candidates_considered, session.candidates_considered);
+    assert_eq!(legacy.evaluated, session.evaluated);
+    assert_eq!(session.cache_hits, 0);
+}
+
+#[test]
+fn wrapper_try_optimize_program_matches_session() {
+    let program = three_nest_program();
+    let b = budget();
+    let legacy = try_optimize_program(&program, SearchMode::default(), &b).unwrap();
+    let session = Session::new()
+        .budget(b.clone())
+        .optimize_program(&program)
+        .unwrap();
+    assert_eq!(format!("{legacy:?}"), format!("{session:?}"));
+}
+
+#[test]
+fn wrapper_try_optimize_program_with_threads_matches_session() {
+    let program = three_nest_program();
+    let b = budget();
+    for t in [1, 2] {
+        let legacy =
+            try_optimize_program_with_threads(&program, SearchMode::default(), t, &b).unwrap();
+        let session = Session::new()
+            .threads(t)
+            .budget(b.clone())
+            .optimize_program(&program)
+            .unwrap();
+        assert_eq!(format!("{legacy:?}"), format!("{session:?}"), "threads={t}");
+    }
+}
+
+#[test]
+fn ungoverned_optimize_program_matches_default_session() {
+    let program = three_nest_program();
+    let legacy = optimize_program_with_threads(&program, SearchMode::default(), 2).unwrap();
+    let session = Session::new()
+        .threads(2)
+        .optimize_program(&program)
+        .unwrap();
+    assert_eq!(legacy.transformed, session.transformed);
+    assert_eq!(legacy.mws_before, session.mws_before.lower);
+    assert_eq!(legacy.mws_before, session.mws_before.upper);
+    assert_eq!(legacy.mws_after, session.mws_after.lower);
+    assert_eq!(legacy.mws_after, session.mws_after.upper);
+    let governed_per_nest: Vec<(u64, u64)> = session
+        .per_nest
+        .iter()
+        .map(|r| *r.as_ref().expect("unlimited budget cannot degrade"))
+        .collect();
+    assert_eq!(legacy.per_nest, governed_per_nest);
+}
+
+#[test]
+fn wrapper_try_scratchpad_program_matches_session() {
+    let program = fusion_program();
+    let b = budget();
+    let legacy = try_scratchpad_program(&program, &b).unwrap();
+    let session = Session::new()
+        .budget(b.clone())
+        .scratchpad_sizing(&program)
+        .unwrap();
+    assert_eq!(format!("{legacy:?}"), format!("{session:?}"));
+}
+
+#[test]
+fn wrapper_try_scratchpad_program_with_threads_matches_session() {
+    let program = fusion_program();
+    let b = budget();
+    for t in [1, 2, 4] {
+        let legacy = try_scratchpad_program_with_threads(&program, t, &b).unwrap();
+        let session = Session::new()
+            .threads(t)
+            .budget(b.clone())
+            .scratchpad_sizing(&program)
+            .unwrap();
+        assert_eq!(format!("{legacy:?}"), format!("{session:?}"), "threads={t}");
+    }
+}
+
+#[test]
+fn ungoverned_scratchpad_program_matches_default_session() {
+    let program = fusion_program();
+    let legacy = scratchpad_program_with_threads(&program, 2);
+    let session = Session::new()
+        .threads(2)
+        .scratchpad_sizing(&program)
+        .unwrap();
+    assert!(session.all_exact());
+    assert_eq!(format!("{legacy:?}"), format!("{:?}", session.sizing));
+}
+
+#[test]
+fn wrapper_try_scratchpad_with_fusion_matches_session() {
+    let program = fusion_program();
+    let b = budget();
+    for t in [1, 2] {
+        let legacy = try_scratchpad_with_fusion(&program, t, &b).unwrap();
+        let session = Session::new()
+            .threads(t)
+            .budget(b.clone())
+            .scratchpad(&program)
+            .unwrap();
+        assert_eq!(format!("{legacy:?}"), format!("{session:?}"), "threads={t}");
+    }
+}
+
+#[test]
+fn ungoverned_scratchpad_with_fusion_matches_default_session() {
+    let program = fusion_program();
+    let legacy = scratchpad_with_fusion(&program, 1);
+    let (_, plan) = Session::new().threads(1).scratchpad(&program).unwrap();
+    let plan = plan.expect("exact baseline runs the fusion search");
+    assert_eq!(format!("{legacy:?}"), format!("{plan:?}"));
+}
